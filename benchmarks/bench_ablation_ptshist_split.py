@@ -1,0 +1,63 @@
+"""Ablation: PtsHist's interior/uniform bucket split (DESIGN.md §3).
+
+Section 3.3 hard-codes a 0.9/0.1 split between points sampled from query
+interiors and points sampled uniformly.  This ablation sweeps the split:
+all-uniform (0.0) wastes buckets on empty space; all-interior (1.0) cannot
+allocate density outside the training queries' coverage.
+"""
+
+import pytest
+
+from repro.core import PtsHist
+from repro.data import WorkloadSpec
+from repro.eval import make_workload, rms_error
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import record_table
+
+FRACTIONS = (0.0, 0.5, 0.9, 1.0)
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def ablation(power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=SPEC)
+    test = make_workload(power_2d, 120, bench_rng, spec=SPEC)
+    rows = []
+    for fraction in FRACTIONS:
+        rms_values = []
+        for seed in range(3):
+            est = PtsHist(size=800, interior_fraction=fraction, seed=seed).fit(
+                train.queries, train.selectivities
+            )
+            rms_values.append(
+                rms_error(est.predict_many(test.queries), test.selectivities)
+            )
+        rows.append(
+            {
+                "interior_fraction": fraction,
+                "mean_rms": round(sum(rms_values) / len(rms_values), 5),
+                "max_rms": round(max(rms_values), 5),
+            }
+        )
+    return rows
+
+
+def test_ptshist_split_ablation(ablation, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "ablation_ptshist_interior_fraction",
+        format_table(ablation, title="Ablation: PtsHist interior/uniform split (Power 2D)"),
+    )
+    by_fraction = {r["interior_fraction"]: r["mean_rms"] for r in ablation}
+    # The paper's 0.9 choice beats all-uniform bucket placement.
+    assert by_fraction[0.9] <= by_fraction[0.0]
+
+
+def test_benchmark_ptshist_fit(benchmark, power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=SPEC)
+    benchmark.pedantic(
+        lambda: PtsHist(size=800, seed=0).fit(train.queries, train.selectivities),
+        rounds=2,
+        iterations=1,
+    )

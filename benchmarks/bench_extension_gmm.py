@@ -1,0 +1,77 @@
+"""Extension benchmark: the Gaussian-mixture learner (paper's future work).
+
+Section 6 of the paper leaves "compute a Gaussian mixture with a small
+loss" as an open problem; ``GaussianMixtureHist`` instantiates the paper's
+own two-phase recipe with Gaussian components.  This bench compares it
+against QuadHist and PtsHist on the main Power workload and on halfspace
+queries (where its masses are exact via 1-D projection in any dimension).
+"""
+
+import pytest
+
+from repro.core import GaussianMixtureHist, PtsHist, QuadHist
+from repro.data import WorkloadSpec
+from repro.eval import evaluate_estimator, make_workload
+from repro.eval.reporting import format_table
+
+from benchmarks._experiments import Q_FLOOR
+from benchmarks.conftest import record_table
+
+BOX_SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+HALF_SPEC = WorkloadSpec(query_kind="halfspace", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def comparison(power_2d, forest_dataset, bench_rng):
+    rows = []
+    # Orthogonal ranges, Power 2-D.
+    train = make_workload(power_2d, 200, bench_rng, spec=BOX_SPEC)
+    test = make_workload(power_2d, 120, bench_rng, spec=BOX_SPEC)
+    for name, est in (
+        ("quadhist", QuadHist(tau=0.005, max_leaves=800)),
+        ("ptshist", PtsHist(size=800, seed=0)),
+        ("gmm", GaussianMixtureHist(components=800, seed=0)),
+    ):
+        r = evaluate_estimator(name, est, train, test, q_floor=Q_FLOOR)
+        rows.append({"workload": "power-box-2d", **r.row()})
+    # Halfspaces, Forest 4-D (exact Gaussian masses in any dimension).
+    forest4 = forest_dataset.numeric_projection(4, bench_rng)
+    train = make_workload(forest4, 200, bench_rng, spec=HALF_SPEC)
+    test = make_workload(forest4, 120, bench_rng, spec=HALF_SPEC)
+    for name, est in (
+        ("ptshist", PtsHist(size=800, seed=0)),
+        ("gmm", GaussianMixtureHist(components=800, seed=0)),
+    ):
+        r = evaluate_estimator(name, est, train, test, q_floor=Q_FLOOR)
+        rows.append({"workload": "forest-halfspace-4d", **r.row()})
+    return rows
+
+
+def test_gmm_extension(comparison, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "extension_gmm_comparison",
+        format_table(comparison, title="Extension: GaussianMixtureHist vs QuadHist/PtsHist"),
+    )
+    by_key = {(r["workload"], r["method"]): r for r in comparison}
+    # The mixture is competitive with PtsHist on both workloads
+    # (same bucket budget, same weight solver).
+    assert (
+        by_key[("power-box-2d", "gmm")]["rms"]
+        <= by_key[("power-box-2d", "ptshist")]["rms"] * 2.5
+    )
+    assert (
+        by_key[("forest-halfspace-4d", "gmm")]["rms"]
+        <= by_key[("forest-halfspace-4d", "ptshist")]["rms"] * 2.5
+    )
+
+
+def test_benchmark_gmm_fit(benchmark, power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=BOX_SPEC)
+    benchmark.pedantic(
+        lambda: GaussianMixtureHist(components=400, seed=0).fit(
+            train.queries, train.selectivities
+        ),
+        rounds=2,
+        iterations=1,
+    )

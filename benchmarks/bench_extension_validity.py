@@ -1,0 +1,67 @@
+"""Extension benchmark: model validity (monotonicity & consistency).
+
+The paper excludes deep-learning estimators from its comparison because
+they "may return models that do not correspond to any valid hypothesis"
+and "have been observed to produce selectivity estimates that are not
+monotone or consistent [46]".  This bench quantifies that property for the
+models we *do* have: the distribution-based learners show zero violations
+by construction; QuickSel — whose mixture weights may be negative — is the
+one model in the comparison that can violate both.
+"""
+
+import pytest
+
+from repro.baselines import LWRegression, QuickSel, UniformEstimator
+from repro.core import GaussianMixtureHist, PtsHist, QuadHist
+from repro.data import WorkloadSpec
+from repro.eval import consistency_violations, make_workload, monotonicity_violations
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import record_table
+
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def validity(power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=SPEC)
+    models = {
+        "quadhist": QuadHist(tau=0.005, max_leaves=800),
+        "ptshist": PtsHist(size=800, seed=0),
+        "gmm": GaussianMixtureHist(components=400, seed=0),
+        "quicksel": QuickSel(),
+        "lw-regression": LWRegression(n_trees=120),
+        "uniform": UniformEstimator(),
+    }
+    rows = []
+    for name, model in models.items():
+        model.fit(train.queries, train.selectivities)
+        rows.append(
+            {
+                "method": name,
+                "monotonicity_viol": round(
+                    monotonicity_violations(model, bench_rng, dim=2, chains=60), 4
+                ),
+                "consistency_viol": round(
+                    consistency_violations(model, bench_rng, dim=2, trials=80, tol=1e-4),
+                    4,
+                ),
+            }
+        )
+    return rows
+
+
+def test_validity_comparison(validity, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "extension_model_validity",
+        format_table(
+            validity,
+            title="Extension: monotonicity/consistency violation rates (Power 2D)",
+        ),
+    )
+    by_method = {r["method"]: r for r in validity}
+    # Distribution-based models: valid by construction.
+    for name in ("quadhist", "ptshist", "gmm", "uniform"):
+        assert by_method[name]["monotonicity_viol"] == 0.0, name
+    assert by_method["quadhist"]["consistency_viol"] == 0.0

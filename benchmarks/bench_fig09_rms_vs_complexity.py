@@ -1,0 +1,67 @@
+"""Figure 9: RMS error vs model complexity (QuadHist, Power, Data-driven).
+
+Paper shape: each training-size curve decreases with model complexity and
+flattens; larger training sets push the curves toward the origin; with few
+training queries and many buckets the error turns back up (overfitting).
+Also doubles as the τ-vs-hard-cap ablation called out in DESIGN.md: the
+model size here is controlled purely through τ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadHist
+from repro.data import WorkloadSpec
+from repro.eval import make_workload, rms_error
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import record_table
+
+TRAIN_SIZES = (50, 200, 800)
+TAUS = (0.04, 0.02, 0.01, 0.005, 0.0025)
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def sweep(power_2d, bench_rng):
+    test = make_workload(power_2d, 150, bench_rng, spec=SPEC)
+    rows = []
+    for n in TRAIN_SIZES:
+        train = make_workload(power_2d, n, bench_rng, spec=SPEC)
+        for tau in TAUS:
+            est = QuadHist(tau=tau).fit(train.queries, train.selectivities)
+            rms = rms_error(est.predict_many(test.queries), test.selectivities)
+            rows.append(
+                {
+                    "train": n,
+                    "tau": tau,
+                    "buckets": est.model_size,
+                    "rms": round(rms, 5),
+                }
+            )
+    return rows
+
+
+def test_fig09_series(sweep, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "fig09_rms_vs_model_complexity",
+        format_table(sweep, title="Fig 9: RMS vs model complexity (QuadHist, Power 2D, Data-driven)"),
+    )
+    # Shape check: at the largest training size, the finest model beats the
+    # coarsest by a wide margin.
+    largest = [r for r in sweep if r["train"] == max(TRAIN_SIZES)]
+    assert largest[-1]["rms"] < largest[0]["rms"]
+    # More training data helps at fixed tau.
+    finest = [r for r in sweep if r["tau"] == TAUS[-1]]
+    assert finest[-1]["rms"] < finest[0]["rms"] * 1.05
+
+
+def test_fig09_quadhist_fit_time(benchmark, power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=SPEC)
+
+    def fit():
+        return QuadHist(tau=0.005).fit(train.queries, train.selectivities)
+
+    est = benchmark.pedantic(fit, rounds=2, iterations=1)
+    assert est.model_size > 10

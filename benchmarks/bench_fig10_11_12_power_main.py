@@ -1,0 +1,85 @@
+"""Figures 10, 11, 12: the main 4-method comparison on Power (Data-driven).
+
+* Fig 10 — model complexity vs training size (ISOMER uses far more buckets
+  than its training size; QuadHist/PtsHist are pegged to 4x).
+* Fig 11 — RMS error vs training size (all methods improve; ISOMER most
+  accurate where it finishes; QuadHist/PtsHist/QuickSel comparable).
+* Fig 12 — training time vs training size (ISOMER slowest by far; the
+  paper drops it beyond 200 training queries, we beyond 100).
+"""
+
+import pytest
+
+from repro.data import WorkloadSpec
+from repro.eval import make_workload
+from repro.eval.reporting import format_series
+
+from benchmarks._experiments import method_factories, series_from_results
+from benchmarks.conftest import record_table
+
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def results(power_datadriven_results):
+    return power_datadriven_results
+
+
+def test_fig10_model_complexity(results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(results, "buckets")
+    record_table(
+        "fig10_model_complexity_power_datadriven",
+        format_series("train", sizes, series, title="Fig 10: model complexity (Power 2D, Data-driven)"),
+    )
+    # ISOMER's bucket count is a large multiple of its training size.
+    isomer = [v for v in series["isomer"] if v != "-"]
+    assert isomer and isomer[-1] > 10 * sizes[len(isomer) - 1]
+
+
+def test_fig11_rms_vs_training_size(results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(results, "rms")
+    record_table(
+        "fig11_rms_power_datadriven",
+        format_series("train", sizes, series, title="Fig 11: RMS error (Power 2D, Data-driven)"),
+    )
+    # Error decreases with training size for the scalable methods.
+    for name in ("quadhist", "ptshist", "quicksel"):
+        values = [v for v in series[name] if v != "-"]
+        assert values[-1] < values[0]
+    # Everyone reaches practically useful accuracy at the top of the sweep.
+    assert series["quadhist"][-1] < 0.02
+
+
+def test_fig12_training_time(results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(results, "fit_s")
+    record_table(
+        "fig12_training_time_power_datadriven",
+        format_series("train", sizes, series, title="Fig 12: training time seconds (Power 2D, Data-driven)"),
+    )
+    # ISOMER is the slowest method where it runs (the paper's headline).
+    isomer = [v for v in series["isomer"] if v != "-"]
+    idx = len(isomer) - 1
+    assert isomer[idx] > series["quicksel"][idx]
+
+
+def test_fig11_quadhist_fit_benchmark(benchmark, power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=SPEC)
+    factory = method_factories(200, include_isomer=False)["quadhist"]
+    benchmark.pedantic(
+        lambda: factory().fit(train.queries, train.selectivities),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fig11_ptshist_fit_benchmark(benchmark, power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=SPEC)
+    factory = method_factories(200, include_isomer=False)["ptshist"]
+    benchmark.pedantic(
+        lambda: factory().fit(train.queries, train.selectivities),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,86 @@
+"""Figures 13/31-33 (Random) and 15/34-36 (Gaussian) on Power.
+
+Section 4.2's question: does learning still work when the query workload is
+*independent* of the (skewed) data distribution?  Paper shape: yes — errors
+still fall with training size for every method; absolute errors are small
+because most Random/Gaussian queries are nearly empty over skewed data.
+"""
+
+import pytest
+
+from repro.data import WorkloadSpec
+from repro.eval.reporting import format_series
+
+from benchmarks._experiments import series_from_results
+from benchmarks.conftest import record_table
+
+RANDOM = WorkloadSpec(query_kind="box", center_kind="random")
+GAUSSIAN = WorkloadSpec(query_kind="box", center_kind="gaussian")
+
+
+@pytest.fixture(scope="module")
+def random_results(power_random_results):
+    return power_random_results
+
+
+@pytest.fixture(scope="module")
+def gaussian_results(power_gaussian_results):
+    return power_gaussian_results
+
+
+def test_fig13_32_random_rms(random_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(random_results, "rms")
+    record_table(
+        "fig13_rms_power_random",
+        format_series("train", sizes, series, title="Fig 13/32: RMS error (Power 2D, Random workload)"),
+    )
+    for name in ("quadhist", "ptshist"):
+        values = series[name]
+        assert values[-1] <= values[0]
+
+
+def test_fig31_random_complexity(random_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(random_results, "buckets")
+    record_table(
+        "fig31_model_complexity_power_random",
+        format_series("train", sizes, series, title="Fig 31: model complexity (Power 2D, Random workload)"),
+    )
+
+
+def test_fig33_random_training_time(random_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(random_results, "fit_s")
+    record_table(
+        "fig33_training_time_power_random",
+        format_series("train", sizes, series, title="Fig 33: training time seconds (Power 2D, Random workload)"),
+    )
+
+
+def test_fig15_35_gaussian_rms(gaussian_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(gaussian_results, "rms")
+    record_table(
+        "fig15_rms_power_gaussian",
+        format_series("train", sizes, series, title="Fig 15/35: RMS error (Power 2D, Gaussian workload)"),
+    )
+    assert series["quadhist"][-1] < 0.05
+
+
+def test_fig34_gaussian_complexity(gaussian_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(gaussian_results, "buckets")
+    record_table(
+        "fig34_model_complexity_power_gaussian",
+        format_series("train", sizes, series, title="Fig 34: model complexity (Power 2D, Gaussian workload)"),
+    )
+
+
+def test_fig36_gaussian_training_time(gaussian_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(gaussian_results, "fit_s")
+    record_table(
+        "fig36_training_time_power_gaussian",
+        format_series("train", sizes, series, title="Fig 36: training time seconds (Power 2D, Gaussian workload)"),
+    )

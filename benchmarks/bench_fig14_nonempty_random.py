@@ -1,0 +1,35 @@
+"""Figure 14: RMS on *non-empty* queries of the Random workload (Power).
+
+The paper observes up to 97% of Random queries over skewed data have
+selectivity ~0; Figure 14 repeats Figure 13 with empty test queries
+filtered out.  Paper shape: very similar to Figure 13.
+"""
+
+import pytest
+
+from repro.data import WorkloadSpec
+from repro.eval.reporting import format_series
+
+from benchmarks._experiments import series_from_results
+from benchmarks.conftest import record_table
+
+RANDOM = WorkloadSpec(query_kind="box", center_kind="random")
+
+
+@pytest.fixture(scope="module")
+def results(power_random_nonempty_results):
+    return power_random_nonempty_results
+
+
+def test_fig14_nonempty_rms(results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    sizes, series = series_from_results(results, "rms")
+    record_table(
+        "fig14_rms_power_random_nonempty",
+        format_series(
+            "train", sizes, series,
+            title="Fig 14: RMS error on non-empty queries (Power 2D, Random workload)",
+        ),
+    )
+    for name in ("quadhist", "ptshist"):
+        assert series[name][-1] <= series[name][0]

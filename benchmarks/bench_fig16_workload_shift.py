@@ -1,0 +1,69 @@
+"""Figure 16: train/test query-distribution mismatch heatmap (Section 4.3).
+
+Shifted 2-D Gaussian box workloads with means (0.2,0.2)..(0.7,0.7) and
+covariance 0.033·I.  Paper shape: the diagonal (train == test distribution)
+has the smallest errors in most cases, and error grows with the shift
+between training and test means.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadHist
+from repro.data import label_queries, shifted_gaussian_workload
+from repro.eval import rms_error
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import record_table
+
+MEANS = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+TRAIN_SIZE = 200
+TEST_SIZE = 120
+
+
+@pytest.fixture(scope="module")
+def heatmap(power_2d, bench_rng):
+    # Pre-generate one labeled workload per mean for each role.
+    train_sets = {}
+    test_sets = {}
+    for mean in MEANS:
+        queries = shifted_gaussian_workload(
+            TRAIN_SIZE, 2, mean, bench_rng, dataset=power_2d
+        )
+        train_sets[mean] = (queries, label_queries(power_2d, queries))
+        queries = shifted_gaussian_workload(
+            TEST_SIZE, 2, mean, bench_rng, dataset=power_2d
+        )
+        test_sets[mean] = (queries, label_queries(power_2d, queries))
+
+    grid = {}
+    for train_mean, (tq, ts) in train_sets.items():
+        est = QuadHist(tau=0.005).fit(tq, ts)
+        for test_mean, (vq, vs) in test_sets.items():
+            grid[(train_mean, test_mean)] = rms_error(est.predict_many(vq), vs)
+    return grid
+
+
+def test_fig16_heatmap(heatmap, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    rows = []
+    for test_mean in MEANS:
+        row = {"test\\train": test_mean}
+        for train_mean in MEANS:
+            row[str(train_mean)] = round(heatmap[(train_mean, test_mean)], 4)
+        rows.append(row)
+    record_table(
+        "fig16_workload_shift_heatmap",
+        format_table(rows, title="Fig 16: RMS under train/test Gaussian shift (QuadHist, Power 2D)"),
+    )
+
+    # Shape checks: matched distributions beat strongly mismatched ones on
+    # average, and error grows with the shift for a fixed training mean.
+    diagonal = np.mean([heatmap[(m, m)] for m in MEANS])
+    extreme = np.mean(
+        [heatmap[(MEANS[0], MEANS[-1])], heatmap[(MEANS[-1], MEANS[0])]]
+    )
+    assert diagonal < extreme
+    near = heatmap[(0.6, 0.5)]
+    far = heatmap[(0.6, 0.2)]
+    assert near < far * 1.5

@@ -1,0 +1,54 @@
+"""Figure 17: RMS vs training size across dimensions (PtsHist, Forest).
+
+Section 4.4: Theorem 2.1 predicts a training size exponential in d.  Paper
+shape: each dimension's curve falls with training size and flattens; higher
+dimensions sit further from the origin (more samples needed for the same
+accuracy).
+"""
+
+import pytest
+
+from repro.core import PtsHist
+from repro.data import WorkloadSpec
+from repro.eval import evaluate_estimator, make_workload
+from repro.eval.reporting import format_series
+
+from benchmarks._experiments import Q_FLOOR
+from benchmarks.conftest import record_table
+
+DIMS = (2, 4, 6, 8)
+TRAIN_SIZES = (50, 100, 200, 400)
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def sweep(forest_dataset, bench_rng):
+    series = {}
+    for d in DIMS:
+        data = forest_dataset.numeric_projection(d, bench_rng)
+        test = make_workload(data, 120, bench_rng, spec=SPEC)
+        errors = []
+        for n in TRAIN_SIZES:
+            train = make_workload(data, n, bench_rng, spec=SPEC)
+            result = evaluate_estimator(
+                f"ptshist_d{d}", PtsHist(size=4 * n, seed=0), train, test, q_floor=Q_FLOOR
+            )
+            errors.append(round(result.rms, 5))
+        series[f"d={d}"] = errors
+    return series
+
+
+def test_fig17_dimensionality(sweep, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "fig17_rms_vs_training_by_dim",
+        format_series(
+            "train", list(TRAIN_SIZES), sweep,
+            title="Fig 17: PtsHist RMS vs training size per dimension (Forest, Data-driven)",
+        ),
+    )
+    # Each dimension improves with more training data.
+    for errors in sweep.values():
+        assert errors[-1] <= errors[0]
+    # Higher dimension -> larger error at the largest training size.
+    assert sweep["d=8"][-1] > sweep["d=2"][-1]

@@ -1,0 +1,65 @@
+"""Figures 20 & 21: halfspace queries (Forest, Data-driven).
+
+Section 4.5: selectivity of *linear inequality* queries is learnable too.
+QuadHist appears only at d=2 (exact box∩halfspace volumes stay cheap
+there); PtsHist covers all dimensions.  Paper shape: error falls with
+training size; higher d needs more samples; PtsHist training stays fast.
+"""
+
+import pytest
+
+from repro.core import PtsHist, QuadHist
+from repro.data import WorkloadSpec
+from repro.eval import evaluate_estimator, make_workload
+from repro.eval.reporting import format_series
+
+from benchmarks._experiments import Q_FLOOR
+from benchmarks.conftest import record_table
+
+DIMS = (2, 4, 6)
+TRAIN_SIZES = (50, 100, 200, 400)
+SPEC = WorkloadSpec(query_kind="halfspace", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def sweep(forest_dataset, bench_rng):
+    rms: dict[str, list] = {}
+    fit_s: dict[str, list] = {}
+    for d in DIMS:
+        data = forest_dataset.numeric_projection(d, bench_rng)
+        test = make_workload(data, 120, bench_rng, spec=SPEC)
+        for n in TRAIN_SIZES:
+            train = make_workload(data, n, bench_rng, spec=SPEC)
+            methods = {f"ptshist_d{d}": PtsHist(size=4 * n, seed=0)}
+            if d == 2:
+                methods["quadhist_d2"] = QuadHist(tau=0.005, max_leaves=4 * n)
+            for name, est in methods.items():
+                result = evaluate_estimator(name, est, train, test, q_floor=Q_FLOOR)
+                rms.setdefault(name, []).append(round(result.rms, 5))
+                fit_s.setdefault(name, []).append(round(result.fit_seconds, 3))
+    return rms, fit_s
+
+
+def test_fig20_halfspace_rms(sweep, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    rms, _ = sweep
+    record_table(
+        "fig20_halfspace_rms",
+        format_series("train", list(TRAIN_SIZES), rms, title="Fig 20: RMS, halfspace queries (Forest, Data-driven)"),
+    )
+    for name, errors in rms.items():
+        assert errors[-1] <= errors[0] * 1.1, name
+    # QuadHist more accurate than PtsHist in 2-D (paper's observation).
+    assert rms["quadhist_d2"][-1] <= rms["ptshist_d2"][-1] * 1.5
+
+
+def test_fig21_halfspace_training_time(sweep, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    _, fit_s = sweep
+    record_table(
+        "fig21_halfspace_training_time",
+        format_series("train", list(TRAIN_SIZES), fit_s, title="Fig 21: training time seconds, halfspace queries (Forest)"),
+    )
+    # QuadHist slower than PtsHist in 2-D (intersection volumes vs point
+    # membership), as the paper reports.
+    assert fit_s["quadhist_d2"][-1] >= fit_s["ptshist_d2"][-1]

@@ -1,0 +1,70 @@
+"""Figures 24-29: L2 vs L∞ training objectives (Section 4.6).
+
+Trains QuadHist with each objective across model complexities and reports
+train/test RMS and L∞ errors.  Paper shape:
+
+* train error < test error under the matching metric (Figs 24/25, 27/28);
+* the L2-trained model is also decent under L∞ (Fig 29);
+* the L∞-trained model carries no guarantee under RMS (Fig 26) — its RMS
+  is worse than the L2-trained model's.
+"""
+
+import pytest
+
+from repro.core import QuadHist
+from repro.data import WorkloadSpec
+from repro.eval import linf_error, make_workload, rms_error
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import record_table
+
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+TAUS = (0.02, 0.01, 0.005)
+TRAIN_SIZE = 200
+
+
+@pytest.fixture(scope="module")
+def sweep(power_2d, bench_rng):
+    train = make_workload(power_2d, TRAIN_SIZE, bench_rng, spec=SPEC)
+    test = make_workload(power_2d, 120, bench_rng, spec=SPEC)
+    rows = []
+    for objective in ("l2", "linf"):
+        for tau in TAUS:
+            est = QuadHist(tau=tau, objective=objective).fit(
+                train.queries, train.selectivities
+            )
+            train_preds = est.predict_many(train.queries)
+            test_preds = est.predict_many(test.queries)
+            rows.append(
+                {
+                    "objective": objective,
+                    "buckets": est.model_size,
+                    "train_rms": round(rms_error(train_preds, train.selectivities), 5),
+                    "test_rms": round(rms_error(test_preds, test.selectivities), 5),
+                    "train_linf": round(linf_error(train_preds, train.selectivities), 5),
+                    "test_linf": round(linf_error(test_preds, test.selectivities), 5),
+                }
+            )
+    return rows
+
+
+def test_fig24_29_objective_comparison(sweep, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "fig24_29_l2_vs_linf_objectives",
+        format_table(sweep, title="Figs 24-29: L2- vs Linf-trained QuadHist (Power 2D, 200 train queries)"),
+    )
+    l2_rows = [r for r in sweep if r["objective"] == "l2"]
+    linf_rows = [r for r in sweep if r["objective"] == "linf"]
+    for l2, li in zip(l2_rows, linf_rows):
+        # Each objective wins its own metric on the training set.
+        assert li["train_linf"] <= l2["train_linf"] + 1e-6
+        assert l2["train_rms"] <= li["train_rms"] + 1e-6
+        # Train error <= test error under the matching metric (generalisation gap).
+        assert l2["train_rms"] <= l2["test_rms"] + 0.01
+    # Section 4.6's conclusion: L2 is the better overall objective — the
+    # best L2-trained model (over complexities) beats the best Linf-trained
+    # model on test RMS.
+    best_l2 = min(r["test_rms"] for r in l2_rows)
+    best_linf = min(r["test_rms"] for r in linf_rows)
+    assert best_l2 <= best_linf + 1e-6

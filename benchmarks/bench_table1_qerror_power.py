@@ -1,0 +1,55 @@
+"""Table 1: Q-error quantiles on Power — four workload groups.
+
+Paper shape: on Data-driven workloads all methods have small Q-errors; on
+Random/Gaussian workloads over the skewed data, QuickSel's tail Q-errors
+blow up (hundreds to tens of thousands) while QuadHist and PtsHist — whose
+weights are simplex-constrained — stay within small double digits even at
+50 training queries.
+"""
+
+import pytest
+
+from repro.eval.reporting import format_table
+
+from benchmarks._experiments import qerror_rows
+from benchmarks.conftest import record_table
+
+
+@pytest.fixture(scope="module")
+def table(
+    power_datadriven_results,
+    power_random_results,
+    power_random_nonempty_results,
+    power_gaussian_results,
+):
+    rows = []
+    rows += qerror_rows(power_datadriven_results, "data-driven")
+    rows += qerror_rows(power_random_results, "random")
+    rows += qerror_rows(power_random_nonempty_results, "random-nonempty")
+    rows += qerror_rows(power_gaussian_results, "gaussian")
+    return rows
+
+
+def test_table1_qerror_power(table, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "table1_qerror_power",
+        format_table(table, title="Table 1: Q-error quantiles over Power (2D orthogonal ranges)"),
+    )
+    by_key = {(r["workload"], r["train"], r["method"]): r for r in table}
+
+    # Data-driven: every method's median Q-error is near 1 at n=400.
+    for method in ("quadhist", "ptshist", "quicksel"):
+        assert by_key[("data-driven", 400, method)]["q50"] < 1.6
+
+    # Random workload: the simplex-constrained learners' tail stays far
+    # below QuickSel's at the largest shared training size (paper's story).
+    quick_max = by_key[("random", 400, "quicksel")]["MAX"]
+    quad_max = by_key[("random", 400, "quadhist")]["MAX"]
+    assert quad_max <= quick_max * 2
+
+    # Medians improve (or stay near 1) with more training data.
+    assert (
+        by_key[("data-driven", 400, "quadhist")]["q50"]
+        <= by_key[("data-driven", 50, "quadhist")]["q50"] + 0.05
+    )

@@ -1,0 +1,72 @@
+"""Table 3 + Figures 37-45: Forest — Q-errors and the three-workload sweep.
+
+The appendix repeats the Power analysis on Forest: model complexity, RMS
+and training time for Data-driven / Random / Gaussian workloads (Figs
+37-45) and the Q-error quantile table (Table 3).  Same qualitative shapes
+as Power.
+"""
+
+import pytest
+
+from repro.data import WorkloadSpec
+from repro.eval.reporting import format_series, format_table
+
+from benchmarks._experiments import (
+    qerror_rows,
+    series_from_results,
+    sweep_training_sizes,
+)
+from benchmarks.conftest import record_table
+
+WORKLOADS = {
+    "data-driven": WorkloadSpec(query_kind="box", center_kind="data"),
+    "random": WorkloadSpec(query_kind="box", center_kind="random"),
+    "gaussian": WorkloadSpec(query_kind="box", center_kind="gaussian"),
+}
+
+
+@pytest.fixture(scope="module")
+def forest_2d(forest_dataset, bench_rng):
+    return forest_dataset.numeric_projection(2, bench_rng)
+
+
+@pytest.fixture(scope="module")
+def sweeps(forest_2d, bench_rng):
+    return {
+        label: sweep_training_sizes(forest_2d, spec, bench_rng)
+        for label, spec in WORKLOADS.items()
+    }
+
+
+def test_fig37_45_forest_series(sweeps, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    fig_numbers = {"data-driven": (37, 38, 39), "random": (40, 41, 42), "gaussian": (43, 44, 45)}
+    for label, results in sweeps.items():
+        complexity_fig, rms_fig, time_fig = fig_numbers[label]
+        for field, fig in (("buckets", complexity_fig), ("rms", rms_fig), ("fit_s", time_fig)):
+            sizes, series = series_from_results(results, field)
+            record_table(
+                f"fig{fig}_forest_{label}_{field}",
+                format_series(
+                    "train", sizes, series,
+                    title=f"Fig {fig}: {field} (Forest 2D, {label} workload)",
+                ),
+            )
+    # Shape: data-driven RMS improves with training size for our methods.
+    sizes, series = series_from_results(sweeps["data-driven"], "rms")
+    assert series["quadhist"][-1] <= series["quadhist"][0]
+    assert series["ptshist"][-1] <= series["ptshist"][0]
+
+
+def test_table3_qerror_forest(sweeps, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    rows = []
+    for label, results in sweeps.items():
+        rows += qerror_rows(results, label)
+    record_table(
+        "table3_qerror_forest",
+        format_table(rows, title="Table 3: Q-error quantiles over Forest (2D orthogonal ranges)"),
+    )
+    by_key = {(r["workload"], r["train"], r["method"]): r for r in rows}
+    for method in ("quadhist", "ptshist"):
+        assert by_key[("data-driven", 400, method)]["q50"] < 1.6

@@ -1,0 +1,68 @@
+"""Tables 4 & 5 + Figures 46-51: DMV and Census (Data-driven, 2D).
+
+The appendix's categorical-heavy datasets: projections mix categorical
+(equality-predicate) and numeric attributes.  Reported: model complexity,
+RMS, training time (Figs 46-51) and Q-error quantiles (Tables 4, 5).
+Paper shape: PtsHist posts the best tail Q-errors on DMV/Census;
+all methods improve with training size.
+"""
+
+import pytest
+
+from repro.data import WorkloadSpec
+from repro.eval.reporting import format_series, format_table
+
+from benchmarks._experiments import (
+    qerror_rows,
+    series_from_results,
+    sweep_training_sizes,
+)
+from benchmarks.conftest import record_table
+
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def dmv_results(dmv_dataset, bench_rng):
+    data = dmv_dataset.project([10, 0])  # numeric model-year + top categorical
+    return sweep_training_sizes(data, SPEC, bench_rng)
+
+
+@pytest.fixture(scope="module")
+def census_results(census_dataset, bench_rng):
+    data = census_dataset.project([0, 5])  # age + a categorical attribute
+    return sweep_training_sizes(data, SPEC, bench_rng)
+
+
+def test_fig46_48_table4_dmv(dmv_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    for field, fig in (("buckets", 46), ("rms", 47), ("fit_s", 48)):
+        sizes, series = series_from_results(dmv_results, field)
+        record_table(
+            f"fig{fig}_dmv_datadriven_{field}",
+            format_series("train", sizes, series, title=f"Fig {fig}: {field} (DMV 2D, Data-driven)"),
+        )
+    rows = qerror_rows(dmv_results, "data-driven")
+    record_table(
+        "table4_qerror_dmv",
+        format_table(rows, title="Table 4: Q-error quantiles over DMV"),
+    )
+    sizes, series = series_from_results(dmv_results, "rms")
+    assert series["ptshist"][-1] <= series["ptshist"][0]
+
+
+def test_fig49_51_table5_census(census_results, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    for field, fig in (("buckets", 49), ("rms", 50), ("fit_s", 51)):
+        sizes, series = series_from_results(census_results, field)
+        record_table(
+            f"fig{fig}_census_datadriven_{field}",
+            format_series("train", sizes, series, title=f"Fig {fig}: {field} (Census 2D, Data-driven)"),
+        )
+    rows = qerror_rows(census_results, "data-driven")
+    record_table(
+        "table5_qerror_census",
+        format_table(rows, title="Table 5: Q-error quantiles over Census"),
+    )
+    sizes, series = series_from_results(census_results, "rms")
+    assert series["quadhist"][-1] <= series["quadhist"][0]

@@ -1,0 +1,100 @@
+"""Theory benchmark: Theorem 2.1's ingredients, measured.
+
+Not a figure in the paper, but the empirical face of Section 2: estimated
+VC dimensions of the three query classes (they match the textbook values
+the paper cites), the γ-fat-shattering LP on small range sets (Lemma 2.6's
+finiteness / Lemma 2.7's construction), and the predicted training-size
+scaling per query class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Ball, Box
+from repro.learning import (
+    ball_space,
+    ball_training_bound,
+    box_space,
+    convex_polygon_space,
+    delta_distribution_fat_shatters,
+    estimate_vc_dimension,
+    fat_shatters,
+    halfspace_space,
+    halfspace_training_bound,
+    orthogonal_range_training_bound,
+)
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import record_table
+
+
+def test_vc_dimension_estimates(bench_rng, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    rows = []
+    for space, expected in (
+        (box_space(1), 2),
+        (box_space(2), 4),
+        (halfspace_space(2), 3),
+        (halfspace_space(3), 4),
+        (ball_space(2), 3),
+    ):
+        est = estimate_vc_dimension(space, bench_rng, max_k=expected + 2, trials=150)
+        rows.append(
+            {"family": space.name, "dim": space.dim, "estimated": est, "known": expected}
+        )
+        assert est == expected
+    # Convex polygons: the search ceiling is always hit (VC = infinity).
+    poly = estimate_vc_dimension(
+        convex_polygon_space(), bench_rng, max_k=6, pool_size=40, trials=80
+    )
+    rows.append({"family": "convex-polygons", "dim": 2, "estimated": f">={poly}", "known": "inf"})
+    assert poly == 6
+    record_table("theory_vc_dimensions", format_table(rows, title="Estimated vs known VC dimensions"))
+
+
+def test_fat_shattering_constructions(bench_rng, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    # Lemma 2.7 construction: dual-shattered ranges are gamma-shattered for
+    # gamma close to 1/2 (delta distributions).
+    ranges = [Ball([0.4, 0.5], 0.25), Ball([0.6, 0.5], 0.25)]
+    pool = bench_rng.random((4000, 2))
+    assert delta_distribution_fat_shatters(ranges, pool, gamma=0.49)
+    # A range containing every atom has s(R) = 1 for all distributions, so
+    # the all-low pattern is unrealisable: no witness can exceed 1.
+    nested = [Box([0.0, 0.0], [1.0, 1.0]), Box([0.2, 0.2], [0.7, 0.7])]
+    assert not fat_shatters(nested, pool[:200], gamma=0.05)
+
+
+def test_benchmark_fat_shattering_lp(benchmark, bench_rng):
+    ranges = [
+        Box([0.1, 0.2], [0.5, 0.8]),
+        Box([0.4, 0.2], [0.8, 0.8]),
+        Box([0.2, 0.0], [0.6, 0.5]),
+    ]
+    atoms = bench_rng.random((150, 2))
+    result = benchmark.pedantic(
+        lambda: fat_shatters(ranges, atoms, gamma=0.1), rounds=2, iterations=1
+    )
+    assert isinstance(result, bool)
+
+
+def test_training_bound_scaling(table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    """Theorem 2.1's per-class exponents, tabulated."""
+    rows = []
+    for d in (1, 2, 3):
+        rows.append(
+            {
+                "dim": d,
+                "boxes(eps=.1)": f"{orthogonal_range_training_bound(d, 0.1, 0.05):.3g}",
+                "halfspaces(eps=.1)": f"{halfspace_training_bound(d, 0.1, 0.05):.3g}",
+                "balls(eps=.1)": f"{ball_training_bound(d, 0.1, 0.05):.3g}",
+            }
+        )
+    record_table(
+        "theory_training_bounds",
+        format_table(rows, title="Theorem 2.1 training-size bounds (constants = 1)"),
+    )
+    assert orthogonal_range_training_bound(3, 0.1, 0.05) > halfspace_training_bound(
+        3, 0.1, 0.05
+    )

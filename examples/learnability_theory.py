@@ -1,0 +1,81 @@
+"""The theory, executable: VC dimension, fat shattering, sample bounds.
+
+Walks through the machinery of Section 2:
+
+1. certify VC dimensions of the paper's query classes with explicit
+   shattered sets and randomized search;
+2. demonstrate Lemma 2.7's delta-distribution construction (dual
+   shattering => gamma-fat-shattering) and the convex-polygon
+   non-learnability example;
+3. tabulate Theorem 2.1's training-size bounds per query class, next to
+   the empirical training sizes the estimators actually need.
+
+Run:  python examples/learnability_theory.py
+"""
+
+import numpy as np
+
+from repro import QuadHist, WorkloadSpec, generate_workload, label_queries, power_like, rms_error
+from repro.geometry import Ball
+from repro.learning import (
+    ball_space,
+    ball_training_bound,
+    box_space,
+    convex_polygon_space,
+    delta_distribution_fat_shatters,
+    estimate_vc_dimension,
+    halfspace_space,
+    halfspace_training_bound,
+    orthogonal_range_training_bound,
+    shatters,
+    vc_dimension_lower_bound,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    print("1. VC dimensions (Section 2.2)")
+    diamond = np.array([[0.5, 0.1], [0.5, 0.9], [0.1, 0.5], [0.9, 0.5]])
+    print(
+        "   boxes in R^2 shatter the 4-point diamond:",
+        vc_dimension_lower_bound(box_space(2), diamond),
+        "points (VC-dim = 2d = 4)",
+    )
+    for space in (box_space(2), halfspace_space(2), ball_space(2)):
+        est = estimate_vc_dimension(space, rng, max_k=6, trials=150)
+        print(f"   randomized search, {space.name:<12}: estimated VC-dim = {est}")
+
+    print("\n2. Fat shattering (Section 2.3)")
+    discs = [Ball([0.4, 0.5], 0.25), Ball([0.6, 0.5], 0.25)]
+    ok = delta_distribution_fat_shatters(discs, rng.random((4000, 2)), gamma=0.49)
+    print(f"   two overlapping discs gamma-shattered at gamma=0.49: {ok}")
+    circle = np.array(
+        [[0.5 + 0.4 * np.cos(t), 0.5 + 0.4 * np.sin(t)] for t in np.linspace(0, 2 * np.pi, 8, endpoint=False)]
+    )
+    print(
+        "   convex polygons shatter 8 points on a circle:",
+        shatters(convex_polygon_space(), circle),
+        "(VC-dim = inf => NOT learnable, Lemma 2.7)",
+    )
+
+    print("\n3. Theorem 2.1 training-size bounds (constants = 1) vs practice")
+    eps, delta = 0.05, 0.05
+    print(f"   boxes d=2:      n0 ~ {orthogonal_range_training_bound(2, eps, delta):.2e}")
+    print(f"   halfspaces d=2: n0 ~ {halfspace_training_bound(2, eps, delta):.2e}")
+    print(f"   balls d=2:      n0 ~ {ball_training_bound(2, eps, delta):.2e}")
+    print("   (worst-case, distribution-free bounds; real workloads need far fewer:)")
+
+    data = power_like(rows=15_000).project([0, 3])
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    test = generate_workload(150, 2, rng, spec=spec, dataset=data)
+    test_labels = label_queries(data, test)
+    for n in (50, 200, 800):
+        train = generate_workload(n, 2, rng, spec=spec, dataset=data)
+        model = QuadHist(tau=0.005).fit(train, label_queries(data, train))
+        rms = rms_error(model.predict_many(test), test_labels)
+        print(f"   QuadHist, n={n:<4} -> test RMS {rms:.4f}")
+
+
+if __name__ == "__main__":
+    main()

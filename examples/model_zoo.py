@@ -1,0 +1,100 @@
+"""The whole model zoo on one workload — living documentation.
+
+Fits every estimator in the repository on the same 2-D Power workload and
+prints accuracy, model size, training time, and the validity diagnostics
+(monotonicity / consistency violation rates).  One table summarises the
+entire design space:
+
+* the paper's generic learners (QuadHist, PtsHist) and exact ERM,
+* this repository's extensions (KdHist, Gaussian mixture),
+* the query-driven baselines (ISOMER, STHoles, QuickSel, LW regression),
+* the data-driven oracles (AVI product; full data access), and
+* the trivial floors.
+
+Run:  python examples/model_zoo.py   (takes a few minutes on one CPU)
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    ArrangementERM,
+    GaussianMixtureHist,
+    Isomer,
+    KdHist,
+    MeanEstimator,
+    PtsHist,
+    QuadHist,
+    QuickSel,
+    UniformEstimator,
+    WorkloadSpec,
+    generate_workload,
+    label_queries,
+    power_like,
+    q_error_quantiles,
+    rms_error,
+)
+from repro.baselines import AVIProductHistogram, LWRegression, STHoles
+from repro.eval import consistency_violations, monotonicity_violations
+
+TRAIN, TEST = 150, 150
+
+
+def main() -> None:
+    rng = np.random.default_rng(33)
+    data = power_like(rows=15_000).project([0, 3])
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    train = generate_workload(TRAIN, 2, rng, spec=spec, dataset=data)
+    test = generate_workload(TEST, 2, rng, spec=spec, dataset=data)
+    train_s = label_queries(data, train)
+    test_s = label_queries(data, test)
+
+    zoo = [
+        ("quadhist", QuadHist(tau=0.005, max_leaves=600)),
+        ("kdhist", KdHist(tau=0.005, max_leaves=600)),
+        ("ptshist", PtsHist(size=600, seed=0)),
+        ("gmm", GaussianMixtureHist(components=600, seed=0)),
+        ("arrangement-erm", ArrangementERM(mode="discrete", samples=4096)),
+        ("isomer", Isomer(max_buckets=8000)),
+        ("stholes", STHoles(max_buckets=600)),
+        ("quicksel", QuickSel()),
+        ("lw-regression", LWRegression(n_trees=120)),
+        ("avi (data oracle)", AVIProductHistogram(buckets_per_dim=64)),
+        ("uniform", UniformEstimator()),
+        ("mean", MeanEstimator()),
+    ]
+
+    header = (
+        f"{'model':<20}{'buckets':>8}{'fit_s':>8}{'rms':>9}{'q99':>9}"
+        f"{'mono_viol':>11}{'cons_viol':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, model in zoo:
+        start = time.perf_counter()
+        if isinstance(model, AVIProductHistogram):
+            model.fit_data(data.rows)
+        else:
+            model.fit(train, train_s)
+        elapsed = time.perf_counter() - start
+        preds = model.predict_many(test)
+        rms = rms_error(preds, test_s)
+        q99 = q_error_quantiles(preds, test_s)[0.99]
+        mono = monotonicity_violations(model, rng, dim=2, chains=30)
+        cons = consistency_violations(model, rng, dim=2, trials=40, tol=1e-4)
+        print(
+            f"{name:<20}{model.model_size:>8}{elapsed:>8.2f}{rms:>9.4f}{q99:>9.2f}"
+            f"{mono:>11.3f}{cons:>11.3f}"
+        )
+
+    print(
+        "\nReading guide: distribution-based models (top block) show zero"
+        "\nviolations; the regression/mixture-of-signed-weights baselines do"
+        "\nnot — the paper's Section 4 'methods compared' rationale, in one"
+        "\ntable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figure 7, in ASCII: what the learned models actually look like.
+
+Renders (as character grids) the true data density, QuadHist's learned
+bucket densities, and PtsHist's learned point masses, trained on a Random
+query workload over the skewed Power data — the setting where the paper
+shows density "bleeding" into sparse regions that the weight-estimation
+step then corrects.
+
+Run:  python examples/visualize_model.py
+"""
+
+import numpy as np
+
+from repro import (
+    PtsHist,
+    QuadHist,
+    WorkloadSpec,
+    generate_workload,
+    label_queries,
+    power_like,
+)
+
+GRID = 24
+SHADES = " .:-=+*#%@"
+
+
+def ascii_density(values: np.ndarray, title: str) -> str:
+    """Render a GRID x GRID density matrix as shaded ASCII art."""
+    peak = values.max()
+    scaled = values / peak if peak > 0 else values
+    lines = [title]
+    for row in reversed(range(GRID)):  # y grows upward
+        chars = [SHADES[min(int(scaled[col, row] * (len(SHADES) - 1)), len(SHADES) - 1)] for col in range(GRID)]
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def cell_masses(predict_cell) -> np.ndarray:
+    from repro.geometry import Box
+
+    masses = np.zeros((GRID, GRID))
+    for i in range(GRID):
+        for j in range(GRID):
+            cell = Box([i / GRID, j / GRID], [(i + 1) / GRID, (j + 1) / GRID])
+            masses[i, j] = predict_cell(cell)
+    return masses
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    data = power_like(rows=15_000).project([0, 3])
+    spec = WorkloadSpec(query_kind="box", center_kind="random")
+    train = generate_workload(300, 2, rng, spec=spec, dataset=data)
+    labels = label_queries(data, train)
+
+    quadhist = QuadHist(tau=0.005).fit(train, labels)
+    ptshist = PtsHist(size=1000, seed=0).fit(train, labels)
+
+    # True density: the fraction of rows per grid cell.
+    true = np.zeros((GRID, GRID))
+    cols = np.minimum((data.rows[:, 0] * GRID).astype(int), GRID - 1)
+    rows_ = np.minimum((data.rows[:, 1] * GRID).astype(int), GRID - 1)
+    for c, r in zip(cols, rows_):
+        true[c, r] += 1
+    true /= true.sum()
+
+    print(ascii_density(true, "TRUE data distribution (Power, attrs 0 x 3):"))
+    print()
+    print(
+        ascii_density(
+            cell_masses(quadhist.predict),
+            f"QuadHist learned mass per cell ({quadhist.model_size} buckets, Random workload):",
+        )
+    )
+    print()
+    print(
+        ascii_density(
+            cell_masses(ptshist.predict),
+            f"PtsHist learned mass per cell ({ptshist.model_size} points, Random workload):",
+        )
+    )
+    print(
+        "\nDespite training on queries that are independent of the data,\n"
+        "the weight-estimation step concentrates mass where the data is —\n"
+        "the Section 4.2 observation behind Figure 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

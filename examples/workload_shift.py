@@ -1,0 +1,53 @@
+"""Workload shift: what happens when train != test query distribution.
+
+Section 4.3 of the paper: learning theory promises nothing when the test
+workload differs from the training workload, but in practice overlap in
+data-space coverage still buys accuracy.  This example trains QuadHist on
+shifted-Gaussian workloads and evaluates across all train/test mean
+combinations, printing the Figure 16 heatmap.
+
+Run:  python examples/workload_shift.py
+"""
+
+import numpy as np
+
+from repro import QuadHist, label_queries, power_like, rms_error, shifted_gaussian_workload
+
+MEANS = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    data = power_like(rows=15_000).project([0, 3])
+
+    models = {}
+    tests = {}
+    for mean in MEANS:
+        train = shifted_gaussian_workload(200, 2, mean, rng, dataset=data)
+        models[mean] = QuadHist(tau=0.005).fit(train, label_queries(data, train))
+        test = shifted_gaussian_workload(120, 2, mean, rng, dataset=data)
+        tests[mean] = (test, label_queries(data, test))
+
+    header = "test\\train " + "".join(f"{m:>9}" for m in MEANS)
+    print("RMS error by train/test Gaussian mean (QuadHist, Power 2D):\n")
+    print(header)
+    diag, offdiag = [], []
+    for test_mean in MEANS:
+        queries, labels = tests[test_mean]
+        cells = []
+        for train_mean in MEANS:
+            rms = rms_error(models[train_mean].predict_many(queries), labels)
+            cells.append(rms)
+            (diag if train_mean == test_mean else offdiag).append(rms)
+        print(f"{test_mean:>10} " + "".join(f"{c:>9.4f}" for c in cells))
+
+    print(
+        f"\nmatched train/test mean RMS:   {np.mean(diag):.4f}"
+        f"\nmismatched train/test mean RMS: {np.mean(offdiag):.4f}"
+        "\n\nThe diagonal wins — but mismatched workloads with overlapping"
+        "\ncoverage still do far better than no model at all (Section 4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The container used for this reproduction has no ``wheel`` package and no
+network access, which breaks PEP-517 editable installs
+(``pip install -e .`` fails at ``bdist_wheel``).  This shim lets
+``python setup.py develop`` provide the editable install instead; all real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

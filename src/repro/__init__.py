@@ -1,0 +1,88 @@
+"""repro — learned selectivity estimation for range queries.
+
+A from-scratch reproduction of *"Selectivity Functions of Range Queries
+are Learnable"* (Hu, Liu, Xiu, Agarwal, Panigrahi, Roy, Yang — SIGMOD
+2022): the learning-theoretic framework (Section 2), the two generic
+query-driven learners QuadHist and PtsHist (Section 3), the ISOMER and
+QuickSel baselines, and the full experimental harness (Section 4).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import QuadHist, power_like, generate_workload, label_queries
+>>> rng = np.random.default_rng(0)
+>>> data = power_like(rows=10_000).project([0, 3])      # 2-D projection
+>>> queries = generate_workload(200, 2, rng, dataset=data)
+>>> model = QuadHist(tau=0.01).fit(queries, label_queries(data, queries))
+>>> round(model.predict(queries[0]), 2) == round(label_queries(data, queries[:1])[0], 2)
+True
+"""
+
+from repro.core import (
+    ArrangementERM,
+    GaussianMixtureHist,
+    KdHist,
+    PtsHist,
+    QuadHist,
+    SelectivityEstimator,
+)
+from repro.baselines import Isomer, MeanEstimator, QuickSel, UniformEstimator
+from repro.data import (
+    Dataset,
+    census_like,
+    dmv_like,
+    forest_like,
+    generate_workload,
+    label_queries,
+    load_dataset,
+    power_like,
+    shifted_gaussian_workload,
+    true_selectivity,
+    WorkloadSpec,
+)
+from repro.distributions import DiscreteDistribution, HistogramDistribution
+from repro.eval import linf_error, q_error_quantiles, rms_error
+from repro.geometry import Ball, Box, Halfspace, Range, unit_box
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # learners
+    "SelectivityEstimator",
+    "QuadHist",
+    "PtsHist",
+    "ArrangementERM",
+    "GaussianMixtureHist",
+    "KdHist",
+    # baselines
+    "Isomer",
+    "QuickSel",
+    "UniformEstimator",
+    "MeanEstimator",
+    # data
+    "Dataset",
+    "power_like",
+    "forest_like",
+    "census_like",
+    "dmv_like",
+    "load_dataset",
+    "WorkloadSpec",
+    "generate_workload",
+    "shifted_gaussian_workload",
+    "true_selectivity",
+    "label_queries",
+    # models
+    "HistogramDistribution",
+    "DiscreteDistribution",
+    # geometry
+    "Range",
+    "Box",
+    "Halfspace",
+    "Ball",
+    "unit_box",
+    # metrics
+    "rms_error",
+    "linf_error",
+    "q_error_quantiles",
+]

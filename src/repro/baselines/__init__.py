@@ -1,0 +1,46 @@
+"""Baseline estimators the paper compares against.
+
+* :class:`~repro.baselines.isomer.Isomer` — ISOMER [Srivastava et al.,
+  ICDE 2006]: STHoles-style hole-drilling buckets + maximum-entropy
+  weights.  The most accurate baseline in the paper, but slow and limited
+  to orthogonal ranges in low dimension.
+* :class:`~repro.baselines.quicksel.QuickSel` — QuickSel [Park et al.,
+  SIGMOD 2020]: a mixture of uniform kernels whose weights solve a
+  variance-minimising QP with selectivity-consistency constraints.  Weights
+  may be negative, which is the source of the non-monotone estimates the
+  paper's Q-error tables expose.
+* :mod:`~repro.baselines.trivial` — sanity floors (uniform-density and
+  train-mean predictors).
+
+All are reimplemented from their published descriptions; like the paper's
+comparison, they see only the query workload, never the data.
+"""
+
+from repro.baselines.isomer import Isomer
+from repro.baselines.stholes import STHoles
+from repro.baselines.classic import (
+    AVIProductHistogram,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    VOptimalHistogram,
+    WaveletHistogram,
+)
+from repro.baselines.quicksel import QuickSel
+from repro.baselines.regression import GradientBoostedTrees, LWRegression, RegressionTree
+from repro.baselines.trivial import MeanEstimator, UniformEstimator
+
+__all__ = [
+    "Isomer",
+    "STHoles",
+    "QuickSel",
+    "MeanEstimator",
+    "UniformEstimator",
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "VOptimalHistogram",
+    "WaveletHistogram",
+    "LWRegression",
+    "RegressionTree",
+    "GradientBoostedTrees",
+    "AVIProductHistogram",
+]

@@ -1,0 +1,331 @@
+"""Classic *data-driven* 1-D histograms — oracle baselines.
+
+The paper's comparison is restricted to query-driven methods (models that
+see only workload feedback).  These classical estimators see the *data*
+instead, so they are not part of the paper's fair comparison — we include
+them as **oracle baselines**: the accuracy a traditional optimizer could
+reach on 1-D range predicates with full data access, a useful yardstick
+next to the learned, feedback-only models.
+
+* :class:`EquiWidthHistogram` — fixed-width buckets (the simplest
+  optimizer statistic).
+* :class:`EquiDepthHistogram` — quantile buckets [Piatetsky-Shapiro &
+  Connell 1984]; PostgreSQL's default.
+* :class:`VOptimalHistogram` — minimum weighted-variance bucketing via the
+  classical O(n^2 * k) dynamic program [Jagadish et al. 1998], computed on
+  a value grid.
+* :class:`WaveletHistogram` — Haar-wavelet synopsis [Matias, Vitter &
+  Wang 1998; the paper's reference 29]: keep the largest-magnitude
+  (normalised) coefficients of the cumulative-frequency-domain transform.
+
+All implement :class:`~repro.core.estimator.SelectivityEstimator` so they
+drop into the same harness, but ``fit_data`` must be called with the data
+column (their ``_fit`` from query feedback raises: they are *not*
+query-driven).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.core.workload import TrainingSet
+from repro.geometry.ranges import Box, Range
+
+__all__ = [
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "VOptimalHistogram",
+    "WaveletHistogram",
+    "AVIProductHistogram",
+]
+
+
+class _DataDriven1D(SelectivityEstimator):
+    """Shared scaffolding: fit from a data column, answer 1-D box queries."""
+
+    def __init__(self):
+        super().__init__()
+        self._edges: np.ndarray | None = None  # bucket boundaries, len k+1
+        self._masses: np.ndarray | None = None  # bucket probability masses
+
+    def fit_data(self, values: np.ndarray) -> "_DataDriven1D":
+        """Build the histogram from a 1-D data column in [0, 1]."""
+        column = np.asarray(values, dtype=float).ravel()
+        if column.size == 0:
+            raise ValueError("empty data column")
+        if not np.all(np.isfinite(column)):
+            raise ValueError("data must be finite")
+        if column.min() < -1e-9 or column.max() > 1 + 1e-9:
+            raise ValueError("data must be normalised into [0, 1]")
+        self._build(np.clip(column, 0.0, 1.0))
+        self._fitted = True
+        return self
+
+    def _build(self, column: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _fit(self, training: TrainingSet) -> None:
+        raise TypeError(
+            f"{type(self).__name__} is data-driven: call fit_data(column), "
+            "not fit(queries, selectivities)"
+        )
+
+    def _predict_one(self, query: Range) -> float:
+        if not isinstance(query, Box) or query.dim != 1:
+            raise TypeError("data-driven 1-D histograms answer 1-D Box queries only")
+        lo = float(query.lows[0])
+        hi = float(query.highs[0])
+        total = 0.0
+        for left, right, mass in zip(self._edges[:-1], self._edges[1:], self._masses):
+            width = right - left
+            if width <= 0:
+                continue
+            overlap = max(0.0, min(hi, right) - max(lo, left))
+            if overlap > 0:
+                total += mass * overlap / width
+        return total
+
+    @property
+    def model_size(self) -> int:
+        self._check_fitted()
+        return int(self._masses.shape[0])
+
+
+class EquiWidthHistogram(_DataDriven1D):
+    """Fixed-width buckets over [0, 1]."""
+
+    def __init__(self, buckets: int = 50):
+        super().__init__()
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.buckets = int(buckets)
+
+    def _build(self, column: np.ndarray) -> None:
+        counts, edges = np.histogram(column, bins=self.buckets, range=(0.0, 1.0))
+        self._edges = edges
+        self._masses = counts / column.size
+
+
+class EquiDepthHistogram(_DataDriven1D):
+    """Quantile buckets: equal tuple counts per bucket."""
+
+    def __init__(self, buckets: int = 50):
+        super().__init__()
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.buckets = int(buckets)
+
+    def _build(self, column: np.ndarray) -> None:
+        quantiles = np.linspace(0.0, 1.0, self.buckets + 1)
+        edges = np.quantile(column, quantiles)
+        edges[0] = 0.0
+        edges[-1] = 1.0
+        # Heavy ties produce duplicate quantiles; collapse them so every
+        # bucket has positive width (masses are then recounted exactly —
+        # np.histogram treats the final bin as closed).
+        edges = np.unique(np.maximum.accumulate(edges))
+        if edges.shape[0] < 2:
+            edges = np.array([0.0, 1.0])
+        counts, _ = np.histogram(column, bins=edges)
+        self._edges = edges
+        self._masses = counts / column.size
+
+
+class VOptimalHistogram(_DataDriven1D):
+    """Minimum weighted-variance bucketing (classical DP).
+
+    The column is first discretised onto a uniform value grid of
+    ``grid`` cells; the DP then finds the contiguous partition of the grid
+    into ``buckets`` pieces minimising the total within-bucket variance of
+    cell frequencies — the V-optimal criterion of Jagadish et al. (1998),
+    solved exactly in ``O(grid^2 * buckets)``.
+    """
+
+    def __init__(self, buckets: int = 20, grid: int = 200):
+        super().__init__()
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        if grid < buckets:
+            raise ValueError(f"grid ({grid}) must be >= buckets ({buckets})")
+        self.buckets = int(buckets)
+        self.grid = int(grid)
+
+    def _build(self, column: np.ndarray) -> None:
+        counts, grid_edges = np.histogram(column, bins=self.grid, range=(0.0, 1.0))
+        freq = counts.astype(float)
+        n = self.grid
+        k = min(self.buckets, n)
+        prefix = np.concatenate([[0.0], np.cumsum(freq)])
+        prefix_sq = np.concatenate([[0.0], np.cumsum(freq**2)])
+
+        def sse(i: int, j: int) -> float:
+            """Sum of squared errors of cells i..j-1 vs their mean."""
+            total = prefix[j] - prefix[i]
+            total_sq = prefix_sq[j] - prefix_sq[i]
+            length = j - i
+            return total_sq - total * total / length
+
+        INF = float("inf")
+        cost = np.full((k + 1, n + 1), INF)
+        split = np.zeros((k + 1, n + 1), dtype=int)
+        cost[0, 0] = 0.0
+        for b in range(1, k + 1):
+            for j in range(b, n + 1):
+                best = INF
+                best_i = b - 1
+                for i in range(b - 1, j):
+                    if cost[b - 1, i] == INF:
+                        continue
+                    candidate = cost[b - 1, i] + sse(i, j)
+                    if candidate < best:
+                        best = candidate
+                        best_i = i
+                cost[b, j] = best
+                split[b, j] = best_i
+
+        # Recover bucket boundaries.
+        boundaries = [n]
+        j = n
+        for b in range(k, 0, -1):
+            j = split[b, j]
+            boundaries.append(j)
+        boundaries.reverse()
+        edges = grid_edges[boundaries]
+        masses = np.array(
+            [
+                (prefix[j] - prefix[i]) / column.size
+                for i, j in zip(boundaries[:-1], boundaries[1:])
+            ]
+        )
+        self._edges = edges
+        self._masses = masses
+
+
+class WaveletHistogram(_DataDriven1D):
+    """Haar-wavelet synopsis of the frequency vector (reference [29]).
+
+    The frequency vector over a power-of-two grid is Haar-transformed
+    (with the standard level normalisation); all but the
+    ``coefficients`` largest-magnitude normalised coefficients are zeroed;
+    the inverse transform (clipped at 0, renormalised) gives the
+    approximate frequency vector used for estimation.
+    """
+
+    def __init__(self, coefficients: int = 32, grid: int = 256):
+        super().__init__()
+        if coefficients < 1:
+            raise ValueError(f"coefficients must be >= 1, got {coefficients}")
+        if grid & (grid - 1) != 0:
+            raise ValueError(f"grid must be a power of two, got {grid}")
+        self.coefficients = int(coefficients)
+        self.grid = int(grid)
+
+    @staticmethod
+    def _haar_forward(vector: np.ndarray) -> np.ndarray:
+        data = vector.astype(float).copy()
+        output = data.copy()
+        length = data.shape[0]
+        while length > 1:
+            half = length // 2
+            sums = (data[0:length:2] + data[1:length:2]) / np.sqrt(2.0)
+            diffs = (data[0:length:2] - data[1:length:2]) / np.sqrt(2.0)
+            output[:half] = sums
+            output[half:length] = diffs
+            data[:length] = output[:length]
+            length = half
+        return data
+
+    @staticmethod
+    def _haar_inverse(coeffs: np.ndarray) -> np.ndarray:
+        data = coeffs.astype(float).copy()
+        length = 2
+        n = data.shape[0]
+        while length <= n:
+            half = length // 2
+            sums = data[:half].copy()
+            diffs = data[half:length].copy()
+            data[0:length:2] = (sums + diffs) / np.sqrt(2.0)
+            data[1:length:2] = (sums - diffs) / np.sqrt(2.0)
+            length *= 2
+        return data
+
+    def _build(self, column: np.ndarray) -> None:
+        counts, edges = np.histogram(column, bins=self.grid, range=(0.0, 1.0))
+        freq = counts / column.size
+        transformed = self._haar_forward(freq)
+        keep = min(self.coefficients, self.grid)
+        threshold_idx = np.argsort(np.abs(transformed))[::-1][:keep]
+        sparse = np.zeros_like(transformed)
+        sparse[threshold_idx] = transformed[threshold_idx]
+        approx = np.maximum(self._haar_inverse(sparse), 0.0)
+        total = approx.sum()
+        if total > 0:
+            approx /= total
+        self._edges = edges
+        self._masses = approx
+
+    @property
+    def model_size(self) -> int:
+        self._check_fitted()
+        return self.coefficients
+
+
+class AVIProductHistogram(SelectivityEstimator):
+    """Attribute-value-independence estimator: product of 1-D marginals.
+
+    The multi-dimensional workhorse of classical optimizers [Poosala &
+    Ioannidis 1997, the paper's reference 38, studied exactly to expose
+    this assumption]: keep an equi-depth histogram per attribute and
+    estimate a conjunctive range as the *product* of per-attribute
+    selectivities.  Exact when attributes are independent; on correlated
+    data the product under- or over-estimates — the classical failure mode
+    that motivates both multi-dimensional histograms and the learned
+    models in this repository.
+
+    Data-driven (an oracle baseline): call ``fit_data(rows)`` with the
+    full table.
+    """
+
+    def __init__(self, buckets_per_dim: int = 64):
+        super().__init__()
+        if buckets_per_dim < 1:
+            raise ValueError(f"buckets_per_dim must be >= 1, got {buckets_per_dim}")
+        self.buckets_per_dim = int(buckets_per_dim)
+        self._marginals: list[EquiDepthHistogram] | None = None
+
+    def fit_data(self, rows: np.ndarray) -> "AVIProductHistogram":
+        """Build per-attribute marginals from the data table."""
+        data = np.asarray(rows, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"rows must be a non-empty (n, d) array, got {data.shape}")
+        self._marginals = [
+            EquiDepthHistogram(buckets=self.buckets_per_dim).fit_data(data[:, axis])
+            for axis in range(data.shape[1])
+        ]
+        self._fitted = True
+        return self
+
+    def _fit(self, training: TrainingSet) -> None:
+        raise TypeError(
+            "AVIProductHistogram is data-driven: call fit_data(rows), "
+            "not fit(queries, selectivities)"
+        )
+
+    def _predict_one(self, query: Range) -> float:
+        if not isinstance(query, Box) or query.dim != len(self._marginals):
+            raise TypeError(
+                f"AVIProductHistogram answers {len(self._marginals)}-D Box queries only"
+            )
+        product = 1.0
+        for axis, marginal in enumerate(self._marginals):
+            slice_1d = Box([query.lows[axis]], [query.highs[axis]])
+            product *= marginal.predict(slice_1d)
+            if product == 0.0:
+                break
+        return product
+
+    @property
+    def model_size(self) -> int:
+        self._check_fitted()
+        return sum(m.model_size for m in self._marginals)

@@ -1,0 +1,243 @@
+"""Query-feature regression baseline (the paper's Table 2 third column).
+
+The learned-cardinality literature contains a whole family of *regression*
+models mapping query feature vectors to selectivities — LW [Dutt et al.,
+VLDB 2019] with gradient-boosted trees being the canonical lightweight
+one.  The paper excludes them from its comparison because a regression
+model "may not correspond to any valid hypothesis" (no underlying data
+distribution ⟹ no monotonicity/consistency guarantee).  We include one so
+that exclusion is *checkable*: :mod:`repro.eval.diagnostics` measures its
+violations next to the distribution-based learners' zeros.
+
+Since this repository allows no ML-framework dependencies, the model is
+built from scratch:
+
+* :class:`RegressionTree` — CART with variance-reduction splits, computed
+  exactly via prefix sums over sorted feature values,
+* :class:`GradientBoostedTrees` — squared-loss boosting on residuals,
+* :class:`LWRegression` — the estimator: featurises box queries as
+  ``[lows, highs, widths, center, log-volume]`` and regresses
+  ``log(selectivity + floor)`` (the LW paper's target transform).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.core.workload import TrainingSet
+from repro.geometry.ranges import Box, Range
+
+__all__ = ["RegressionTree", "GradientBoostedTrees", "LWRegression", "featurize_box"]
+
+
+# ---------------------------------------------------------------------------
+# CART regression tree
+# ---------------------------------------------------------------------------
+
+
+class _TreeNode:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value: float):
+        self.feature: int | None = None
+        self.threshold = 0.0
+        self.left: "_TreeNode | None" = None
+        self.right: "_TreeNode | None" = None
+        self.value = value
+
+
+class RegressionTree:
+    """Binary regression tree minimising within-leaf variance.
+
+    Exact best-split search: for every feature, candidates are midpoints
+    of consecutive sorted values; the variance reduction of every
+    candidate is evaluated in one vectorised prefix-sum pass.
+    """
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 3):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self._root: _TreeNode | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ValueError(f"bad shapes: features {x.shape}, targets {y.shape}")
+        if x.shape[0] == 0:
+            raise ValueError("empty training set")
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(float(y.mean()))
+        n = y.shape[0]
+        if depth >= self.max_depth or n < 2 * self.min_samples_leaf or np.ptp(y) == 0.0:
+            return node
+        best_gain = 0.0
+        best: tuple[int, float] | None = None
+        base_sse = float(np.sum((y - y.mean()) ** 2))
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            # Candidate split after position i (left = ys[:i+1]).
+            prefix = np.cumsum(ys)
+            prefix_sq = np.cumsum(ys**2)
+            total = prefix[-1]
+            total_sq = prefix_sq[-1]
+            sizes_left = np.arange(1, n)
+            sizes_right = n - sizes_left
+            sum_left = prefix[:-1]
+            sum_right = total - sum_left
+            sse_left = prefix_sq[:-1] - sum_left**2 / sizes_left
+            sse_right = (total_sq - prefix_sq[:-1]) - sum_right**2 / sizes_right
+            gains = base_sse - (sse_left + sse_right)
+            # Valid splits: leaf sizes respected and distinct feature values.
+            valid = (
+                (sizes_left >= self.min_samples_leaf)
+                & (sizes_right >= self.min_samples_leaf)
+                & (np.diff(xs) > 0)
+            )
+            if not valid.any():
+                continue
+            gains = np.where(valid, gains, -np.inf)
+            idx = int(np.argmax(gains))
+            if gains[idx] > best_gain + 1e-12:
+                best_gain = float(gains[idx])
+                best = (feature, float(0.5 * (xs[idx] + xs[idx + 1])))
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(features, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while node.feature is not None:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out[0] if single else out
+
+
+class GradientBoostedTrees:
+    """Squared-loss gradient boosting over :class:`RegressionTree`s."""
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        min_samples_leaf: int = 3,
+    ):
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        self.n_trees = int(n_trees)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self._base = 0.0
+        self._trees: list[RegressionTree] = []
+        self.train_errors: list[float] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostedTrees":
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        self._base = float(y.mean())
+        self._trees = []
+        self.train_errors = []
+        current = np.full_like(y, self._base)
+        for _ in range(self.n_trees):
+            residuals = y - current
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            ).fit(x, residuals)
+            current = current + self.learning_rate * tree.predict(x)
+            self._trees.append(tree)
+            self.train_errors.append(float(np.mean((y - current) ** 2)))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        x = np.asarray(features, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = np.full(x.shape[0], self._base)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(x)
+        return out[0] if single else out
+
+
+# ---------------------------------------------------------------------------
+# The selectivity estimator
+# ---------------------------------------------------------------------------
+
+
+def featurize_box(query: Box) -> np.ndarray:
+    """LW-style feature vector of an orthogonal range query."""
+    widths = query.widths
+    log_volume = np.log(query.volume() + 1e-12)
+    return np.concatenate([query.lows, query.highs, widths, query.center(), [log_volume]])
+
+
+class LWRegression(SelectivityEstimator):
+    """Lightweight regression estimator (query features -> selectivity).
+
+    Regresses ``log(s + floor)`` with gradient-boosted trees, the LW
+    recipe.  Being a regression model rather than a distribution, it has
+    *no* monotonicity/consistency guarantee — this repository includes it
+    precisely so that difference is measurable
+    (:mod:`repro.eval.diagnostics`).
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 150,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        log_floor: float = 1e-5,
+    ):
+        super().__init__()
+        if log_floor <= 0:
+            raise ValueError(f"log_floor must be positive, got {log_floor}")
+        self.log_floor = float(log_floor)
+        self._model = GradientBoostedTrees(
+            n_trees=n_trees, learning_rate=learning_rate, max_depth=max_depth
+        )
+
+    def _fit(self, training: TrainingSet) -> None:
+        if not all(isinstance(q, Box) for q in training.queries):
+            raise TypeError("LWRegression supports orthogonal-range (Box) queries only")
+        features = np.stack([featurize_box(q) for q in training.queries])
+        targets = np.log(training.selectivities + self.log_floor)
+        self._model.fit(features, targets)
+
+    def _predict_one(self, query: Range) -> float:
+        if not isinstance(query, Box):
+            raise TypeError("LWRegression supports orthogonal-range (Box) queries only")
+        log_estimate = float(self._model.predict(featurize_box(query)))
+        return float(np.exp(log_estimate) - self.log_floor)
+
+    @property
+    def model_size(self) -> int:
+        self._check_fitted()
+        return len(self._model._trees)

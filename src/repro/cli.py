@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Two subcommands cover the paper's workflow end to end:
+
+``generate``
+    Build a synthetic dataset, draw a labeled query workload from it, and
+    save the workload to JSON (:mod:`repro.data.io` format).
+
+``evaluate``
+    Train one or more estimators on a workload (from a file, or generated
+    on the fly) and print the evaluation table: model size, fit time,
+    RMS / L∞ errors and Q-error quantiles.
+
+Examples
+--------
+::
+
+    python -m repro.cli generate --dataset power --attrs 0,3 \\
+        --queries 200 --out train.json
+    python -m repro.cli evaluate --dataset power --attrs 0,3 \\
+        --train 200 --test 150 --methods quadhist,ptshist,quicksel
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines import Isomer, MeanEstimator, QuickSel, UniformEstimator
+from repro.core import GaussianMixtureHist, PtsHist, QuadHist
+from repro.data import (
+    WorkloadSpec,
+    load_dataset,
+    load_workload,
+    save_workload,
+)
+from repro.eval import evaluate_estimator, format_table, make_workload
+from repro.eval.harness import Workload
+
+__all__ = ["main", "build_parser"]
+
+_METHODS = {
+    "quadhist": lambda n: QuadHist(tau=0.005, max_leaves=4 * n),
+    "ptshist": lambda n: PtsHist(size=4 * n, seed=0),
+    "gmm": lambda n: GaussianMixtureHist(components=4 * n, seed=0),
+    "isomer": lambda n: Isomer(max_buckets=10_000),
+    "quicksel": lambda n: QuickSel(),
+    "uniform": lambda n: UniformEstimator(),
+    "mean": lambda n: MeanEstimator(),
+}
+
+
+def _parse_attrs(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part != ""]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid attribute list {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learned selectivity estimation (SIGMOD 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--dataset",
+        choices=["power", "forest", "census", "dmv"],
+        default="power",
+        help="synthetic evaluation dataset",
+    )
+    common.add_argument("--rows", type=int, default=25_000, help="dataset size")
+    common.add_argument(
+        "--attrs",
+        type=_parse_attrs,
+        default=[0, 3],
+        help="comma-separated attribute indices to project on",
+    )
+    common.add_argument(
+        "--query-kind", choices=["box", "ball", "halfspace"], default="box"
+    )
+    common.add_argument(
+        "--center-kind", choices=["data", "random", "gaussian"], default="data"
+    )
+    common.add_argument("--seed", type=int, default=0)
+
+    gen = sub.add_parser("generate", parents=[common], help="generate a labeled workload")
+    gen.add_argument("--queries", type=int, default=200)
+    gen.add_argument("--out", required=True, help="output JSON path")
+
+    ev = sub.add_parser("evaluate", parents=[common], help="train and evaluate estimators")
+    ev.add_argument("--train", type=int, default=200, help="training-set size")
+    ev.add_argument("--test", type=int, default=150, help="test-set size")
+    ev.add_argument(
+        "--train-file", help="JSON workload to train on (overrides --train)"
+    )
+    ev.add_argument("--test-file", help="JSON workload to test on (overrides --test)")
+    ev.add_argument(
+        "--methods",
+        default="quadhist,ptshist,quicksel",
+        help="comma-separated subset of: " + ",".join(sorted(_METHODS)),
+    )
+    return parser
+
+
+def _setup(args) -> tuple:
+    dataset = load_dataset(args.dataset, rows=args.rows).project(args.attrs)
+    spec = WorkloadSpec(query_kind=args.query_kind, center_kind=args.center_kind)
+    rng = np.random.default_rng(args.seed)
+    return dataset, spec, rng
+
+
+def _cmd_generate(args) -> int:
+    dataset, spec, rng = _setup(args)
+    workload = make_workload(dataset, args.queries, rng, spec=spec)
+    save_workload(args.out, workload.queries, workload.selectivities)
+    print(
+        f"wrote {len(workload)} labeled {args.query_kind} queries "
+        f"({args.center_kind} centers, {dataset.name}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    dataset, spec, rng = _setup(args)
+    if args.train_file:
+        queries, labels = load_workload(args.train_file)
+        train = Workload(queries, labels)
+    else:
+        train = make_workload(dataset, args.train, rng, spec=spec)
+    if args.test_file:
+        queries, labels = load_workload(args.test_file)
+        test = Workload(queries, labels)
+    else:
+        test = make_workload(dataset, args.test, rng, spec=spec)
+
+    method_names = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in method_names if m not in _METHODS]
+    if unknown:
+        print(f"error: unknown method(s) {unknown}; choose from {sorted(_METHODS)}", file=sys.stderr)
+        return 2
+
+    rows = []
+    for name in method_names:
+        estimator = _METHODS[name](len(train))
+        result = evaluate_estimator(name, estimator, train, test)
+        rows.append(result.row())
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{dataset.name}: {args.query_kind} queries, {args.center_kind} centers "
+                f"(train={len(train)}, test={len(test)})"
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    return _cmd_evaluate(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: generic learned selectivity estimators.
+
+* :class:`~repro.core.estimator.SelectivityEstimator` — the public
+  fit/predict API shared by our learners and the baselines.
+* :class:`~repro.core.quadhist.QuadHist` — Section 3.2's quadtree histogram.
+* :class:`~repro.core.ptshist.PtsHist` — Section 3.3's discrete model.
+* :class:`~repro.core.arrangement_erm.ArrangementERM` — Section 3.1's
+  arrangement-based exact empirical-risk minimiser (Lemma 3.1).
+"""
+
+from repro.core.estimator import SelectivityEstimator
+from repro.core.quadhist import QuadHist
+from repro.core.ptshist import PtsHist
+from repro.core.arrangement_erm import ArrangementERM
+from repro.core.gmm import GaussianMixtureHist
+from repro.core.kdhist import KdHist
+from repro.core.workload import LabeledQuery, TrainingSet
+
+__all__ = [
+    "SelectivityEstimator",
+    "QuadHist",
+    "PtsHist",
+    "ArrangementERM",
+    "GaussianMixtureHist",
+    "KdHist",
+    "LabeledQuery",
+    "TrainingSet",
+]

@@ -1,0 +1,81 @@
+"""Public estimator API.
+
+Every learner — QuadHist, PtsHist, the arrangement ERM, and the ISOMER /
+QuickSel baselines — implements the same sklearn-flavoured interface:
+
+.. code-block:: python
+
+    est = QuadHist(tau=0.01)
+    est.fit(train_queries, train_selectivities)
+    predictions = est.predict_many(test_queries)
+
+All estimators are *query-driven*: ``fit`` sees only queries and their
+observed selectivities, never the underlying data (the paper's "fair
+comparison" constraint in Section 4).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import TrainingSet
+from repro.geometry.ranges import Range
+
+__all__ = ["SelectivityEstimator", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict`` is called before ``fit``."""
+
+
+class SelectivityEstimator(abc.ABC):
+    """Base class for query-driven selectivity estimators."""
+
+    def __init__(self):
+        self._fitted = False
+
+    def fit(
+        self, queries: Sequence[Range], selectivities: Sequence[float]
+    ) -> "SelectivityEstimator":
+        """Learn a model from ``(query, selectivity)`` pairs.
+
+        Returns ``self`` for chaining.
+        """
+        training = TrainingSet(queries, selectivities)
+        self._fit(training)
+        self._fitted = True
+        return self
+
+    @abc.abstractmethod
+    def _fit(self, training: TrainingSet) -> None:
+        """Subclass hook: fit from a validated training set."""
+
+    @abc.abstractmethod
+    def _predict_one(self, query: Range) -> float:
+        """Subclass hook: estimate the selectivity of one query."""
+
+    def predict(self, query: Range) -> float:
+        """Estimated selectivity of ``query`` in ``[0, 1]``."""
+        self._check_fitted()
+        return float(np.clip(self._predict_one(query), 0.0, 1.0))
+
+    def predict_many(self, queries: Sequence[Range]) -> np.ndarray:
+        """Estimated selectivities for a sequence of queries."""
+        self._check_fitted()
+        return np.array([self.predict(q) for q in queries])
+
+    @property
+    @abc.abstractmethod
+    def model_size(self) -> int:
+        """Model complexity: the number of buckets / mixture components."""
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before predicting")
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"{type(self).__name__}({state})"

@@ -1,0 +1,137 @@
+"""PtsHist — the discrete-distribution learner of Section 3.3.
+
+Designed for higher dimensions, where boxes are poor representations of
+data distributions and box∩range volumes get expensive.  Buckets are
+*points* in the data space:
+
+1. ``interior_fraction * k`` points are drawn from the interiors of the
+   training ranges, each range receiving a share of points proportional to
+   its observed selectivity (``s_i / Σ_j s_j``);
+2. the remaining points are drawn uniformly from the whole domain, so
+   density can be allocated to regions no training query covers.
+
+Sampling from non-box ranges uses the rejection sampler of Appendix A.2.
+Weights are then fitted by the same generic simplex-constrained least
+squares (Eq. 8) on the 0/1 membership design matrix (Eq. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.core.workload import TrainingSet
+from repro.distributions.discrete import DiscreteDistribution
+from repro.geometry.ranges import Box, Range, unit_box
+from repro.geometry.sampling import rejection_sample, sample_in_box
+from repro.solvers.linf import fit_simplex_weights_linf
+from repro.solvers.simplex_ls import fit_simplex_weights
+
+__all__ = ["PtsHist"]
+
+
+class PtsHist(SelectivityEstimator):
+    """The paper's PtsHist estimator.
+
+    Parameters
+    ----------
+    size:
+        Target model size ``k`` (number of support points).  The paper pegs
+        this to ``4 ×`` the number of training queries in most experiments.
+    interior_fraction:
+        Share of points drawn from query interiors (paper: 0.9; the rest is
+        uniform over the domain).
+    seed:
+        Seed for the bucket-sampling generator; fitting is deterministic
+        given the seed.
+    objective / solver / domain:
+        As in :class:`~repro.core.quadhist.QuadHist`.
+    """
+
+    def __init__(
+        self,
+        size: int = 400,
+        interior_fraction: float = 0.9,
+        seed: int = 0,
+        objective: str = "l2",
+        solver: str = "penalty",
+        domain: Box | None = None,
+    ):
+        super().__init__()
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if not 0.0 <= interior_fraction <= 1.0:
+            raise ValueError(
+                f"interior_fraction must be in [0, 1], got {interior_fraction}"
+            )
+        if objective not in ("l2", "linf"):
+            raise ValueError(f"objective must be 'l2' or 'linf', got {objective!r}")
+        self.size = int(size)
+        self.interior_fraction = float(interior_fraction)
+        self.seed = int(seed)
+        self.objective = objective
+        self.solver = solver
+        self.domain = domain
+        self._distribution: DiscreteDistribution | None = None
+
+    def _fit(self, training: TrainingSet) -> None:
+        domain = self.domain if self.domain is not None else unit_box(training.dim)
+        if domain.dim != training.dim:
+            raise ValueError("domain dimension does not match the training queries")
+        rng = np.random.default_rng(self.seed)
+        points = self._design_buckets(training, domain, rng)
+        design = np.stack(
+            [np.asarray(q.contains(points), dtype=float) for q in training.queries]
+        )
+        if self.objective == "linf":
+            weights = fit_simplex_weights_linf(design, training.selectivities)
+        else:
+            weights = fit_simplex_weights(
+                design, training.selectivities, method=self.solver
+            )
+        self._distribution = DiscreteDistribution(points, weights)
+
+    def _design_buckets(
+        self, training: TrainingSet, domain: Box, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The two-step point-generation procedure of Section 3.3."""
+        n_interior_total = int(round(self.interior_fraction * self.size))
+        n_uniform = self.size - n_interior_total
+        selectivities = training.selectivities
+        total_sel = float(selectivities.sum())
+        chunks: list[np.ndarray] = []
+        if n_interior_total > 0 and total_sel > 0:
+            # Proportional allocation with largest-remainder rounding so the
+            # shares sum exactly to n_interior_total.
+            raw = selectivities / total_sel * n_interior_total
+            counts = np.floor(raw).astype(int)
+            shortfall = n_interior_total - int(counts.sum())
+            if shortfall > 0:
+                order = np.argsort(-(raw - counts))
+                counts[order[:shortfall]] += 1
+            for query, count in zip(training.queries, counts):
+                if count > 0:
+                    chunks.append(rejection_sample(query, int(count), rng, domain))
+        else:
+            n_uniform = self.size
+        if n_uniform > 0:
+            chunks.append(sample_in_box(domain, n_uniform, rng))
+        points = np.concatenate(chunks, axis=0) if chunks else sample_in_box(domain, self.size, rng)
+        if points.shape[0] < self.size:  # only if total_sel == 0 edge cases
+            extra = sample_in_box(domain, self.size - points.shape[0], rng)
+            points = np.concatenate([points, extra], axis=0)
+        return points[: self.size]
+
+    def _predict_one(self, query: Range) -> float:
+        return self._distribution.selectivity(query)
+
+    @property
+    def model_size(self) -> int:
+        self._check_fitted()
+        return self._distribution.size
+
+    @property
+    def distribution(self) -> DiscreteDistribution:
+        """The learned discrete distribution (a valid member of 𝒟)."""
+        self._check_fitted()
+        return self._distribution

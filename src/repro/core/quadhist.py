@@ -1,0 +1,249 @@
+"""QuadHist — the quadtree histogram of Section 3.2 (Algorithms 1 & 2).
+
+Bucket design builds a quadtree (a ``2^d``-ary tree in ``d`` dimensions)
+over the data domain.  Processing training sample ``(R, s)``, every leaf
+``u`` whose *estimated density share*
+
+.. math:: \\frac{Vol(u \\cap R)}{Vol(R)} \\cdot s(R)
+
+exceeds the threshold ``τ`` is split into its ``2^d`` children, recursively
+(Algorithm 2).  The final leaves become histogram buckets, and weights are
+estimated by the generic simplex-constrained least squares of Eq. (8).
+
+Properties reproduced from the paper:
+
+* **Stability (Lemma A.4):** the partition is invariant to the order in
+  which training queries are processed (when no leaf cap binds) — tested in
+  ``tests/core/test_quadhist.py``.
+* **Model-size control:** either via ``τ`` or a hard ``max_leaves`` cap, as
+  described at the end of Section 3.2.
+* **Query-class genericity:** the splitting rule and the design matrix only
+  need ``Vol(box ∩ R)``, so orthogonal ranges, halfspaces and balls (exact
+  in 2-D) all work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.core.workload import TrainingSet
+from repro.distributions.histogram import HistogramDistribution
+from repro.geometry.ranges import Box, Range, unit_box
+from repro.geometry.volume import (
+    batch_intersection_volumes,
+    intersection_volume,
+    range_volume,
+)
+from repro.solvers.linf import fit_simplex_weights_linf
+from repro.solvers.simplex_ls import fit_simplex_weights
+
+__all__ = ["QuadHist"]
+
+
+class _Node:
+    """A quadtree node covering an axis-aligned box."""
+
+    __slots__ = ("box", "children")
+
+    def __init__(self, box: Box):
+        self.box = box
+        self.children: list[_Node] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def split(self) -> None:
+        self.children = [_Node(child) for child in self.box.split()]
+
+    def leaves(self) -> Iterator["_Node"]:
+        if self.is_leaf:
+            yield self
+        else:
+            for child in self.children:
+                yield from child.leaves()
+
+
+class QuadHist(SelectivityEstimator):
+    """The paper's QuadHist estimator.
+
+    Parameters
+    ----------
+    tau:
+        Density-share splitting threshold of Algorithm 2 (smaller ⟹ finer
+        partition ⟹ larger model).
+    max_leaves:
+        Optional hard cap on the number of buckets ("hard termination
+        condition on the number of leaves", Section 3.2).  ``None`` = no cap.
+    max_depth:
+        Safety cap on tree depth (the paper's domain-normalised workloads
+        never approach it; it guards against adversarial degenerate
+        queries).
+    objective:
+        ``"l2"`` (Eq. 8, the default) or ``"linf"`` (Section 4.6).
+    solver:
+        Simplex-LS method for the L2 objective (see
+        :func:`repro.solvers.simplex_ls.fit_simplex_weights`).
+    domain:
+        Data domain; defaults to the unit cube of the training dimension.
+    """
+
+    def __init__(
+        self,
+        tau: float = 0.01,
+        max_leaves: int | None = None,
+        max_depth: int = 20,
+        objective: str = "l2",
+        solver: str = "penalty",
+        domain: Box | None = None,
+    ):
+        super().__init__()
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        if max_leaves is not None and max_leaves < 1:
+            raise ValueError(f"max_leaves must be >= 1, got {max_leaves}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if objective not in ("l2", "linf"):
+            raise ValueError(f"objective must be 'l2' or 'linf', got {objective!r}")
+        self.tau = float(tau)
+        self.max_leaves = max_leaves
+        self.max_depth = int(max_depth)
+        self.objective = objective
+        self.solver = solver
+        self.domain = domain
+        self._root: _Node | None = None
+        self._history: TrainingSet | None = None
+        self._distribution: HistogramDistribution | None = None
+        self._leaf_lows: np.ndarray | None = None
+        self._leaf_highs: np.ndarray | None = None
+        self._leaf_volumes: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Bucket design (Algorithms 1 & 2)
+    # ------------------------------------------------------------------
+
+    def _fit(self, training: TrainingSet) -> None:
+        domain = self.domain if self.domain is not None else unit_box(training.dim)
+        if domain.dim != training.dim:
+            raise ValueError("domain dimension does not match the training queries")
+        self._root = _Node(domain)
+        self._leaf_count = 1
+        self._history = training
+        self._absorb(training, domain)
+
+    def partial_fit(
+        self, queries: Sequence[Range], selectivities: Sequence[float]
+    ) -> "QuadHist":
+        """Incrementally absorb new query feedback.
+
+        Bucket design is naturally incremental (Algorithm 1 processes
+        queries one at a time, and by Lemma A.4 the final partition does
+        not depend on arrival order), so new feedback only *refines* the
+        existing tree.  Weights are re-estimated over all feedback seen so
+        far — the Eq. (8) solve is the cheap part of training.
+
+        Calling ``partial_fit`` on an unfitted estimator is equivalent to
+        ``fit``.  The result is identical to refitting from scratch on the
+        concatenated feedback (when no ``max_leaves`` cap binds).
+        """
+        new = TrainingSet(queries, selectivities)
+        if not self._fitted:
+            self.fit(queries, selectivities)
+            return self
+        if new.dim != self._history.dim:
+            raise ValueError("partial_fit dimension mismatch with earlier feedback")
+        combined = TrainingSet(
+            list(self._history.queries) + list(new.queries),
+            np.concatenate([self._history.selectivities, new.selectivities]),
+        )
+        self._history = combined
+        self._absorb(new, self._root.box, reestimate_on=combined)
+        return self
+
+    def _absorb(
+        self,
+        training: TrainingSet,
+        domain: Box,
+        reestimate_on: TrainingSet | None = None,
+    ) -> None:
+        """Refine the tree with ``training`` and re-estimate the weights."""
+        for sample in training:
+            volume = range_volume(sample.query, domain)
+            if volume <= 0.0 or sample.selectivity <= 0.0:
+                continue  # degenerate query: no density information to split on
+            density = sample.selectivity / volume
+            self._update_quad(self._root, sample.query, density, depth=0)
+
+        leaves = list(self._root.leaves())
+        self._leaf_lows = np.stack([leaf.box.lows for leaf in leaves])
+        self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
+        self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
+        target = reestimate_on if reestimate_on is not None else training
+        self._estimate_weights(target, [leaf.box for leaf in leaves])
+
+    def _update_quad(self, node: _Node, query: Range, density: float, depth: int) -> None:
+        """Algorithm 2, generalised to ``2^d``-way splits."""
+        overlap = intersection_volume(node.box, query)
+        if overlap * density <= self.tau:
+            return
+        if node.is_leaf:
+            if depth >= self.max_depth:
+                return
+            if self.max_leaves is not None and self._leaf_count + (1 << node.box.dim) - 1 > self.max_leaves:
+                return
+            node.split()
+            self._leaf_count += (1 << node.box.dim) - 1
+        for child in node.children:
+            self._update_quad(child, query, density, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Weight estimation (Eq. 8)
+    # ------------------------------------------------------------------
+
+    def _estimate_weights(self, training: TrainingSet, buckets: Sequence[Box]) -> None:
+        design = np.stack(
+            [self._fraction_row(query) for query in training.queries]
+        )
+        if self.objective == "linf":
+            weights = fit_simplex_weights_linf(design, training.selectivities)
+        else:
+            weights = fit_simplex_weights(
+                design, training.selectivities, method=self.solver
+            )
+        self._weights = weights
+        self._distribution = HistogramDistribution(list(buckets), weights)
+
+    def _fraction_row(self, query: Range) -> np.ndarray:
+        """Per-bucket coverage fractions ``Vol(B_j ∩ R)/Vol(B_j)``."""
+        overlaps = batch_intersection_volumes(self._leaf_lows, self._leaf_highs, query)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(self._leaf_volumes > 0, overlaps / self._leaf_volumes, 0.0)
+        return np.clip(fractions, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _predict_one(self, query: Range) -> float:
+        return float(self._fraction_row(query) @ self._weights)
+
+    @property
+    def model_size(self) -> int:
+        self._check_fitted()
+        return int(self._weights.shape[0])
+
+    @property
+    def distribution(self) -> HistogramDistribution:
+        """The learned histogram distribution (a valid member of 𝒟)."""
+        self._check_fitted()
+        return self._distribution
+
+    def leaf_boxes(self) -> list[Box]:
+        """The quadtree leaves = histogram buckets (for inspection/plots)."""
+        self._check_fitted()
+        return list(self._distribution.buckets)

@@ -1,0 +1,75 @@
+"""Training-sample containers.
+
+A training sample is a sequence ``z^n = (z_1, ..., z_n)`` with
+``z_i = (R_i, s_i) ∈ R × [0, 1]`` (Section 2.1).  The labels need not come
+from any actual data distribution — the agnostic model allows noisy or even
+adversarial labels — so :class:`TrainingSet` only validates ranges and the
+``[0, 1]`` label domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.ranges import Range
+
+__all__ = ["LabeledQuery", "TrainingSet"]
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """One training sample ``z = (R, s)``."""
+
+    query: Range
+    selectivity: float
+
+    def __post_init__(self):
+        if not isinstance(self.query, Range):
+            raise TypeError(f"query must be a Range, got {type(self.query).__name__}")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {self.selectivity}")
+
+
+class TrainingSet:
+    """A finite sequence of labeled queries sharing one ambient dimension."""
+
+    def __init__(self, queries: Sequence[Range], selectivities: Sequence[float]):
+        if len(queries) == 0:
+            raise ValueError("a training set needs at least one query")
+        if len(queries) != len(selectivities):
+            raise ValueError(
+                f"{len(queries)} queries but {len(selectivities)} selectivities"
+            )
+        dims = {q.dim for q in queries}
+        if len(dims) != 1:
+            raise ValueError(f"queries must share one dimension, got {sorted(dims)}")
+        labels = np.asarray(selectivities, dtype=float)
+        if not np.all(np.isfinite(labels)):
+            raise ValueError("selectivities must be finite")
+        if np.any(labels < -1e-12) or np.any(labels > 1.0 + 1e-12):
+            raise ValueError("selectivities must lie in [0, 1]")
+        self.queries = list(queries)
+        self.selectivities = np.clip(labels, 0.0, 1.0)
+
+    @property
+    def dim(self) -> int:
+        return self.queries[0].dim
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[LabeledQuery]:
+        for query, sel in zip(self.queries, self.selectivities):
+            yield LabeledQuery(query, float(sel))
+
+    def __getitem__(self, index: int) -> LabeledQuery:
+        return LabeledQuery(self.queries[index], float(self.selectivities[index]))
+
+    def subset(self, indices: Sequence[int]) -> "TrainingSet":
+        """A new training set restricted to the given indices."""
+        return TrainingSet(
+            [self.queries[i] for i in indices], self.selectivities[list(indices)]
+        )

@@ -1,0 +1,61 @@
+"""Datasets, workloads, and ground-truth selectivity.
+
+The paper evaluates on four real datasets (Power, Forest/CoverType, Census,
+DMV).  This container has no network access, so
+:mod:`~repro.data.synthetic` ships skewed, correlated synthetic stand-ins
+with the same attribute counts and type mixes (see DESIGN.md §4 for the
+substitution argument: Theorem 2.1 is distribution-free, so any skewed
+distribution exercises the identical code paths and qualitative shapes).
+
+:mod:`~repro.data.workloads` generates the paper's query workloads
+(Data-driven / Random / Gaussian centers; box, halfspace and ball queries;
+the shifted-Gaussian workloads of Section 4.3), and
+:mod:`~repro.data.selectivity` computes exact ground-truth selectivities by
+vectorised counting.
+"""
+
+from repro.data.datasets import AttributeType, Dataset
+from repro.data.selectivity import label_queries, true_selectivity
+from repro.data.synthetic import (
+    census_like,
+    dmv_like,
+    forest_like,
+    load_dataset,
+    power_like,
+)
+from repro.data.workloads import (
+    WorkloadSpec,
+    generate_workload,
+    shifted_gaussian_workload,
+)
+from repro.data.loaders import dataset_from_csv, dataset_from_records
+from repro.data.sql import PredicateError, parse_predicate
+from repro.data.io import (
+    load_workload,
+    range_from_dict,
+    range_to_dict,
+    save_workload,
+)
+
+__all__ = [
+    "AttributeType",
+    "Dataset",
+    "true_selectivity",
+    "label_queries",
+    "power_like",
+    "forest_like",
+    "census_like",
+    "dmv_like",
+    "load_dataset",
+    "WorkloadSpec",
+    "generate_workload",
+    "shifted_gaussian_workload",
+    "save_workload",
+    "load_workload",
+    "range_to_dict",
+    "range_from_dict",
+    "parse_predicate",
+    "PredicateError",
+    "dataset_from_csv",
+    "dataset_from_records",
+]

@@ -1,0 +1,141 @@
+"""Dataset container with the paper's normalisation conventions.
+
+Section 4: "we normalize the domain of each attribute into [0, 1]" and "we
+will choose a subset of attributes randomly and project the tuples on the
+chosen attributes".  Categorical attributes are discretised: category ``c``
+of a ``C``-category attribute occupies the cell ``[c/C, (c+1)/C)`` and rows
+carry the cell center ``(c + 0.5)/C``, so an equality predicate becomes the
+cell interval — a positive-width box that the histogram models can reason
+about (the paper's "width is zero" convention breaks ``Vol(B ∩ R)``, so we
+use cell-width predicates; selectivities are identical).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AttributeType", "Dataset"]
+
+
+class AttributeType(enum.Enum):
+    """Attribute kind, determining predicate generation."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class _Attribute:
+    name: str
+    kind: AttributeType
+    cardinality: int | None  # number of categories (categorical only)
+
+
+class Dataset:
+    """Normalised relational table: rows in ``[0, 1]^d`` plus attribute metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        rows: np.ndarray,
+        kinds: Sequence[AttributeType] | None = None,
+        cardinalities: Sequence[int | None] | None = None,
+        attribute_names: Sequence[str] | None = None,
+    ):
+        data = np.asarray(rows, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"rows must be a non-empty (n, d) array, got shape {data.shape}")
+        if not np.all(np.isfinite(data)):
+            raise ValueError("rows must be finite")
+        if np.any(data < -1e-9) or np.any(data > 1.0 + 1e-9):
+            raise ValueError("rows must be normalised into [0, 1]")
+        d = data.shape[1]
+        kinds = list(kinds) if kinds is not None else [AttributeType.NUMERIC] * d
+        cardinalities = list(cardinalities) if cardinalities is not None else [None] * d
+        names = list(attribute_names) if attribute_names is not None else [f"A{i}" for i in range(d)]
+        if not len(kinds) == len(cardinalities) == len(names) == d:
+            raise ValueError("attribute metadata length mismatch")
+        for kind, card in zip(kinds, cardinalities):
+            if kind is AttributeType.CATEGORICAL and (card is None or card < 1):
+                raise ValueError("categorical attributes need a positive cardinality")
+        self.name = name
+        self.rows = np.clip(data, 0.0, 1.0)
+        self.attributes = [
+            _Attribute(n, k, c) for n, k, c in zip(names, kinds, cardinalities)
+        ]
+
+    @property
+    def num_rows(self) -> int:
+        return self.rows.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.rows.shape[1]
+
+    @property
+    def kinds(self) -> list[AttributeType]:
+        return [a.kind for a in self.attributes]
+
+    @property
+    def cardinalities(self) -> list[int | None]:
+        return [a.cardinality for a in self.attributes]
+
+    def project(self, attribute_indices: Sequence[int]) -> "Dataset":
+        """Project onto a subset of attributes (Section 4's setup step)."""
+        idx = list(attribute_indices)
+        if not idx:
+            raise ValueError("projection needs at least one attribute")
+        return Dataset(
+            f"{self.name}[{','.join(str(i) for i in idx)}]",
+            self.rows[:, idx],
+            kinds=[self.attributes[i].kind for i in idx],
+            cardinalities=[self.attributes[i].cardinality for i in idx],
+            attribute_names=[self.attributes[i].name for i in idx],
+        )
+
+    def random_projection(self, dim: int, rng: np.random.Generator) -> "Dataset":
+        """Random ``dim``-attribute projection, as in Section 4."""
+        if not 1 <= dim <= self.dim:
+            raise ValueError(f"dim must be in [1, {self.dim}], got {dim}")
+        idx = sorted(rng.choice(self.dim, size=dim, replace=False).tolist())
+        return self.project(idx)
+
+    def numeric_projection(self, dim: int, rng: np.random.Generator) -> "Dataset":
+        """Random projection onto numeric attributes only.
+
+        Used for halfspace/ball workloads, where categorical equality
+        predicates make no geometric sense.
+        """
+        numeric = [i for i, a in enumerate(self.attributes) if a.kind is AttributeType.NUMERIC]
+        if dim > len(numeric):
+            raise ValueError(
+                f"dataset {self.name} has only {len(numeric)} numeric attributes, need {dim}"
+            )
+        idx = sorted(rng.choice(numeric, size=dim, replace=False).tolist())
+        return self.project(idx)
+
+    def sample_rows(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform row sample (with replacement) — Data-driven query centers."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        idx = rng.integers(0, self.num_rows, size=count)
+        return self.rows[idx]
+
+    def categorical_cell(self, attribute: int, value: float) -> tuple[float, float]:
+        """The ``[c/C, (c+1)/C]`` interval of the category containing ``value``."""
+        attr = self.attributes[attribute]
+        if attr.kind is not AttributeType.CATEGORICAL:
+            raise ValueError(f"attribute {attribute} is not categorical")
+        c = min(int(value * attr.cardinality), attr.cardinality - 1)
+        return c / attr.cardinality, (c + 1) / attr.cardinality
+
+    def __repr__(self) -> str:
+        n_cat = sum(1 for a in self.attributes if a.kind is AttributeType.CATEGORICAL)
+        return (
+            f"Dataset({self.name!r}, rows={self.num_rows}, dim={self.dim}, "
+            f"categorical={n_cat})"
+        )

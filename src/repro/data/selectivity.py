@@ -1,0 +1,30 @@
+"""Ground-truth selectivity: exact vectorised counting.
+
+``s_D(R) = Pr_{x ~ D}[x in R]`` where ``D`` is the empirical distribution
+of the dataset — i.e. the fraction of rows satisfying the predicate.  This
+is the label oracle for training and the truth oracle for evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.geometry.ranges import Range
+
+__all__ = ["true_selectivity", "label_queries"]
+
+
+def true_selectivity(dataset: Dataset, query: Range) -> float:
+    """Exact selectivity of ``query`` against the dataset rows."""
+    if query.dim != dataset.dim:
+        raise ValueError(f"query dim {query.dim} != dataset dim {dataset.dim}")
+    inside = np.asarray(query.contains(dataset.rows))
+    return float(inside.mean())
+
+
+def label_queries(dataset: Dataset, queries: Sequence[Range]) -> np.ndarray:
+    """Exact selectivities for a whole workload (vectorised per query)."""
+    return np.array([true_selectivity(dataset, q) for q in queries])

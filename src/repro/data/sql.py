@@ -1,0 +1,236 @@
+"""A small SQL front-end: conjunctive WHERE clauses → query ranges.
+
+The paper writes its query classes as SQL::
+
+    SELECT * FROM T WHERE a1 <= A1 AND A1 <= b1 AND a2 <= A2 AND A2 <= b2
+    SELECT * FROM T WHERE 0.3 + 1.0*A1 - 2.0*A2 >= 0
+    SELECT * FROM T WHERE (A1-0.2)^2 + (A2-0.7)^2 <= 0.04
+
+This module parses those three shapes against a dataset's attribute names
+and produces the corresponding :class:`~repro.geometry.ranges.Range`, so a
+workload can be written as SQL strings:
+
+* conjunctions of per-attribute comparisons (``<=``, ``<``, ``>=``, ``>``,
+  ``=``, ``BETWEEN x AND y``) → :class:`Box`;
+* one linear inequality over several attributes → :class:`Halfspace`;
+* a sum of squared attribute offsets compared to ``r^2`` → :class:`Ball`.
+
+Deliberately minimal: conjunctive predicates only (the paper's setting),
+numeric literals, case-insensitive keywords.  Errors are precise about
+what was not understood.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.ranges import Ball, Box, Halfspace, Range
+
+__all__ = ["parse_predicate", "PredicateError"]
+
+
+class PredicateError(ValueError):
+    """Raised when a WHERE clause cannot be parsed."""
+
+
+_NUM = r"[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?"
+_COMPARISON = re.compile(
+    rf"^\s*(?:(?P<lhs_num>{_NUM})\s*(?P<op1><=|>=|<|>|=)\s*)?"
+    rf"(?P<attr>[A-Za-z_]\w*)"
+    rf"(?:\s*(?P<op2><=|>=|<|>|=)\s*(?P<rhs_num>{_NUM}))?\s*$"
+)
+_BETWEEN = re.compile(
+    rf"^\s*(?P<attr>[A-Za-z_]\w*)\s+between\s+(?P<lo>{_NUM})\s+and\s+(?P<hi>{_NUM})\s*$",
+    re.IGNORECASE,
+)
+_BALL_TERM = re.compile(
+    rf"^\s*\(\s*(?P<attr>[A-Za-z_]\w*)\s*-\s*(?P<center>{_NUM})\s*\)\s*\^\s*2\s*$"
+)
+_LINEAR_TERM = re.compile(
+    rf"^\s*(?P<sign>[-+]?)\s*(?:(?P<coeff>{_NUM})\s*\*\s*)?(?P<attr>[A-Za-z_]\w*)\s*$"
+)
+
+
+def _split_conjuncts(clause: str) -> list[str]:
+    """Split on top-level AND (case-insensitive), respecting parentheses.
+
+    The AND inside ``BETWEEN x AND y`` is protected first (replaced by a
+    placeholder and restored after splitting).
+    """
+    clause = re.sub(
+        rf"(between\s+{_NUM})\s+and\s+({_NUM})",
+        r"\1 ~BTWAND~ \2",
+        clause,
+        flags=re.IGNORECASE,
+    )
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    tokens = re.split(r"(\(|\)|\band\b)", clause, flags=re.IGNORECASE)
+    for token in tokens:
+        if token == "(":
+            depth += 1
+            current.append(token)
+        elif token == ")":
+            depth -= 1
+            current.append(token)
+        elif token.lower() == "and" and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(token)
+    parts.append("".join(current))
+    return [p.replace("~BTWAND~", "AND").strip() for p in parts if p.strip()]
+
+
+def _attr_index(name: str, attributes: Sequence[str]) -> int:
+    try:
+        return list(attributes).index(name)
+    except ValueError:
+        raise PredicateError(
+            f"unknown attribute {name!r}; available: {list(attributes)}"
+        ) from None
+
+
+def _try_ball(clause: str, attributes: Sequence[str]) -> Ball | None:
+    """``(A1-a1)^2 + (A2-a2)^2 <= r2`` → Ball."""
+    match = re.match(rf"^\s*(?P<lhs>.+?)\s*<=\s*(?P<rhs>{_NUM})\s*$", clause)
+    if match is None:
+        return None
+    terms = match.group("lhs").split("+")
+    center = np.full(len(attributes), np.nan)
+    for term in terms:
+        term_match = _BALL_TERM.match(term)
+        if term_match is None:
+            return None
+        idx = _attr_index(term_match.group("attr"), attributes)
+        center[idx] = float(term_match.group("center"))
+    if np.isnan(center).any():
+        # Unmentioned attributes make this not a ball over the full space;
+        # treat only full-dimensional balls (the paper's query class).
+        return None
+    radius_sq = float(match.group("rhs"))
+    if radius_sq < 0:
+        raise PredicateError(f"negative squared radius {radius_sq}")
+    return Ball(center, float(np.sqrt(radius_sq)))
+
+
+def _try_halfspace(clause: str, attributes: Sequence[str]) -> Halfspace | None:
+    """``c0 + c1*A1 + ... >= 0``-style linear inequality → Halfspace."""
+    match = re.match(rf"^\s*(?P<lhs>.+?)\s*(?P<op>>=|<=)\s*(?P<rhs>{_NUM})\s*$", clause)
+    if match is None:
+        return None
+    lhs = match.group("lhs")
+    # Tokenise into +/- separated terms.
+    pieces = re.findall(rf"[-+]?[^-+]+", lhs)
+    normal = np.zeros(len(attributes))
+    constant = 0.0
+    for piece in pieces:
+        piece = piece.strip()
+        if not piece:
+            continue
+        if re.fullmatch(_NUM, piece):
+            constant += float(piece)
+            continue
+        term_match = _LINEAR_TERM.match(piece)
+        if term_match is None:
+            return None
+        coeff = float(term_match.group("coeff") or 1.0)
+        if term_match.group("sign") == "-":
+            coeff = -coeff
+        normal[_attr_index(term_match.group("attr"), attributes)] += coeff
+    if np.allclose(normal, 0.0):
+        return None
+    rhs = float(match.group("rhs"))
+    # lhs + constant OP rhs  <=>  normal.x OP rhs - constant
+    offset = rhs - constant
+    if match.group("op") == ">=":
+        return Halfspace(normal, offset)
+    return Halfspace(-normal, -offset)
+
+
+def _apply_comparison(
+    lows: np.ndarray, highs: np.ndarray, idx: int, op: str, value: float, attr_on_left: bool
+) -> None:
+    # Normalise to attribute-on-left form.
+    if not attr_on_left:
+        flip = {"<=": ">=", ">=": "<=", "<": ">", ">": "<", "=": "="}
+        op = flip[op]
+    if op in ("<=", "<"):
+        highs[idx] = min(highs[idx], value)
+    elif op in (">=", ">"):
+        lows[idx] = max(lows[idx], value)
+    else:  # "="
+        lows[idx] = max(lows[idx], value)
+        highs[idx] = min(highs[idx], value)
+
+
+def parse_predicate(clause: str, attributes: Sequence[str]) -> Range:
+    """Parse a conjunctive WHERE clause into a Range.
+
+    Parameters
+    ----------
+    clause:
+        The text after ``WHERE`` (the keyword itself is accepted too).
+    attributes:
+        Ordered attribute names defining the ambient dimensions.
+
+    Returns
+    -------
+    A :class:`Box` for per-attribute comparisons, a :class:`Halfspace` for
+    a single linear inequality, or a :class:`Ball` for a sum-of-squares
+    predicate.
+    """
+    if not attributes:
+        raise PredicateError("attributes must be non-empty")
+    text = re.sub(r"^\s*where\s+", "", clause.strip(), flags=re.IGNORECASE)
+    if not text:
+        raise PredicateError("empty predicate")
+
+    ball = _try_ball(text, attributes)
+    if ball is not None:
+        return ball
+    conjuncts = _split_conjuncts(text)
+
+    # A single multi-attribute linear inequality → halfspace.
+    if len(conjuncts) == 1:
+        mentioned = set(re.findall(r"[A-Za-z_]\w*", conjuncts[0]))
+        mentioned.discard("and")
+        attrs_mentioned = [a for a in attributes if a in mentioned]
+        if len(attrs_mentioned) > 1 or "*" in conjuncts[0]:
+            halfspace = _try_halfspace(conjuncts[0], attributes)
+            if halfspace is not None:
+                return halfspace
+
+    lows = np.zeros(len(attributes))
+    highs = np.ones(len(attributes))
+    for conjunct in conjuncts:
+        between = _BETWEEN.match(conjunct)
+        if between is not None:
+            idx = _attr_index(between.group("attr"), attributes)
+            lo, hi = float(between.group("lo")), float(between.group("hi"))
+            if lo > hi:
+                raise PredicateError(f"BETWEEN bounds reversed in {conjunct!r}")
+            lows[idx] = max(lows[idx], lo)
+            highs[idx] = min(highs[idx], hi)
+            continue
+        comparison = _COMPARISON.match(conjunct)
+        if comparison is None:
+            raise PredicateError(f"cannot parse conjunct {conjunct!r}")
+        attr = comparison.group("attr")
+        idx = _attr_index(attr, attributes)
+        lhs_num, op1 = comparison.group("lhs_num"), comparison.group("op1")
+        op2, rhs_num = comparison.group("op2"), comparison.group("rhs_num")
+        if lhs_num is None and rhs_num is None:
+            raise PredicateError(f"no comparison value in {conjunct!r}")
+        if lhs_num is not None:
+            _apply_comparison(lows, highs, idx, op1, float(lhs_num), attr_on_left=False)
+        if rhs_num is not None:
+            _apply_comparison(lows, highs, idx, op2, float(rhs_num), attr_on_left=True)
+    highs = np.maximum(highs, lows - 1e-15)
+    if np.any(lows > highs):
+        raise PredicateError("contradictory bounds produce an empty range")
+    return Box(lows, highs)

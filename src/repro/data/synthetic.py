@@ -1,0 +1,209 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets.
+
+The original datasets (UCI Power / Forest / Census, NYC DMV) are not
+available offline, so each generator below produces a table with the same
+attribute count, type mix, and — crucially — the *skew and correlation
+structure* the experiments rely on.  Theorem 2.1 holds for arbitrary data
+distributions, so any skewed correlated distribution exercises the same
+code paths; DESIGN.md §4 records the substitution rationale per dataset.
+
+All generators are deterministic given a seed, and default to ~40k rows —
+large enough for stable ground-truth selectivities, small enough for a
+single-CPU benchmark budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import AttributeType, Dataset
+
+__all__ = ["power_like", "forest_like", "census_like", "dmv_like", "load_dataset"]
+
+_DEFAULT_ROWS = 40_000
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _normalise(columns: np.ndarray) -> np.ndarray:
+    lo = columns.min(axis=0, keepdims=True)
+    hi = columns.max(axis=0, keepdims=True)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+    return (columns - lo) / span
+
+
+def _zipf_codes(rng: np.random.Generator, n: int, cardinality: int, skew: float = 1.2) -> np.ndarray:
+    """Zipf-distributed category codes in ``{0, ..., cardinality-1}``."""
+    ranks = np.arange(1, cardinality + 1, dtype=float)
+    probs = ranks**-skew
+    probs /= probs.sum()
+    return rng.choice(cardinality, size=n, p=probs)
+
+
+def _categorical_column(codes: np.ndarray, cardinality: int) -> np.ndarray:
+    """Map category codes to their cell centers ``(c + 0.5)/C``."""
+    return (codes + 0.5) / cardinality
+
+
+def power_like(rows: int = _DEFAULT_ROWS, seed: int = 42) -> Dataset:
+    """Stand-in for UCI *Individual Household Electric Power Consumption*.
+
+    7 numeric attributes: skewed power draws with many near-zero readings,
+    a narrowly distributed voltage, and correlated sub-meterings — the
+    lower-half concentration visible in the paper's Figure 7.
+    """
+    rng = np.random.default_rng(seed)
+    # Latent household activity level drives correlations.
+    activity = rng.beta(1.6, 4.0, size=rows)  # skewed toward low activity
+    noise = lambda scale: rng.normal(0.0, scale, size=rows)  # noqa: E731
+
+    # Quadratic response to activity gives the heavy right tail of real
+    # household power draws (most readings small, occasional spikes).
+    global_active = np.clip(activity**2 * 2.2 + 0.05 * np.abs(noise(1.0)), 0, None)
+    global_reactive = np.clip(0.25 * activity**2 + 0.04 * np.abs(noise(1.0)), 0, None)
+    voltage = 0.5 + 0.06 * noise(1.0) - 0.1 * activity  # dips under load
+    intensity = global_active * 4.3 + 0.05 * np.abs(noise(1.0))
+    # Sub-meterings: often exactly (near) zero, occasionally large.
+    on1 = rng.random(rows) < 0.25 * (0.3 + activity)
+    on2 = rng.random(rows) < 0.35 * (0.3 + activity)
+    on3 = rng.random(rows) < 0.55 * (0.3 + activity)
+    sub1 = np.where(on1, activity * 1.1 + 0.1 * np.abs(noise(1.0)), 0.002 * np.abs(noise(1.0)))
+    sub2 = np.where(on2, activity * 0.9 + 0.1 * np.abs(noise(1.0)), 0.002 * np.abs(noise(1.0)))
+    sub3 = np.where(on3, 0.4 + 0.2 * activity + 0.05 * noise(1.0), 0.003 * np.abs(noise(1.0)))
+    columns = np.stack(
+        [global_active, global_reactive, voltage, intensity, sub1, sub2, sub3], axis=1
+    )
+    return Dataset(
+        "power",
+        _normalise(columns),
+        attribute_names=[
+            "global_active_power",
+            "global_reactive_power",
+            "voltage",
+            "global_intensity",
+            "sub_metering_1",
+            "sub_metering_2",
+            "sub_metering_3",
+        ],
+    )
+
+
+def forest_like(rows: int = _DEFAULT_ROWS, seed: int = 43) -> Dataset:
+    """Stand-in for UCI *CoverType* (Forest).
+
+    10 numeric attributes driven by latent terrain variables (elevation,
+    slope, hydrology distance...), giving smooth nonlinear correlations and
+    multiple clusters — the structure the dimensionality sweeps rely on.
+    """
+    rng = np.random.default_rng(seed)
+    # Terrain: mixture of 4 "regions" with distinct elevation profiles.
+    region = rng.integers(0, 4, size=rows)
+    region_elev = np.array([0.25, 0.45, 0.65, 0.85])[region]
+    elevation = np.clip(region_elev + 0.08 * rng.normal(size=rows), 0, 1)
+    aspect = rng.random(rows)  # compass direction: uniform
+    slope = np.clip(
+        0.15 + 0.5 * np.abs(rng.normal(size=rows)) * (0.4 + elevation), 0, None
+    )
+    horiz_hydro = np.abs(rng.normal(0, 0.3, rows)) * (1.2 - elevation)
+    vert_hydro = horiz_hydro * (0.4 + 0.3 * rng.random(rows)) + 0.02 * np.abs(
+        rng.normal(size=rows)
+    )
+    horiz_road = np.abs(rng.normal(0, 0.4, rows)) + 0.3 * elevation
+    hillshade_9am = _sigmoid(2.0 * (aspect - 0.3) + rng.normal(0, 0.4, rows))
+    hillshade_noon = _sigmoid(3.0 - 4.0 * slope + rng.normal(0, 0.4, rows))
+    hillshade_3pm = _sigmoid(2.0 * (0.7 - aspect) + rng.normal(0, 0.4, rows))
+    horiz_fire = np.abs(rng.normal(0, 0.35, rows)) + 0.2 * (1 - elevation)
+    columns = np.stack(
+        [
+            elevation,
+            aspect,
+            slope,
+            horiz_hydro,
+            vert_hydro,
+            horiz_road,
+            hillshade_9am,
+            hillshade_noon,
+            hillshade_3pm,
+            horiz_fire,
+        ],
+        axis=1,
+    )
+    return Dataset(
+        "forest",
+        _normalise(columns),
+        attribute_names=[
+            "elevation",
+            "aspect",
+            "slope",
+            "horiz_dist_hydrology",
+            "vert_dist_hydrology",
+            "horiz_dist_roadways",
+            "hillshade_9am",
+            "hillshade_noon",
+            "hillshade_3pm",
+            "horiz_dist_fire_points",
+        ],
+    )
+
+
+def census_like(rows: int = _DEFAULT_ROWS, seed: int = 44) -> Dataset:
+    """Stand-in for UCI *Census* (49K × 13: 8 categorical + 5 numeric)."""
+    rng = np.random.default_rng(seed)
+    age = np.clip(rng.gamma(6.0, 6.5, rows) / 100.0, 0, 1)
+    education_years = np.clip(rng.normal(0.55, 0.15, rows) + 0.3 * (age - 0.4), 0, 1)
+    log_income = 0.3 + 0.5 * education_years + 0.2 * age + 0.1 * rng.normal(size=rows)
+    capital_gain = np.where(rng.random(rows) < 0.08, rng.random(rows), 0.0)
+    hours_per_week = np.clip(rng.normal(0.42, 0.12, rows) + 0.1 * education_years, 0, 1)
+    numeric = [age, education_years, np.clip(log_income, 0, None), capital_gain, hours_per_week]
+
+    categorical_cards = [8, 16, 7, 14, 6, 5, 2, 40]  # workclass..native-country
+    categorical_cols = []
+    for card in categorical_cards:
+        codes = _zipf_codes(rng, rows, card)
+        categorical_cols.append(_categorical_column(codes, card))
+
+    columns = np.stack(numeric + categorical_cols, axis=1)
+    columns[:, :5] = _normalise(columns[:, :5])
+    kinds = [AttributeType.NUMERIC] * 5 + [AttributeType.CATEGORICAL] * 8
+    cards = [None] * 5 + list(categorical_cards)
+    return Dataset("census", columns, kinds=kinds, cardinalities=cards)
+
+
+def dmv_like(rows: int = _DEFAULT_ROWS, seed: int = 45) -> Dataset:
+    """Stand-in for NYC *DMV* vehicle registrations (11M × 11: 10 categorical)."""
+    rng = np.random.default_rng(seed)
+    model_year = np.clip(rng.beta(5.0, 2.0, rows), 0, 1)  # skewed to recent years
+    categorical_cards = [63, 30, 4, 25, 10, 3, 2, 2, 2, 5]
+    # Correlate a couple of attributes (e.g. body type with vehicle class).
+    base = _zipf_codes(rng, rows, categorical_cards[0])
+    columns = [_categorical_column(base, categorical_cards[0])]
+    for j, card in enumerate(categorical_cards[1:], start=1):
+        codes = _zipf_codes(rng, rows, card)
+        if j == 1:  # correlate with the first attribute
+            codes = (codes + base) % card
+        columns.append(_categorical_column(codes, card))
+    columns.append(model_year)
+    data = np.stack(columns, axis=1)
+    kinds = [AttributeType.CATEGORICAL] * 10 + [AttributeType.NUMERIC]
+    cards = list(categorical_cards) + [None]
+    return Dataset("dmv", data, kinds=kinds, cardinalities=cards)
+
+
+_GENERATORS = {
+    "power": power_like,
+    "forest": forest_like,
+    "census": census_like,
+    "dmv": dmv_like,
+}
+
+
+def load_dataset(name: str, rows: int = _DEFAULT_ROWS, seed: int | None = None) -> Dataset:
+    """Load one of the four evaluation datasets by name."""
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(_GENERATORS)}")
+    generator = _GENERATORS[name]
+    if seed is None:
+        return generator(rows=rows)
+    return generator(rows=rows, seed=seed)

@@ -1,0 +1,18 @@
+"""Distribution models — the hypothesis families of Section 3.1.
+
+The learners output a member of one of two families:
+
+* :class:`~repro.distributions.histogram.HistogramDistribution` — a
+  piecewise-constant density over disjoint box buckets (Eq. 6),
+* :class:`~repro.distributions.discrete.DiscreteDistribution` — a weighted
+  point set (Eq. 7).
+
+Both expose ``selectivity(range)`` implementing the paper's
+:math:`s_D(R)` and support sampling, making them genuine probability
+distributions over the data domain.
+"""
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.histogram import HistogramDistribution
+
+__all__ = ["DiscreteDistribution", "HistogramDistribution"]

@@ -1,0 +1,122 @@
+"""Piecewise-constant (histogram) distributions — Eq. (6) of the paper.
+
+``D = {(B_1, w_1), ..., (B_m, w_m)}`` with ``Σ w_i = 1`` and uniform density
+``w_i / Vol(B_i)`` inside each bucket.  Selectivity of a query range R:
+
+.. math:: s_D(R) = \\sum_i \\frac{Vol(B_i \\cap R)}{Vol(B_i)} \\, w_i
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.ranges import Box, Range
+from repro.geometry.sampling import sample_in_box
+from repro.geometry.volume import intersection_volume
+
+__all__ = ["HistogramDistribution"]
+
+
+class HistogramDistribution:
+    """A probability distribution that is uniform within each box bucket.
+
+    Parameters
+    ----------
+    buckets:
+        Pairwise-disjoint boxes (disjointness is the caller's contract, as
+        in the paper's bucket-design procedures; it is validated only in
+        ``validate()`` because the check is quadratic).
+    weights:
+        Non-negative weights summing to 1 (renormalised if slightly off).
+    """
+
+    def __init__(self, buckets: Sequence[Box], weights: Sequence[float]):
+        if len(buckets) == 0:
+            raise ValueError("a histogram needs at least one bucket")
+        if len(buckets) != len(weights):
+            raise ValueError(f"{len(buckets)} buckets but {len(weights)} weights")
+        dims = {b.dim for b in buckets}
+        if len(dims) != 1:
+            raise ValueError(f"buckets must share one dimension, got {sorted(dims)}")
+        weight_arr = np.asarray(weights, dtype=float)
+        if np.any(weight_arr < -1e-9):
+            raise ValueError("weights must be non-negative")
+        weight_arr = np.maximum(weight_arr, 0.0)
+        total = float(weight_arr.sum())
+        if total <= 0.0:
+            raise ValueError("weights must not all be zero")
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"weights must sum to 1 (got {total}); normalise first")
+        self.buckets = list(buckets)
+        self.weights = weight_arr / total
+        self._volumes = np.array([b.volume() for b in self.buckets])
+        degenerate = self._volumes <= 0.0
+        if np.any(self.weights[degenerate] > 1e-12):
+            raise ValueError("zero-volume buckets cannot carry weight in a histogram")
+
+    @property
+    def dim(self) -> int:
+        return self.buckets[0].dim
+
+    @property
+    def size(self) -> int:
+        """Model complexity: the number of buckets."""
+        return len(self.buckets)
+
+    def selectivity(self, range_: Range) -> float:
+        """``s_D(R)`` per Eq. (6)."""
+        total = 0.0
+        for bucket, weight, volume in zip(self.buckets, self.weights, self._volumes):
+            if weight <= 0.0 or volume <= 0.0:
+                continue
+            overlap = intersection_volume(bucket, range_)
+            if overlap > 0.0:
+                total += weight * overlap / volume
+        return float(min(1.0, max(0.0, total)))
+
+    def intersection_fractions(self, range_: Range) -> np.ndarray:
+        """Per-bucket ``Vol(B_i ∩ R)/Vol(B_i)`` — one design-matrix row."""
+        fractions = np.zeros(self.size)
+        for i, (bucket, volume) in enumerate(zip(self.buckets, self._volumes)):
+            if volume <= 0.0:
+                continue
+            fractions[i] = intersection_volume(bucket, range_) / volume
+        return np.clip(fractions, 0.0, 1.0)
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """Probability density at the given points (0 outside all buckets)."""
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[None, :]
+        values = np.zeros(pts.shape[0])
+        for bucket, weight, volume in zip(self.buckets, self.weights, self._volumes):
+            if weight <= 0.0 or volume <= 0.0:
+                continue
+            inside = np.asarray(bucket.contains(pts))
+            values[inside] = weight / volume  # buckets are disjoint
+        return float(values[0]) if single else values
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` points from the distribution."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        choices = rng.choice(self.size, size=count, p=self.weights)
+        points = np.empty((count, self.dim))
+        for idx in np.unique(choices):
+            mask = choices == idx
+            points[mask] = sample_in_box(self.buckets[int(idx)], int(mask.sum()), rng)
+        return points
+
+    def validate(self) -> None:
+        """Check the disjointness contract (O(m^2); for tests/debugging)."""
+        for i, a in enumerate(self.buckets):
+            for b in self.buckets[i + 1 :]:
+                inter = a.intersect(b)
+                if inter is not None and inter.volume() > 1e-12:
+                    raise ValueError(f"buckets overlap: {a} and {b}")
+
+    def __repr__(self) -> str:
+        return f"HistogramDistribution(size={self.size}, dim={self.dim})"

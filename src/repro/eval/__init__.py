@@ -1,0 +1,48 @@
+"""Evaluation: error metrics, the experiment harness, and text reporting.
+
+These drive both the test-suite integration checks and every benchmark in
+``benchmarks/`` (one per table/figure of the paper; see DESIGN.md §3).
+"""
+
+from repro.eval.metrics import linf_error, q_error_quantiles, q_errors, rms_error
+from repro.eval.harness import (
+    ExperimentResult,
+    evaluate_estimator,
+    make_workload,
+    train_test_workload,
+)
+from repro.eval.reporting import format_series, format_table
+from repro.eval.analysis import (
+    DEFAULT_STRATA,
+    StratumReport,
+    stratified_error_report,
+)
+from repro.eval.drift import DriftDetector
+from repro.eval.learning_curve import empirical_sample_complexity, learning_curve
+from repro.eval.diagnostics import (
+    consistency_violations,
+    monotonicity_violations,
+    nested_box_chain,
+)
+
+__all__ = [
+    "rms_error",
+    "linf_error",
+    "q_errors",
+    "q_error_quantiles",
+    "ExperimentResult",
+    "evaluate_estimator",
+    "make_workload",
+    "train_test_workload",
+    "format_table",
+    "format_series",
+    "monotonicity_violations",
+    "consistency_violations",
+    "nested_box_chain",
+    "StratumReport",
+    "stratified_error_report",
+    "DEFAULT_STRATA",
+    "DriftDetector",
+    "learning_curve",
+    "empirical_sample_complexity",
+]

@@ -1,0 +1,93 @@
+"""Error analysis: selectivity-stratified breakdowns.
+
+Aggregate RMS hides *where* an estimator fails.  The benchmark literature
+(e.g. the study [46] the paper builds on) stratifies errors by true
+selectivity: highly selective queries are where Q-error explodes and where
+plan choices flip, while RMS is dominated by the unselective tail.  This
+module produces that breakdown for any fitted estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.eval.metrics import DEFAULT_Q_FLOOR, q_errors, rms_error
+from repro.geometry.ranges import Range
+
+__all__ = ["StratumReport", "stratified_error_report", "DEFAULT_STRATA"]
+
+#: Decade strata over true selectivity, the benchmark-paper convention.
+DEFAULT_STRATA = (0.0, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+@dataclass(frozen=True)
+class StratumReport:
+    """Error statistics for one true-selectivity stratum."""
+
+    low: float
+    high: float
+    queries: int
+    rms: float
+    mean_q_error: float
+    max_q_error: float
+
+    def row(self) -> dict[str, object]:
+        return {
+            "stratum": f"[{self.low:g}, {self.high:g})",
+            "queries": self.queries,
+            "rms": round(self.rms, 5),
+            "mean_q": round(self.mean_q_error, 3),
+            "max_q": round(self.max_q_error, 3),
+        }
+
+
+def stratified_error_report(
+    estimator: SelectivityEstimator,
+    queries: Sequence[Range],
+    true_selectivities: Sequence[float],
+    strata: Sequence[float] = DEFAULT_STRATA,
+    q_floor: float = DEFAULT_Q_FLOOR,
+) -> list[StratumReport]:
+    """Per-stratum RMS and Q-error of ``estimator`` on a labeled workload.
+
+    ``strata`` are the boundaries of half-open selectivity intervals
+    ``[strata[i], strata[i+1])`` (the final interval is closed above).
+    Empty strata are omitted from the report.
+    """
+    truths = np.asarray(true_selectivities, dtype=float)
+    if truths.shape != (len(queries),):
+        raise ValueError(
+            f"{len(queries)} queries but selectivities of shape {truths.shape}"
+        )
+    if len(strata) < 2:
+        raise ValueError("need at least two stratum boundaries")
+    bounds = np.asarray(strata, dtype=float)
+    if np.any(np.diff(bounds) <= 0):
+        raise ValueError("strata boundaries must be strictly increasing")
+    predictions = estimator.predict_many(list(queries))
+
+    reports: list[StratumReport] = []
+    for low, high in zip(bounds[:-1], bounds[1:]):
+        if high >= bounds[-1]:
+            mask = (truths >= low) & (truths <= high)
+        else:
+            mask = (truths >= low) & (truths < high)
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        errs = q_errors(predictions[mask], truths[mask], floor=q_floor)
+        reports.append(
+            StratumReport(
+                low=float(low),
+                high=float(high),
+                queries=count,
+                rms=rms_error(predictions[mask], truths[mask]),
+                mean_q_error=float(errs.mean()),
+                max_q_error=float(errs.max()),
+            )
+        )
+    return reports

@@ -1,0 +1,107 @@
+"""Model-validity diagnostics: monotonicity and consistency.
+
+The paper motivates distribution-based learners by citing the benchmark
+study [46]: learned estimators that do not correspond to any valid data
+distribution can return estimates that are not *monotone* (a subquery
+estimated more selective than its superquery) or not *consistent* (the
+estimate of a union of disjoint ranges differing from the sum of parts).
+
+Our learners (QuadHist, PtsHist, ArrangementERM, GaussianMixtureHist)
+represent genuine distributions, so they are monotone and consistent *by
+construction* — whereas QuickSel's signed mixture weights can violate
+both.  This module measures the violations, so the claim is checkable:
+
+* :func:`monotonicity_violations` — nested box chains ``R_1 ⊆ ... ⊆ R_k``;
+  a violation is ``ŝ(R_i) > ŝ(R_{i+1}) + tol``.
+* :func:`consistency_violations` — random boxes split into two disjoint
+  halves; a violation is ``|ŝ(R) - ŝ(R_left) - ŝ(R_right)| > tol``.
+
+Note that clipping predictions into [0, 1] (which every estimator's public
+``predict`` does) preserves monotonicity but can itself introduce small
+consistency gaps; the tolerance parameter absorbs those.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.geometry.ranges import Box, unit_box
+
+__all__ = ["monotonicity_violations", "consistency_violations", "nested_box_chain"]
+
+
+def nested_box_chain(
+    rng: np.random.Generator, dim: int, length: int, domain: Box | None = None
+) -> list[Box]:
+    """A random chain ``R_1 ⊆ R_2 ⊆ ... ⊆ R_length`` of boxes."""
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    if domain is None:
+        domain = unit_box(dim)
+    center = domain.lows + rng.random(dim) * domain.widths
+    base_widths = rng.random(dim) * 0.2 + 0.05
+    chain = []
+    for step in range(length):
+        scale = 1.0 + step * (3.0 / length)
+        chain.append(Box.from_center(center, base_widths * scale, clip_to=domain))
+    return chain
+
+
+def monotonicity_violations(
+    estimator: SelectivityEstimator,
+    rng: np.random.Generator,
+    dim: int,
+    chains: int = 50,
+    chain_length: int = 5,
+    tol: float = 1e-9,
+) -> float:
+    """Fraction of nested-pair comparisons violating monotonicity.
+
+    Returns a value in [0, 1]: 0 means the estimator never decreased its
+    estimate when the query grew.
+    """
+    violations = 0
+    comparisons = 0
+    for _ in range(chains):
+        chain = nested_box_chain(rng, dim, chain_length)
+        estimates = [estimator.predict(box) for box in chain]
+        for smaller, larger in zip(estimates, estimates[1:]):
+            comparisons += 1
+            if smaller > larger + tol:
+                violations += 1
+    return violations / comparisons if comparisons else 0.0
+
+
+def consistency_violations(
+    estimator: SelectivityEstimator,
+    rng: np.random.Generator,
+    dim: int,
+    trials: int = 100,
+    tol: float = 1e-6,
+) -> float:
+    """Fraction of disjoint splits where ``ŝ(R) != ŝ(R_l) + ŝ(R_r)``.
+
+    Each trial draws a random box, splits it along a random axis, and
+    compares the whole-box estimate against the sum of the halves.
+    Clipping at the [0, 1] boundary can introduce spurious gaps, so trials
+    whose raw estimates would clip are judged with the tolerance only.
+    """
+    violations = 0
+    for _ in range(trials):
+        box = Box.from_center(rng.random(dim), rng.random(dim) * 0.5 + 0.1, clip_to=unit_box(dim))
+        if box.volume() <= 0:
+            continue
+        axis = int(rng.integers(dim))
+        cut = box.lows[axis] + rng.random() * (box.highs[axis] - box.lows[axis])
+        left_highs = box.highs.copy()
+        left_highs[axis] = cut
+        right_lows = box.lows.copy()
+        right_lows[axis] = cut
+        left = Box(box.lows, left_highs)
+        right = Box(right_lows, box.highs)
+        whole = estimator.predict(box)
+        parts = estimator.predict(left) + estimator.predict(right)
+        if abs(whole - parts) > tol:
+            violations += 1
+    return violations / trials

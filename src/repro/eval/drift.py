@@ -1,0 +1,95 @@
+"""Workload-drift detection for deployed estimators.
+
+Section 4.3 shows accuracy degrades when the serving workload drifts away
+from the training workload.  A deployed query-driven estimator observes
+true selectivities as feedback anyway, so drift is *detectable* online:
+monitor the squared prediction error and flag when its recent level rises
+significantly above the level at deployment.
+
+:class:`DriftDetector` implements a one-sided CUSUM on squared errors —
+the standard change-point statistic: it accumulates exceedances of the
+baseline error (plus a slack), and signals when the accumulation crosses
+a threshold calibrated from the baseline's variability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DriftDetector"]
+
+
+class DriftDetector:
+    """One-sided CUSUM on an estimator's squared prediction errors.
+
+    Parameters
+    ----------
+    baseline_errors:
+        Squared errors observed right after (re)training — e.g. on a
+        held-out slice of the training feedback.  Defines the in-control
+        level and scale.
+    slack:
+        Allowance in baseline standard deviations added to the mean before
+        an observation counts as an exceedance (CUSUM's ``k``); larger =
+        less sensitive.  Squared errors are heavy-tailed, so the default
+        (1.0) is higher than the textbook Gaussian choice of 0.5 — at the
+        defaults the in-control false-alarm rate over 200 observations is
+        ~0 (calibrated in the tests).
+    threshold:
+        Alarm level in baseline standard deviations (CUSUM's ``h``).
+    """
+
+    def __init__(
+        self,
+        baseline_errors: np.ndarray,
+        slack: float = 1.0,
+        threshold: float = 12.0,
+    ):
+        baseline = np.asarray(baseline_errors, dtype=float)
+        if baseline.size < 2:
+            raise ValueError("need at least 2 baseline errors")
+        if not np.all(np.isfinite(baseline)) or np.any(baseline < 0):
+            raise ValueError("baseline errors must be finite and non-negative")
+        if slack < 0:
+            raise ValueError(f"slack must be non-negative, got {slack}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.mean = float(baseline.mean())
+        self.scale = float(max(baseline.std(ddof=1), 1e-9))
+        self.slack = float(slack)
+        self.threshold = float(threshold)
+        self._statistic = 0.0
+        self._observations = 0
+
+    @property
+    def statistic(self) -> float:
+        """Current CUSUM statistic (in baseline standard deviations)."""
+        return self._statistic
+
+    @property
+    def observations(self) -> int:
+        return self._observations
+
+    def update(self, estimated: float, true: float) -> bool:
+        """Feed one (estimate, truth) pair; returns True when drift fires."""
+        error = (float(estimated) - float(true)) ** 2
+        standardized = (error - self.mean) / self.scale
+        self._statistic = max(0.0, self._statistic + standardized - self.slack)
+        self._observations += 1
+        return self._statistic >= self.threshold
+
+    def update_many(self, estimated, true) -> bool:
+        """Feed a batch; returns True if drift fired at any point."""
+        est = np.asarray(estimated, dtype=float)
+        tru = np.asarray(true, dtype=float)
+        if est.shape != tru.shape:
+            raise ValueError(f"shape mismatch: {est.shape} vs {tru.shape}")
+        fired = False
+        for e, t in zip(est, tru):
+            fired = self.update(e, t) or fired
+        return fired
+
+    def reset(self) -> None:
+        """Clear the statistic (call after retraining)."""
+        self._statistic = 0.0
+        self._observations = 0

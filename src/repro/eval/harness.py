@@ -1,0 +1,125 @@
+"""Experiment harness: workload construction, training, timing, scoring.
+
+Every benchmark follows the same skeleton (Section 4's setup): build a
+dataset projection, generate training and test workloads from the same
+distribution, label both with exact selectivities, fit an estimator on the
+training pairs, and score predictions on the test pairs.  This module
+factors that skeleton so each benchmark file only declares its sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.data.datasets import Dataset
+from repro.data.selectivity import label_queries
+from repro.data.workloads import WorkloadSpec, generate_workload
+from repro.eval.metrics import linf_error, q_error_quantiles, rms_error
+from repro.geometry.ranges import Range
+
+__all__ = ["ExperimentResult", "make_workload", "train_test_workload", "evaluate_estimator"]
+
+
+@dataclass
+class Workload:
+    """Labeled query workload."""
+
+    queries: list[Range]
+    selectivities: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def nonempty(self, floor: float = 0.0) -> "Workload":
+        """Restrict to queries with true selectivity above ``floor``.
+
+        (Figure 14 / Table 1's "non-empty" variant.)
+        """
+        keep = [i for i, s in enumerate(self.selectivities) if s > floor]
+        return Workload(
+            [self.queries[i] for i in keep], self.selectivities[list(keep)]
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """One (estimator, workload) evaluation record."""
+
+    name: str
+    train_size: int
+    model_size: int
+    fit_seconds: float
+    predict_seconds: float
+    rms: float
+    linf: float
+    q_quantiles: dict[float, float] = field(default_factory=dict)
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for the reporting helpers."""
+        record: dict[str, object] = {
+            "method": self.name,
+            "train": self.train_size,
+            "buckets": self.model_size,
+            "fit_s": round(self.fit_seconds, 3),
+            "rms": round(self.rms, 5),
+            "linf": round(self.linf, 5),
+        }
+        for q, v in self.q_quantiles.items():
+            label = "MAX" if q >= 1.0 else f"q{int(q * 100)}"
+            record[label] = round(v, 3)
+        return record
+
+
+def make_workload(
+    dataset: Dataset,
+    count: int,
+    rng: np.random.Generator,
+    spec: WorkloadSpec | None = None,
+) -> Workload:
+    """Generate and label a workload against ``dataset``."""
+    queries = generate_workload(count, dataset.dim, rng, spec=spec, dataset=dataset)
+    return Workload(queries, label_queries(dataset, queries))
+
+
+def train_test_workload(
+    dataset: Dataset,
+    train_size: int,
+    test_size: int,
+    rng: np.random.Generator,
+    spec: WorkloadSpec | None = None,
+) -> tuple[Workload, Workload]:
+    """Independent train/test workloads from the same distribution."""
+    train = make_workload(dataset, train_size, rng, spec=spec)
+    test = make_workload(dataset, test_size, rng, spec=spec)
+    return train, test
+
+
+def evaluate_estimator(
+    name: str,
+    estimator: SelectivityEstimator,
+    train: Workload,
+    test: Workload,
+    q_floor: float | None = None,
+) -> ExperimentResult:
+    """Fit on ``train``, score on ``test``, time both phases."""
+    t0 = time.perf_counter()
+    estimator.fit(train.queries, train.selectivities)
+    t1 = time.perf_counter()
+    predictions = estimator.predict_many(test.queries)
+    t2 = time.perf_counter()
+    kwargs = {} if q_floor is None else {"floor": q_floor}
+    return ExperimentResult(
+        name=name,
+        train_size=len(train),
+        model_size=estimator.model_size,
+        fit_seconds=t1 - t0,
+        predict_seconds=t2 - t1,
+        rms=rms_error(predictions, test.selectivities),
+        linf=linf_error(predictions, test.selectivities),
+        q_quantiles=q_error_quantiles(predictions, test.selectivities, **kwargs),
+    )

@@ -1,0 +1,107 @@
+"""Learning curves and empirical sample complexity.
+
+Theorem 2.1 answers "how many training queries buy accuracy ε?" in the
+worst case; this module answers it *empirically* for a concrete dataset
+and workload:
+
+* :func:`learning_curve` — test error at each training size in a sweep
+  (averaged over seeds), the data behind every Figure-11-style plot;
+* :func:`empirical_sample_complexity` — the smallest training size whose
+  measured error meets a target, found by doubling search; the practical
+  counterpart of the theorem's ``n0(ε, δ)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.workloads import WorkloadSpec
+from repro.eval.harness import make_workload
+from repro.eval.metrics import rms_error
+
+__all__ = ["learning_curve", "empirical_sample_complexity"]
+
+
+def learning_curve(
+    estimator_factory: Callable[[int], object],
+    dataset: Dataset,
+    rng: np.random.Generator,
+    train_sizes: Sequence[int] = (25, 50, 100, 200, 400),
+    test_size: int = 150,
+    spec: WorkloadSpec | None = None,
+    repeats: int = 1,
+) -> list[dict]:
+    """Mean test RMS per training size.
+
+    Parameters
+    ----------
+    estimator_factory:
+        ``factory(train_size) -> estimator`` (size-dependent so model
+        complexity can follow the paper's 4x convention).
+    repeats:
+        Independent train-workload draws averaged per point.
+
+    Returns
+    -------
+    ``[{"train": n, "rms": mean, "rms_std": std}, ...]`` sorted by size.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if not train_sizes:
+        raise ValueError("train_sizes must be non-empty")
+    test = make_workload(dataset, test_size, rng, spec=spec)
+    curve = []
+    for n in sorted(train_sizes):
+        errors = []
+        for _ in range(repeats):
+            train = make_workload(dataset, n, rng, spec=spec)
+            model = estimator_factory(n)
+            model.fit(train.queries, train.selectivities)
+            errors.append(
+                rms_error(model.predict_many(test.queries), test.selectivities)
+            )
+        curve.append(
+            {
+                "train": int(n),
+                "rms": float(np.mean(errors)),
+                "rms_std": float(np.std(errors)),
+            }
+        )
+    return curve
+
+
+def empirical_sample_complexity(
+    estimator_factory: Callable[[int], object],
+    dataset: Dataset,
+    rng: np.random.Generator,
+    target_rms: float,
+    spec: WorkloadSpec | None = None,
+    test_size: int = 150,
+    start: int = 25,
+    max_size: int = 3200,
+) -> int | None:
+    """Smallest training size (by doubling search) meeting ``target_rms``.
+
+    Returns ``None`` if the target is not met by ``max_size`` — the
+    empirical analogue of "ε not yet reachable at this budget".
+    The returned size is a doubling-grid value, so it over-estimates the
+    true threshold by at most 2x.
+    """
+    if not 0.0 < target_rms < 1.0:
+        raise ValueError(f"target_rms must be in (0, 1), got {target_rms}")
+    if start < 1 or max_size < start:
+        raise ValueError(f"bad search range [{start}, {max_size}]")
+    test = make_workload(dataset, test_size, rng, spec=spec)
+    n = start
+    while n <= max_size:
+        train = make_workload(dataset, n, rng, spec=spec)
+        model = estimator_factory(n)
+        model.fit(train.queries, train.selectivities)
+        rms = rms_error(model.predict_many(test.queries), test.selectivities)
+        if rms <= target_rms:
+            return n
+        n *= 2
+    return None

@@ -1,0 +1,66 @@
+"""Error measures of Section 4 ("Error Measures").
+
+* **RMS error** — root mean squared difference between estimated and true
+  selectivity.
+* **Q-error** — per-query ratio ``max(ŝ, s) / min(ŝ, s)``; reported as
+  quantiles (50th/95th/99th/MAX in the paper's tables).  The paper does
+  not state its zero-handling convention; we use the standard floor of one
+  tuple's worth of selectivity (``1/n_rows``) on both operands, which keeps
+  the ratio finite and is the convention of the benchmark paper [46] the
+  datasets come from.
+* **L∞ error** — maximum absolute deviation (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["rms_error", "linf_error", "q_errors", "q_error_quantiles"]
+
+#: Default Q-error floor: one tuple out of the ~40k-row synthetic datasets.
+DEFAULT_Q_FLOOR = 1.0 / 40_000
+
+
+def _validate(estimated, true) -> tuple[np.ndarray, np.ndarray]:
+    est = np.asarray(estimated, dtype=float)
+    tru = np.asarray(true, dtype=float)
+    if est.shape != tru.shape:
+        raise ValueError(f"shape mismatch: estimated {est.shape} vs true {tru.shape}")
+    if est.size == 0:
+        raise ValueError("empty evaluation sample")
+    return est, tru
+
+
+def rms_error(estimated, true) -> float:
+    """Root mean squared selectivity error."""
+    est, tru = _validate(estimated, true)
+    return float(np.sqrt(np.mean((est - tru) ** 2)))
+
+
+def linf_error(estimated, true) -> float:
+    """Maximum absolute selectivity error."""
+    est, tru = _validate(estimated, true)
+    return float(np.max(np.abs(est - tru)))
+
+
+def q_errors(estimated, true, floor: float = DEFAULT_Q_FLOOR) -> np.ndarray:
+    """Per-query Q-errors ``max(ŝ, s)/min(ŝ, s)`` with a zero floor."""
+    est, tru = _validate(estimated, true)
+    if floor <= 0:
+        raise ValueError(f"floor must be positive, got {floor}")
+    est = np.maximum(est, floor)
+    tru = np.maximum(tru, floor)
+    return np.maximum(est, tru) / np.minimum(est, tru)
+
+
+def q_error_quantiles(
+    estimated,
+    true,
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99, 1.0),
+    floor: float = DEFAULT_Q_FLOOR,
+) -> dict[float, float]:
+    """Q-error quantiles, defaulting to the paper's 50th/95th/99th/MAX."""
+    errors = q_errors(estimated, true, floor=floor)
+    return {q: float(np.quantile(errors, q)) for q in quantiles}

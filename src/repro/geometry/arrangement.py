@@ -1,0 +1,218 @@
+"""Arrangement of training ranges (Section 3.1 bucket design).
+
+The generic learning procedure of Section 3.1 chooses buckets from the
+*arrangement* of the training ranges: the partition of the domain into
+maximal regions lying in the same subset of ranges.  Two constructions are
+provided:
+
+* :func:`box_arrangement_cells` — the exact arrangement refinement for
+  orthogonal ranges: the coordinate grid induced by all box edges.  Each
+  grid cell lies in a fixed subset of the ranges (constant complexity), so
+  the grid is a valid refinement in the sense of the paper.  Size is
+  ``O((2n+1)^d)``, which is why the paper (and we) only use it in low
+  dimension.
+
+* :func:`sign_vector_cells` — the generic construction for arbitrary
+  ranges: Monte-Carlo points are grouped by their *sign vector* (the subset
+  of ranges containing them), and one representative per distinct sign
+  vector becomes a discrete-distribution bucket.  This realises the
+  discrete-distribution variant of Section 3.1 for any query class.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.ranges import Box, Halfspace, Range, unit_box
+from repro.geometry.sampling import sample_in_box
+
+__all__ = [
+    "box_arrangement_cells",
+    "sign_vector_cells",
+    "halfspace_arrangement_points",
+]
+
+
+def box_arrangement_cells(
+    boxes: Sequence[Box],
+    domain: Box | None = None,
+    max_cells: int = 250_000,
+) -> list[Box]:
+    """Exact grid refinement of the arrangement of axis-aligned boxes.
+
+    Every returned cell is a box lying entirely inside or outside each input
+    box, and the cells partition the domain (up to measure-zero boundaries).
+
+    Raises
+    ------
+    ValueError
+        If the refinement would exceed ``max_cells`` (a guard against the
+        exponential blow-up the paper warns about).
+    """
+    if not boxes:
+        domain = domain if domain is not None else unit_box(1)
+        return [domain]
+    dim = boxes[0].dim
+    if domain is None:
+        domain = unit_box(dim)
+    if any(b.dim != dim for b in boxes):
+        raise ValueError("all boxes must share a dimension")
+
+    cuts_per_dim: list[np.ndarray] = []
+    cell_count = 1
+    for axis in range(dim):
+        coords = {float(domain.lows[axis]), float(domain.highs[axis])}
+        for box in boxes:
+            lo = float(np.clip(box.lows[axis], domain.lows[axis], domain.highs[axis]))
+            hi = float(np.clip(box.highs[axis], domain.lows[axis], domain.highs[axis]))
+            coords.add(lo)
+            coords.add(hi)
+        cuts = np.array(sorted(coords))
+        cuts_per_dim.append(cuts)
+        cell_count *= max(1, len(cuts) - 1)
+        if cell_count > max_cells:
+            raise ValueError(
+                f"arrangement refinement would need >{max_cells} cells "
+                f"(dimension {dim}, {len(boxes)} ranges); use sign_vector_cells instead"
+            )
+
+    cells: list[Box] = []
+    index = [0] * dim
+    while True:
+        lows = np.array([cuts_per_dim[a][index[a]] for a in range(dim)])
+        highs = np.array([cuts_per_dim[a][index[a] + 1] for a in range(dim)])
+        cells.append(Box(lows, highs))
+        # Odometer-style increment over the grid indices.
+        axis = 0
+        while axis < dim:
+            index[axis] += 1
+            if index[axis] < len(cuts_per_dim[axis]) - 1:
+                break
+            index[axis] = 0
+            axis += 1
+        if axis == dim:
+            break
+    return cells
+
+
+def sign_vector_cells(
+    ranges: Sequence[Range],
+    rng: np.random.Generator,
+    domain: Box | None = None,
+    samples: int = 4096,
+) -> np.ndarray:
+    """Representative points for the distinct arrangement cells of ``ranges``.
+
+    Draws ``samples`` uniform points in the domain, groups them by the
+    subset of ranges containing them, and returns one representative point
+    per non-trivial group (plus one for the "outside everything" region if
+    present).  The result is suitable as the support of a discrete
+    distribution in the sense of Section 3.1.
+    """
+    if not ranges:
+        domain = domain if domain is not None else unit_box(1)
+        return domain.center()[None, :]
+    dim = ranges[0].dim
+    if domain is None:
+        domain = unit_box(dim)
+    points = sample_in_box(domain, samples, rng)
+    membership = np.stack([np.asarray(r.contains(points)) for r in ranges], axis=1)
+    # Hash each sign vector into a grouping key.
+    weights = 1 << np.arange(min(len(ranges), 62), dtype=np.int64)
+    if len(ranges) <= 62:
+        keys = membership[:, : len(weights)] @ weights
+    else:  # fall back to row-wise bytes for very large range sets
+        keys = np.array([row.tobytes() for row in membership])
+    _, first_indices = np.unique(keys, return_index=True)
+    return points[np.sort(first_indices)]
+
+
+def halfspace_arrangement_points(
+    halfspaces: Sequence[Halfspace],
+    domain: Box | None = None,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Exact cell representatives for a 2-D halfspace (line) arrangement.
+
+    Every bounded cell of an arrangement of lines clipped to a box is
+    incident to at least one arrangement *vertex* — a line–line crossing,
+    a line–boundary crossing, or a box corner.  Around each vertex the
+    incident cells are angular sectors, so points offset from the vertex
+    along the sector bisector directions (built from the crossing lines'
+    direction vectors) land one in each incident cell.  Generating those
+    offsets for every vertex and deduplicating by sign vector yields one
+    representative point per non-empty cell — the exact discrete bucket
+    set of Section 3.1 for linear-inequality queries in the plane.
+
+    Assumes general position (no three lines through one point); random
+    workloads satisfy this almost surely, and a degenerate crossing only
+    costs a possibly-missed sliver cell, never a wrong representative.
+    """
+    if any(h.dim != 2 for h in halfspaces):
+        raise ValueError("halfspace_arrangement_points is 2-D only")
+    if domain is None:
+        domain = unit_box(2)
+    if not 0 < epsilon < 0.1:
+        raise ValueError(f"epsilon must be in (0, 0.1), got {epsilon}")
+
+    # All boundary lines in implicit form n.x = b: the halfspace boundaries
+    # plus the four domain edges.
+    normals: list[np.ndarray] = [np.asarray(h.normal, dtype=float) for h in halfspaces]
+    offsets: list[float] = [float(h.offset) for h in halfspaces]
+    for axis in range(2):
+        edge_normal = np.zeros(2)
+        edge_normal[axis] = 1.0
+        normals.append(edge_normal.copy())
+        offsets.append(float(domain.lows[axis]))
+        normals.append(edge_normal.copy())
+        offsets.append(float(domain.highs[axis]))
+
+    candidates: list[np.ndarray] = [domain.center()]
+    # Box corners, offset inward.
+    for cx in (domain.lows[0] + epsilon, domain.highs[0] - epsilon):
+        for cy in (domain.lows[1] + epsilon, domain.highs[1] - epsilon):
+            candidates.append(np.array([cx, cy]))
+    # Line-line crossings with sector-bisector offsets.
+    n_lines = len(normals)
+    for i in range(n_lines):
+        for j in range(i + 1, n_lines):
+            matrix = np.stack([normals[i], normals[j]])
+            det = float(np.linalg.det(matrix))
+            if abs(det) < 1e-12:
+                continue  # parallel
+            vertex = np.linalg.solve(matrix, np.array([offsets[i], offsets[j]]))
+            if not (
+                domain.lows[0] - epsilon <= vertex[0] <= domain.highs[0] + epsilon
+                and domain.lows[1] - epsilon <= vertex[1] <= domain.highs[1] + epsilon
+            ):
+                continue
+            # Direction vectors of the two lines (perpendicular to normals).
+            d1 = np.array([-normals[i][1], normals[i][0]])
+            d2 = np.array([-normals[j][1], normals[j][0]])
+            d1 /= np.linalg.norm(d1)
+            d2 /= np.linalg.norm(d2)
+            for direction in (d1 + d2, d1 - d2, -d1 + d2, -d1 - d2):
+                norm = float(np.linalg.norm(direction))
+                if norm < 1e-12:
+                    continue
+                candidates.append(vertex + epsilon * direction / norm)
+
+    points = np.clip(
+        np.stack(candidates),
+        domain.lows + epsilon / 2,
+        domain.highs - epsilon / 2,
+    )
+    # Deduplicate by sign vector over the halfspaces.
+    if halfspaces:
+        membership = np.stack(
+            [np.asarray(h.contains(points)) for h in halfspaces], axis=1
+        )
+        weights = 1 << np.arange(min(len(halfspaces), 62), dtype=np.int64)
+        keys = membership[:, : len(weights)] @ weights
+        _, first = np.unique(keys, return_index=True)
+        points = points[np.sort(first)]
+    else:
+        points = points[:1]
+    return points

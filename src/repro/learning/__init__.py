@@ -1,0 +1,83 @@
+"""Learning-theoretic core of the paper (Section 2).
+
+This package operationalises the paper's theory:
+
+* :mod:`~repro.learning.range_space` — range spaces ``(X, R)`` with exact
+  *realizability oracles* per query family (can this dichotomy of a point
+  set be cut out by some range?), shattering tests, and dual range spaces.
+* :mod:`~repro.learning.vc` — VC-dimension certification: lower bounds via
+  explicit shattered sets, upper-bound spot checks via randomized search.
+* :mod:`~repro.learning.fat_shattering` — γ-fat-shattering of selectivity
+  function classes: the LP-based shattering test behind Lemma 2.6, and the
+  delta-distribution construction of Lemma 2.7.
+* :mod:`~repro.learning.bounds` — sample-complexity bounds: Bartlett–Long's
+  ``n0(ε, δ)`` and the Theorem 2.1 instantiations per query class.
+* :mod:`~repro.learning.agnostic` — the agnostic-learning framework: loss
+  functions and empirical/expected risk, matching Section 2.1.
+"""
+
+from repro.learning.range_space import (
+    RangeSpace,
+    ball_space,
+    box_space,
+    convex_polygon_space,
+    dual_shatters,
+    halfspace_space,
+)
+from repro.learning.vc import (
+    estimate_vc_dimension,
+    shatters,
+    vc_dimension_lower_bound,
+)
+from repro.learning.fat_shattering import (
+    delta_distribution_fat_shatters,
+    fat_shatters,
+)
+from repro.learning.bounds import (
+    ball_training_bound,
+    bartlett_long_sample_size,
+    fat_shattering_upper_bound,
+    halfspace_training_bound,
+    orthogonal_range_training_bound,
+    theorem21_training_bound,
+)
+from repro.learning.agnostic import (
+    empirical_risk,
+    l1_loss,
+    l2_loss,
+    linf_loss,
+)
+from repro.learning.crossing import (
+    crossing_counts,
+    expected_crossings,
+    greedy_low_crossing_order,
+    max_crossing_number,
+)
+
+__all__ = [
+    "RangeSpace",
+    "box_space",
+    "halfspace_space",
+    "ball_space",
+    "convex_polygon_space",
+    "dual_shatters",
+    "shatters",
+    "vc_dimension_lower_bound",
+    "estimate_vc_dimension",
+    "fat_shatters",
+    "delta_distribution_fat_shatters",
+    "bartlett_long_sample_size",
+    "fat_shattering_upper_bound",
+    "theorem21_training_bound",
+    "orthogonal_range_training_bound",
+    "halfspace_training_bound",
+    "ball_training_bound",
+    "empirical_risk",
+    "l1_loss",
+    "l2_loss",
+    "linf_loss",
+    "crossing_counts",
+    "max_crossing_number",
+    "expected_crossings",
+    "greedy_low_crossing_order",
+]

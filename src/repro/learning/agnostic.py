@@ -1,0 +1,62 @@
+"""The agnostic-learning framework of Section 2.1.
+
+Training samples are pairs ``z = (R, s) ∈ R × [0,1]`` drawn from an
+arbitrary distribution ``Q`` — the labels need *not* come from any data
+distribution (the "Remark" after Theorem 2.1).  A hypothesis ``H`` maps
+ranges to ``[0, 1]``; its quality is the expected loss ``er_Q(H)``.  Here we
+provide the loss functions the paper considers (squared / L1 / L-infinity)
+and empirical-risk evaluation against a finite sample.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["l2_loss", "l1_loss", "linf_loss", "empirical_risk"]
+
+
+def _validate(predictions, labels) -> tuple[np.ndarray, np.ndarray]:
+    preds = np.asarray(predictions, dtype=float)
+    labs = np.asarray(labels, dtype=float)
+    if preds.shape != labs.shape:
+        raise ValueError(f"shape mismatch: predictions {preds.shape} vs labels {labs.shape}")
+    if preds.size == 0:
+        raise ValueError("empty sample")
+    return preds, labs
+
+
+def l2_loss(predictions, labels) -> float:
+    """Mean squared loss ``(H(y) - w)^2`` averaged over the sample (Eq. 1)."""
+    preds, labs = _validate(predictions, labels)
+    return float(np.mean((preds - labs) ** 2))
+
+
+def l1_loss(predictions, labels) -> float:
+    """Mean absolute loss (the L1 variant noted after Theorem 2.1)."""
+    preds, labs = _validate(predictions, labels)
+    return float(np.mean(np.abs(preds - labs)))
+
+
+def linf_loss(predictions, labels) -> float:
+    """Worst-case absolute loss (the L∞ variant, used in Section 4.6)."""
+    preds, labs = _validate(predictions, labels)
+    return float(np.max(np.abs(preds - labs)))
+
+
+def empirical_risk(
+    hypothesis: Callable[[object], float],
+    sample: Sequence[tuple[object, float]],
+    loss: Callable[[np.ndarray, np.ndarray], float] = l2_loss,
+) -> float:
+    """Empirical risk of ``hypothesis`` on ``sample = [(range, label), ...]``.
+
+    This is the quantity the learning procedure of Section 3 minimises over
+    the hypothesis family (Eq. 8 for the L2 loss).
+    """
+    if not sample:
+        raise ValueError("empty sample")
+    preds = np.array([hypothesis(r) for r, _ in sample], dtype=float)
+    labels = np.array([s for _, s in sample], dtype=float)
+    return loss(preds, labels)

@@ -1,0 +1,96 @@
+"""Sample-complexity bounds (Theorem 2.1 and its ingredients).
+
+All bounds are *orders of growth with explicit constants chosen as 1* — the
+paper states them in big-O form, so the absolute values returned here are
+meaningful only up to a constant factor.  They are still useful in two
+ways: the benchmarks report the predicted *scaling* next to measured error
+curves, and the tests check monotonicity/limit behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bartlett_long_sample_size",
+    "fat_shattering_upper_bound",
+    "theorem21_training_bound",
+    "orthogonal_range_training_bound",
+    "halfspace_training_bound",
+    "ball_training_bound",
+]
+
+
+def _check_eps_delta(eps: float, delta: float) -> None:
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+def bartlett_long_sample_size(fat_at_eps9: float, eps: float, delta: float, c: float = 1.0) -> float:
+    """Bartlett–Long training-set size (Section 2.3).
+
+    .. math::
+        n_0(ε, δ) = O\\!\\left(\\frac{1}{ε^2}
+            \\left\\{ fat_H(ε/9) \\log^2 \\frac{1}{ε} + \\log \\frac{1}{δ}
+            \\right\\}\\right)
+
+    Parameters
+    ----------
+    fat_at_eps9:
+        The γ-fat-shattering dimension evaluated at ``γ = ε/9``.
+    c:
+        The hidden constant (1 by default).
+    """
+    _check_eps_delta(eps, delta)
+    if fat_at_eps9 < 0:
+        raise ValueError(f"fat-shattering dimension must be >= 0, got {fat_at_eps9}")
+    log_inv_eps = math.log(1.0 / eps)
+    return c / eps**2 * (fat_at_eps9 * log_inv_eps**2 + math.log(1.0 / delta))
+
+
+def fat_shattering_upper_bound(vc_dim: int, gamma: float, c: float = 1.0) -> float:
+    """Lemma 2.6: ``fat_S(γ) = Õ(1/γ^(λ+1))`` for ``λ = VC-dim(Σ)``.
+
+    Expanded form (from summing Lemma 2.5 over the ``1/γ`` witness bands):
+    ``(1/γ) * ((1/γ) log(1/γ))^λ``.
+    """
+    if vc_dim < 1:
+        raise ValueError(f"vc_dim must be >= 1, got {vc_dim}")
+    if not 0.0 < gamma < 1.0:
+        raise ValueError(f"gamma must be in (0, 1), got {gamma}")
+    inv = 1.0 / gamma
+    log_term = max(math.log(inv), 1.0)
+    return c * inv * (inv * log_term) ** vc_dim
+
+
+def theorem21_training_bound(vc_dim: int, eps: float, delta: float, c: float = 1.0) -> float:
+    """Theorem 2.1: training-set size ``Õ(1/ε^(λ+3))``.
+
+    Composed from Lemma 2.6 at ``γ = ε/9`` plugged into Bartlett–Long.
+    """
+    _check_eps_delta(eps, delta)
+    fat = fat_shattering_upper_bound(vc_dim, eps / 9.0, c=c)
+    return bartlett_long_sample_size(fat, eps, delta, c=c)
+
+
+def orthogonal_range_training_bound(dim: int, eps: float, delta: float) -> float:
+    """Orthogonal ranges: ``λ = 2d`` ⟹ training size ``Õ(1/ε^(2d+3))``."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return theorem21_training_bound(2 * dim, eps, delta)
+
+
+def halfspace_training_bound(dim: int, eps: float, delta: float) -> float:
+    """Halfspaces: ``λ = d+1`` ⟹ training size ``Õ(1/ε^(d+4))``."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return theorem21_training_bound(dim + 1, eps, delta)
+
+
+def ball_training_bound(dim: int, eps: float, delta: float) -> float:
+    """Balls: ``λ <= d+2`` ⟹ training size ``Õ(1/ε^(d+5))``."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return theorem21_training_bound(dim + 2, eps, delta)

@@ -1,0 +1,106 @@
+"""Low-crossing orderings of range sets (the Lemma 2.4 machinery).
+
+The heart of the fat-shattering upper bound (Lemma 2.6) is Lemma 2.4: the
+ranges of any ``T_j`` can be ordered ``R_1, ..., R_k`` so that *every*
+point crosses only ``O(k^{1-1/λ} log k)`` consecutive pairs, where a point
+``x`` crosses ``(R_i, R_{i+1})`` if ``x ∈ R_i ⊕ R_{i+1}`` (symmetric
+difference).  The existence proof uses Chazelle–Welzl's spanning paths of
+low crossing number in the dual range space.
+
+This module makes the quantity measurable and provides a practical
+ordering heuristic:
+
+* :func:`max_crossing_number` — the exact (over a point sample) maximum
+  number of consecutive symmetric-difference memberships for an ordering,
+* :func:`greedy_low_crossing_order` — nearest-neighbour chaining by
+  symmetric-difference measure, the standard practical surrogate for the
+  Chazelle–Welzl construction,
+* :func:`expected_crossings` — the quantity ``E_x[I_x]`` from Lemma 2.3/2.4
+  under a point distribution.
+
+The tests verify the lemma's *shape*: greedy orderings beat random ones,
+and the max crossing number grows sublinearly in ``k`` for boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.ranges import Range
+
+__all__ = [
+    "crossing_counts",
+    "max_crossing_number",
+    "expected_crossings",
+    "greedy_low_crossing_order",
+]
+
+
+def _membership(ranges: Sequence[Range], points: np.ndarray) -> np.ndarray:
+    """(n_points, n_ranges) boolean membership matrix."""
+    return np.stack([np.asarray(r.contains(points)) for r in ranges], axis=1)
+
+
+def crossing_counts(
+    ranges: Sequence[Range], order: Sequence[int], points: np.ndarray
+) -> np.ndarray:
+    """``I_x`` for each sample point: how many consecutive pairs it crosses."""
+    if len(order) != len(ranges):
+        raise ValueError("order must be a permutation of the ranges")
+    if sorted(order) != list(range(len(ranges))):
+        raise ValueError("order must be a permutation of 0..k-1")
+    membership = _membership(ranges, np.asarray(points, dtype=float))
+    ordered = membership[:, list(order)]
+    return np.sum(ordered[:, :-1] != ordered[:, 1:], axis=1)
+
+
+def max_crossing_number(
+    ranges: Sequence[Range], order: Sequence[int], points: np.ndarray
+) -> int:
+    """``max_x I_x`` over the point sample (Lemma 2.4's bounded quantity)."""
+    return int(crossing_counts(ranges, order, points).max(initial=0))
+
+
+def expected_crossings(
+    ranges: Sequence[Range], order: Sequence[int], points: np.ndarray
+) -> float:
+    """``E_x[I_x]`` under the empirical distribution of ``points``.
+
+    Lemma 2.3 lower-bounds this by ``γ(k-1)`` for shattered range sets;
+    Lemma 2.4 upper-bounds it by ``O(k^{1-1/λ} log k)`` for a good
+    ordering — the tension that bounds ``|T_j|`` (Lemma 2.5).
+    """
+    return float(crossing_counts(ranges, order, points).mean())
+
+
+def greedy_low_crossing_order(
+    ranges: Sequence[Range], points: np.ndarray, start: int = 0
+) -> list[int]:
+    """Nearest-neighbour chaining by symmetric-difference measure.
+
+    Starting from ``ranges[start]``, repeatedly appends the unused range
+    whose symmetric difference with the current one contains the fewest
+    sample points.  This greedy surrogate does not carry Chazelle–Welzl's
+    worst-case guarantee but achieves low crossing numbers in practice
+    (verified against random orderings in the tests).
+    """
+    k = len(ranges)
+    if k == 0:
+        return []
+    if not 0 <= start < k:
+        raise ValueError(f"start must be in [0, {k}), got {start}")
+    membership = _membership(ranges, np.asarray(points, dtype=float))
+    remaining = set(range(k))
+    order = [start]
+    remaining.discard(start)
+    current = membership[:, start]
+    while remaining:
+        candidates = sorted(remaining)
+        diffs = [int(np.sum(current != membership[:, j])) for j in candidates]
+        best = candidates[int(np.argmin(diffs))]
+        order.append(best)
+        remaining.discard(best)
+        current = membership[:, best]
+    return order

@@ -1,0 +1,114 @@
+"""γ-fat-shattering of selectivity function classes (Section 2.3).
+
+A set of ranges ``T`` is γ-shattered by the selectivity class
+``S = {s_D : D in 𝒟}`` if there is a witness ``σ: T -> [0,1]`` such that for
+every ``E ⊆ T`` some distribution ``D_E`` satisfies
+
+.. math::
+    s_{D_E}(R) \\ge σ(R) + γ  (R \\in E), \\qquad
+    s_{D_E}(R) \\le σ(R) - γ  (R \\in T \\setminus E).
+
+When 𝒟 is the family of discrete distributions over a finite atom pool, the
+existence of *both* the witness and all ``2^|T|`` distributions is a single
+linear feasibility problem — implemented in :func:`fat_shatters`.  The
+delta-distribution construction of Lemma 2.7 (dual shattering ⟹ γ-fat
+shattering for every γ < 1/2) is :func:`delta_distribution_fat_shatters`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.learning.range_space import dual_shatters
+
+__all__ = ["fat_shatters", "delta_distribution_fat_shatters"]
+
+
+def _membership_matrix(ranges: Sequence, atoms: np.ndarray) -> np.ndarray:
+    """``M[t, j] = 1`` iff atom ``j`` lies in range ``t``."""
+    return np.stack([np.asarray(r.contains(atoms), dtype=float) for r in ranges], axis=0)
+
+
+def fat_shatters(ranges: Sequence, atoms: np.ndarray, gamma: float) -> bool:
+    """Exact γ-shattering test over discrete distributions on ``atoms``.
+
+    Builds one LP whose variables are the shared witness values
+    ``σ(R_1..R_t)`` plus a probability vector ``w^E`` over the atoms for
+    each of the ``2^t`` subsets ``E``, with the γ-shattering inequalities as
+    constraints.  Feasibility of the LP is exactly γ-shatterability of the
+    range set by the class of discrete distributions supported on ``atoms``.
+
+    Cost grows as ``2^t``; intended for the small ``t`` used to verify
+    Lemma 2.6/2.7 empirically (``t <= 6``).
+    """
+    t = len(ranges)
+    if t == 0:
+        return True
+    if t > 12:
+        raise ValueError(f"refusing 2^{t} subsets; use t <= 12")
+    if not 0.0 < gamma < 0.5:
+        raise ValueError(f"gamma must be in (0, 1/2), got {gamma}")
+    atoms_arr = np.asarray(atoms, dtype=float)
+    m = atoms_arr.shape[0]
+    membership = _membership_matrix(ranges, atoms_arr)  # (t, m)
+
+    n_subsets = 1 << t
+    # Variable layout: [sigma (t) | w^0 (m) | w^1 (m) | ... | w^{2^t-1} (m)]
+    n_vars = t + n_subsets * m
+    a_ub_rows: list[np.ndarray] = []
+    b_ub: list[float] = []
+    a_eq_rows: list[np.ndarray] = []
+    b_eq: list[float] = []
+    for subset_bits in range(n_subsets):
+        w_off = t + subset_bits * m
+        # Distribution constraint: sum(w^E) = 1, w >= 0 via bounds.
+        eq_row = np.zeros(n_vars)
+        eq_row[w_off : w_off + m] = 1.0
+        a_eq_rows.append(eq_row)
+        b_eq.append(1.0)
+        for r_idx in range(t):
+            row = np.zeros(n_vars)
+            row[w_off : w_off + m] = membership[r_idx]
+            if (subset_bits >> r_idx) & 1:
+                # s(R) >= sigma + gamma  ->  sigma - s(R) <= -gamma
+                row = -row
+                row[r_idx] = 1.0
+                a_ub_rows.append(row)
+                b_ub.append(-gamma)
+            else:
+                # s(R) <= sigma - gamma  ->  s(R) - sigma <= -gamma
+                row[r_idx] = -1.0
+                a_ub_rows.append(row)
+                b_ub.append(-gamma)
+
+    bounds = [(0.0, 1.0)] * t + [(0.0, 1.0)] * (n_subsets * m)
+    result = linprog(
+        c=np.zeros(n_vars),
+        A_ub=np.array(a_ub_rows),
+        b_ub=np.array(b_ub),
+        A_eq=np.array(a_eq_rows),
+        b_eq=np.array(b_eq),
+        bounds=bounds,
+        method="highs",
+    )
+    return bool(result.status == 0)
+
+
+def delta_distribution_fat_shatters(
+    ranges: Sequence, candidate_points: np.ndarray, gamma: float = 0.49
+) -> bool:
+    """Lemma 2.7's construction: dual shattering ⟹ γ-fat shattering.
+
+    If for every subset ``E`` of the ranges there is a point ``x_E``
+    contained in exactly the ranges of ``E`` (dual shattering, searched over
+    ``candidate_points``), then with witness ``σ ≡ 1/2`` the delta
+    distributions at the ``x_E`` γ-shatter the ranges for every
+    ``γ < 1/2``: ``s_{δ_{x_E}}(R)`` is 1 on ``E`` and 0 off it.
+    """
+    if not 0.0 < gamma < 0.5:
+        raise ValueError(f"gamma must be in (0, 1/2), got {gamma}")
+    witnesses = dual_shatters(ranges, candidate_points)
+    return len(witnesses) == (1 << len(ranges))

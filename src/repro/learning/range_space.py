@@ -1,0 +1,215 @@
+"""Range spaces and realizability oracles.
+
+A range space ``Σ = (X, R)`` (Section 2) is represented here by a
+*realizability oracle*: given a finite point set ``P`` and a target subset
+``E ⊆ P``, decide whether some range ``R ∈ R`` realises exactly that
+dichotomy (``P ∩ R = E``).  Shattering and VC-dimension computations reduce
+to the oracle, so each query family only needs its own exact decision
+procedure:
+
+* **boxes** — ``E`` is realizable iff the bounding box of ``E`` contains no
+  point of ``P \\ E`` (the classic argument behind VC-dim = 2d, Figure 2),
+* **halfspaces** — realizable iff ``E`` and ``P \\ E`` are strictly linearly
+  separable; decided by a feasibility LP,
+* **balls** — realizable iff the points are separable after lifting to the
+  paraboloid (``x -> (x, ||x||^2)``), a halfspace LP in dimension ``d+1``,
+* **convex polygons** (unbounded vertex count, VC-dim = ∞) — realizable iff
+  no point of ``P \\ E`` lies in the convex hull of ``E``; decided by an LP
+  per excluded point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = [
+    "RangeSpace",
+    "box_space",
+    "halfspace_space",
+    "ball_space",
+    "convex_polygon_space",
+    "dual_shatters",
+]
+
+
+def _subset_mask(n: int, subset: Iterable[int]) -> np.ndarray:
+    mask = np.zeros(n, dtype=bool)
+    for i in subset:
+        if i < 0 or i >= n:
+            raise IndexError(f"subset index {i} out of range for {n} points")
+        mask[i] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class RangeSpace:
+    """A range space described by name, dimension and realizability oracle.
+
+    Attributes
+    ----------
+    name:
+        Human-readable family name (e.g. ``"boxes"``).
+    dim:
+        Ambient dimension of the ground set ``X ⊆ R^dim``.
+    realizes:
+        ``realizes(points, mask) -> bool`` deciding whether some range cuts
+        out exactly ``points[mask]`` from ``points``.
+    vc_dimension:
+        Known VC dimension of the family (``None`` for unknown,
+        ``float('inf')`` for unbounded).
+    """
+
+    name: str
+    dim: int
+    realizes: Callable[[np.ndarray, np.ndarray], bool] = field(repr=False)
+    vc_dimension: float | None = None
+
+    def realizes_subset(self, points: np.ndarray, subset: Iterable[int]) -> bool:
+        """Convenience wrapper taking index iterables instead of masks."""
+        pts = np.asarray(points, dtype=float)
+        return self.realizes(pts, _subset_mask(pts.shape[0], subset))
+
+
+def _box_realizes(points: np.ndarray, mask: np.ndarray) -> bool:
+    if not mask.any():
+        return True  # the empty set is cut out by a far-away box
+    if mask.all():
+        return True
+    inside = points[mask]
+    outside = points[~mask]
+    lows = inside.min(axis=0)
+    highs = inside.max(axis=0)
+    # The minimal box containing E is [lows, highs]; E is realizable iff it
+    # excludes every other point.  (Ranges are closed, so boundary contact
+    # counts as containment.)
+    contained = np.all((outside >= lows - 1e-12) & (outside <= highs + 1e-12), axis=1)
+    return not bool(contained.any())
+
+
+def _strictly_separable(
+    positive: np.ndarray, negative: np.ndarray, force_last_negative: bool = False
+) -> bool:
+    """Strict linear separability via a hard-margin feasibility LP.
+
+    Finds ``(a, b)`` with ``a.x - b >= 1`` on positives and ``<= -1`` on
+    negatives; such a pair exists iff the sets are strictly separable
+    (scaling any strict separator achieves margin 1).
+
+    ``force_last_negative`` restricts the separator's last coefficient to be
+    strictly negative, which is what genuine *balls* (rather than balls or
+    their complements) need after the paraboloid lifting: the inside of a
+    ball maps to the region *below* a hyperplane in lifted space.
+    """
+    dim = positive.shape[1] if positive.size else negative.shape[1]
+    n_pos, n_neg = positive.shape[0], negative.shape[0]
+    if n_pos == 0 or n_neg == 0:
+        return True
+    # Variables: a (dim), b (1).  linprog uses A_ub x <= b_ub.
+    #   -(a.x - b) <= -1  for positives
+    #    (a.x - b) <= -1  for negatives
+    a_ub = np.zeros((n_pos + n_neg, dim + 1))
+    a_ub[:n_pos, :dim] = -positive
+    a_ub[:n_pos, dim] = 1.0
+    a_ub[n_pos:, :dim] = negative
+    a_ub[n_pos:, dim] = -1.0
+    b_ub = -np.ones(n_pos + n_neg)
+    bounds: list[tuple[float, float]] = [(-1e6, 1e6)] * (dim + 1)
+    if force_last_negative:
+        bounds[dim - 1] = (-1e6, -1e-9)
+    result = linprog(
+        c=np.zeros(dim + 1), A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs"
+    )
+    return bool(result.status == 0)
+
+
+def _halfspace_realizes(points: np.ndarray, mask: np.ndarray) -> bool:
+    return _strictly_separable(points[mask], points[~mask])
+
+
+def _ball_realizes(points: np.ndarray, mask: np.ndarray) -> bool:
+    # ||x - c||^2 <= r^2  <=>  2 c.x - ||x||^2 >= ||c||^2 - r^2: the inside
+    # of a ball is the set of lifted points (x, ||x||^2) below a hyperplane
+    # whose ||x||^2-coefficient is negative.  Without the sign restriction
+    # the oracle would also accept *complements* of balls.
+    if not mask.any():
+        return True  # a far-away tiny ball excludes everything
+    lifted = np.concatenate([points, np.sum(points**2, axis=1, keepdims=True)], axis=1)
+    return _strictly_separable(lifted[mask], lifted[~mask], force_last_negative=True)
+
+
+def _in_convex_hull(point: np.ndarray, hull_points: np.ndarray) -> bool:
+    """LP test: is ``point`` a convex combination of ``hull_points``?"""
+    n = hull_points.shape[0]
+    if n == 0:
+        return False
+    a_eq = np.concatenate([hull_points.T, np.ones((1, n))], axis=0)
+    b_eq = np.concatenate([point, [1.0]])
+    result = linprog(
+        c=np.zeros(n), A_eq=a_eq, b_eq=b_eq, bounds=[(0, None)] * n, method="highs"
+    )
+    return bool(result.status == 0)
+
+
+def _convex_polygon_realizes(points: np.ndarray, mask: np.ndarray) -> bool:
+    if not mask.any():
+        return True
+    inside = points[mask]
+    outside = points[~mask]
+    return not any(_in_convex_hull(p, inside) for p in outside)
+
+
+def box_space(dim: int) -> RangeSpace:
+    """Orthogonal ranges in ``R^dim``; VC-dim = 2*dim (Section 2.2)."""
+    return RangeSpace("boxes", dim, _box_realizes, vc_dimension=2 * dim)
+
+
+def halfspace_space(dim: int) -> RangeSpace:
+    """Halfspaces in ``R^dim``; VC-dim = dim + 1 (Section 2.2)."""
+    return RangeSpace("halfspaces", dim, _halfspace_realizes, vc_dimension=dim + 1)
+
+
+def ball_space(dim: int) -> RangeSpace:
+    """Euclidean balls in ``R^dim``.
+
+    The exact VC dimension of closed balls is ``dim + 1``; the paper quotes
+    the (weaker) classical bound ``<= dim + 2``, which is what its Theorem
+    2.1 instantiation in :func:`repro.learning.bounds.ball_training_bound`
+    uses.
+    """
+    return RangeSpace("balls", dim, _ball_realizes, vc_dimension=dim + 1)
+
+
+def convex_polygon_space(dim: int = 2) -> RangeSpace:
+    """Convex polygons with arbitrarily many vertices; VC-dim = ∞.
+
+    The family for which Theorem 2.1's converse applies: points in convex
+    position (e.g. on a circle) of any size are shattered.
+    """
+    return RangeSpace(
+        "convex-polygons", dim, _convex_polygon_realizes, vc_dimension=float("inf")
+    )
+
+
+def dual_shatters(ranges: Sequence, candidate_points: np.ndarray) -> dict[frozenset, np.ndarray]:
+    """Dual-shattering witnesses over a finite candidate point pool.
+
+    For the dual range space ``Σ* = (R, {R_x})`` used in Lemmas 2.4/2.7, a
+    set of ranges ``T`` is shattered by the duals iff for every subset
+    ``E ⊆ T`` there is a point contained in exactly the ranges of ``E``.
+    This function searches ``candidate_points`` for such witnesses and
+    returns a map ``frozenset(subset indices) -> witness point`` for every
+    subset that has one.  ``T`` is dual-shattered (over the pool) iff the
+    map has ``2^len(ranges)`` entries.
+    """
+    pts = np.asarray(candidate_points, dtype=float)
+    membership = np.stack([np.asarray(r.contains(pts)) for r in ranges], axis=1)
+    witnesses: dict[frozenset, np.ndarray] = {}
+    for row, point in zip(membership, pts):
+        key = frozenset(int(i) for i in np.nonzero(row)[0])
+        if key not in witnesses:
+            witnesses[key] = point
+    return witnesses

@@ -1,0 +1,33 @@
+"""A miniature cost-based query optimizer (the paper's motivating use).
+
+Section 1: selectivity estimates let cost-based optimizers "gauge the
+intermediate result sizes and choose low-cost query execution plans".
+This package provides the smallest end-to-end substrate in which that
+matters: a single-table access-path choice (sequential scan vs index scan)
+driven by a classical cost model, plus metrics quantifying how much plan
+quality an estimator's errors cost.
+
+* :mod:`~repro.optimizer.cost` — table statistics and the access-path
+  cost model (with the textbook seq-scan/index-scan crossover).
+* :mod:`~repro.optimizer.planner` — plan choice from an estimate, plan
+  cost under the truth, and per-query *plan regret*.
+* :mod:`~repro.optimizer.evaluate` — workload-level plan-choice accuracy
+  and mean regret for a fitted selectivity estimator.
+"""
+
+from repro.optimizer.cost import AccessPath, TableStats, index_scan_cost, seq_scan_cost
+from repro.optimizer.planner import choose_plan, crossover_selectivity, plan_cost, plan_regret
+from repro.optimizer.evaluate import PlanQuality, evaluate_plan_quality
+
+__all__ = [
+    "AccessPath",
+    "TableStats",
+    "seq_scan_cost",
+    "index_scan_cost",
+    "choose_plan",
+    "plan_cost",
+    "plan_regret",
+    "crossover_selectivity",
+    "PlanQuality",
+    "evaluate_plan_quality",
+]

@@ -1,0 +1,99 @@
+"""Access-path cost model.
+
+The classical single-table trade-off (Selinger et al. 1979, and every
+textbook since):
+
+* **sequential scan** reads every page once: cost is linear in the table
+  size and independent of selectivity;
+* **index scan** pays a per-matching-tuple price (index traversal plus a
+  random page fetch), so its cost is linear in ``selectivity * rows`` with
+  a much larger per-tuple constant.
+
+With the defaults below the crossover sits at selectivity
+``seq_page_cost / (random_page_cost * tuples_per_page)`` — matching the
+folklore that index scans only win for selective predicates.
+Costs are in abstract I/O units; only *ratios* matter for plan choice.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["AccessPath", "TableStats", "seq_scan_cost", "index_scan_cost"]
+
+
+class AccessPath(enum.Enum):
+    """The two single-table access paths the mini-optimizer chooses among."""
+
+    SEQ_SCAN = "seq_scan"
+    INDEX_SCAN = "index_scan"
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Physical statistics of a table.
+
+    Attributes
+    ----------
+    rows:
+        Number of tuples.
+    tuples_per_page:
+        Tuples packed per disk page (seq scan reads ``rows/tuples_per_page``
+        pages).
+    seq_page_cost:
+        Cost of one sequential page read.
+    random_page_cost:
+        Cost of one random page read (index probes); the classical setting
+        is several times ``seq_page_cost``.
+    index_cpu_cost:
+        Per-matching-tuple CPU cost of the index traversal.
+    """
+
+    rows: int
+    tuples_per_page: int = 100
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    index_cpu_cost: float = 0.005
+
+    def __post_init__(self):
+        if self.rows < 1:
+            raise ValueError(f"rows must be >= 1, got {self.rows}")
+        if self.tuples_per_page < 1:
+            raise ValueError(f"tuples_per_page must be >= 1, got {self.tuples_per_page}")
+        if min(self.seq_page_cost, self.random_page_cost) <= 0:
+            raise ValueError("page costs must be positive")
+        if self.index_cpu_cost < 0:
+            raise ValueError("index_cpu_cost must be non-negative")
+
+    @property
+    def pages(self) -> int:
+        return max(1, math.ceil(self.rows / self.tuples_per_page))
+
+
+def _check_selectivity(selectivity: float) -> float:
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+    return float(selectivity)
+
+
+def seq_scan_cost(stats: TableStats, selectivity: float) -> float:
+    """Cost of a full sequential scan (selectivity only affects CPU noise,
+    which we fold into the page cost, so the scan cost is flat)."""
+    _check_selectivity(selectivity)
+    return stats.pages * stats.seq_page_cost
+
+
+def index_scan_cost(stats: TableStats, selectivity: float) -> float:
+    """Cost of an index scan returning ``selectivity * rows`` tuples.
+
+    Each matching tuple pays an index CPU cost plus (pessimistically, the
+    classical uncorrelated-index assumption) one random page fetch.
+    A small constant accounts for the index descent.
+    """
+    matching = _check_selectivity(selectivity) * stats.rows
+    descent = 2.0 * stats.random_page_cost  # root-to-leaf page reads
+    # Uncorrelated-index pessimism: every matching tuple may land on a
+    # fresh page, so each pays one random page read plus index CPU.
+    return descent + matching * (stats.index_cpu_cost + stats.random_page_cost)

@@ -1,0 +1,68 @@
+"""Workload-level plan quality of a selectivity estimator.
+
+Turns estimation error into the currency optimizers care about: how often
+did the estimate pick the right access path, and how much execution cost
+did wrong picks waste?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.geometry.ranges import Range
+from repro.optimizer.cost import TableStats
+from repro.optimizer.planner import choose_plan, plan_regret
+
+__all__ = ["PlanQuality", "evaluate_plan_quality"]
+
+
+@dataclass(frozen=True)
+class PlanQuality:
+    """Summary of an estimator's plan-choice performance on a workload."""
+
+    correct_choice_rate: float
+    mean_regret: float
+    max_regret: float
+    queries: int
+
+    def row(self) -> dict[str, object]:
+        return {
+            "correct_plans": round(self.correct_choice_rate, 4),
+            "mean_regret": round(self.mean_regret, 4),
+            "max_regret": round(self.max_regret, 4),
+            "queries": self.queries,
+        }
+
+
+def evaluate_plan_quality(
+    estimator: SelectivityEstimator,
+    queries: Sequence[Range],
+    true_selectivities: Sequence[float],
+    stats: TableStats,
+) -> PlanQuality:
+    """Plan-choice accuracy and regret over a labeled workload."""
+    truths = np.asarray(true_selectivities, dtype=float)
+    if truths.shape != (len(queries),):
+        raise ValueError(
+            f"{len(queries)} queries but selectivities of shape {truths.shape}"
+        )
+    if len(queries) == 0:
+        raise ValueError("empty workload")
+    correct = 0
+    regrets = []
+    for query, truth in zip(queries, truths):
+        estimate = estimator.predict(query)
+        if choose_plan(stats, estimate) is choose_plan(stats, float(truth)):
+            correct += 1
+        regrets.append(plan_regret(stats, estimate, float(truth)))
+    regrets_arr = np.asarray(regrets)
+    return PlanQuality(
+        correct_choice_rate=correct / len(queries),
+        mean_regret=float(regrets_arr.mean()),
+        max_regret=float(regrets_arr.max()),
+        queries=len(queries),
+    )

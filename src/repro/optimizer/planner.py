@@ -1,0 +1,62 @@
+"""Plan choice and plan regret.
+
+The optimizer picks the access path whose cost is lower *under the
+estimated selectivity*; the query then executes at the cost determined by
+the *true* selectivity.  *Plan regret* is the executed-over-optimal cost
+ratio — 1.0 when the estimate led to the right choice, > 1 when a
+mis-estimate pushed the optimizer across the crossover.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.cost import AccessPath, TableStats, index_scan_cost, seq_scan_cost
+
+__all__ = ["choose_plan", "plan_cost", "plan_regret", "crossover_selectivity"]
+
+
+def plan_cost(plan: AccessPath, stats: TableStats, selectivity: float) -> float:
+    """Cost of executing ``plan`` at the given (true) selectivity."""
+    if plan is AccessPath.SEQ_SCAN:
+        return seq_scan_cost(stats, selectivity)
+    if plan is AccessPath.INDEX_SCAN:
+        return index_scan_cost(stats, selectivity)
+    raise ValueError(f"unknown plan {plan!r}")
+
+
+def choose_plan(stats: TableStats, estimated_selectivity: float) -> AccessPath:
+    """Cost-based choice between the two access paths."""
+    seq = seq_scan_cost(stats, estimated_selectivity)
+    index = index_scan_cost(stats, estimated_selectivity)
+    return AccessPath.INDEX_SCAN if index < seq else AccessPath.SEQ_SCAN
+
+
+def crossover_selectivity(stats: TableStats) -> float:
+    """The selectivity at which the two plans cost the same.
+
+    Below it the index scan wins, above it the sequential scan does.
+    Solving ``descent + s*rows*(cpu + rand) = pages*seq`` for ``s``.
+    """
+    per_tuple = stats.index_cpu_cost + stats.random_page_cost
+    descent = 2.0 * stats.random_page_cost
+    numerator = stats.pages * stats.seq_page_cost - descent
+    if numerator <= 0:
+        return 0.0
+    return min(1.0, numerator / (stats.rows * per_tuple))
+
+
+def plan_regret(
+    stats: TableStats, estimated_selectivity: float, true_selectivity: float
+) -> float:
+    """Executed cost / optimal cost for the plan chosen from the estimate.
+
+    Always >= 1; equals 1 whenever the estimate falls on the same side of
+    the crossover as the truth (estimates need not be accurate, only
+    *decision-equivalent* — the practical bar for selectivity estimation).
+    """
+    chosen = choose_plan(stats, estimated_selectivity)
+    executed = plan_cost(chosen, stats, true_selectivity)
+    optimal = min(
+        plan_cost(AccessPath.SEQ_SCAN, stats, true_selectivity),
+        plan_cost(AccessPath.INDEX_SCAN, stats, true_selectivity),
+    )
+    return executed / optimal if optimal > 0 else 1.0

@@ -1,0 +1,219 @@
+"""A selectivity-estimation service (stdlib HTTP, no extra dependencies).
+
+The deployment shape for a query-driven estimator: a database's optimizer
+asks a sidecar service for estimates, and streams back true selectivities
+observed during execution as feedback.  The service accumulates feedback,
+retrains on demand (or automatically every ``retrain_every`` feedbacks),
+and tracks workload drift with :class:`repro.eval.drift.DriftDetector`.
+
+Endpoints (JSON in/out; ranges use the tagged encoding of
+:mod:`repro.data.io`):
+
+* ``POST /estimate``  ``{"query": {...}}`` → ``{"selectivity": 0.42}``
+* ``POST /feedback``  ``{"query": {...}, "selectivity": 0.37}`` →
+  ``{"pending": 12, "drift": false}``
+* ``POST /retrain``   → ``{"trained_on": 200, "model_size": 800}``
+* ``GET  /status``    → model / feedback / drift summary
+
+Programmatic use goes through :class:`EstimatorService` directly; the HTTP
+layer (:func:`serve`) is a thin adapter over it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.core.estimator import SelectivityEstimator
+from repro.data.io import range_from_dict
+from repro.eval.drift import DriftDetector
+
+__all__ = ["EstimatorService", "serve"]
+
+
+class EstimatorService:
+    """Thread-safe wrapper: estimate / collect feedback / retrain / drift.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Zero-argument callable returning a fresh estimator; called on
+        every (re)train so state never leaks between generations.
+    retrain_every:
+        Automatically retrain after this many new feedbacks (None = only
+        on explicit ``retrain()``).
+    min_feedback:
+        Minimum accumulated feedback before the first training.
+    drift_holdout:
+        Fraction of feedback (most recent) held out to baseline the drift
+        detector after each retrain.
+    """
+
+    def __init__(
+        self,
+        estimator_factory,
+        retrain_every: int | None = None,
+        min_feedback: int = 20,
+        drift_holdout: float = 0.25,
+    ):
+        if retrain_every is not None and retrain_every < 1:
+            raise ValueError(f"retrain_every must be >= 1, got {retrain_every}")
+        if min_feedback < 2:
+            raise ValueError(f"min_feedback must be >= 2, got {min_feedback}")
+        if not 0.0 < drift_holdout < 1.0:
+            raise ValueError(f"drift_holdout must be in (0, 1), got {drift_holdout}")
+        self._factory = estimator_factory
+        self.retrain_every = retrain_every
+        self.min_feedback = int(min_feedback)
+        self.drift_holdout = float(drift_holdout)
+        self._lock = threading.Lock()
+        self._model: SelectivityEstimator | None = None
+        self._queries: list = []
+        self._labels: list[float] = []
+        self._since_train = 0
+        self._trained_on = 0
+        self._detector: DriftDetector | None = None
+        self._drift_flag = False
+
+    # -- programmatic API ------------------------------------------------
+
+    def estimate(self, query) -> float:
+        """Estimated selectivity; raises RuntimeError before first train."""
+        with self._lock:
+            if self._model is None:
+                raise RuntimeError(
+                    f"no model yet: need >= {self.min_feedback} feedbacks, "
+                    f"have {len(self._queries)}"
+                )
+            return self._model.predict(query)
+
+    def feedback(self, query, selectivity: float) -> dict:
+        """Record one observed (query, true selectivity) pair."""
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        with self._lock:
+            if self._model is not None and self._detector is not None:
+                estimate = self._model.predict(query)
+                if self._detector.update(estimate, selectivity):
+                    self._drift_flag = True
+            self._queries.append(query)
+            self._labels.append(float(selectivity))
+            self._since_train += 1
+            auto = (
+                self.retrain_every is not None
+                and self._since_train >= self.retrain_every
+                and len(self._queries) >= self.min_feedback
+            )
+        if auto:
+            self.retrain()
+        with self._lock:
+            return {"pending": self._since_train, "drift": self._drift_flag}
+
+    def retrain(self) -> dict:
+        """Fit a fresh model on all accumulated feedback."""
+        with self._lock:
+            if len(self._queries) < self.min_feedback:
+                raise RuntimeError(
+                    f"need >= {self.min_feedback} feedbacks to train, "
+                    f"have {len(self._queries)}"
+                )
+            queries = list(self._queries)
+            labels = np.asarray(self._labels)
+        model = self._factory()
+        holdout = max(2, int(len(queries) * self.drift_holdout))
+        train_q, hold_q = queries[:-holdout] or queries, queries[-holdout:]
+        train_s, hold_s = (
+            labels[:-holdout] if len(queries) > holdout else labels,
+            labels[-holdout:],
+        )
+        model.fit(train_q, train_s)
+        baseline = (model.predict_many(hold_q) - hold_s) ** 2
+        with self._lock:
+            self._model = model
+            self._trained_on = len(train_q)
+            self._since_train = 0
+            self._drift_flag = False
+            self._detector = DriftDetector(baseline) if baseline.size >= 2 else None
+            return {"trained_on": self._trained_on, "model_size": model.model_size}
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "trained": self._model is not None,
+                "model_size": self._model.model_size if self._model else 0,
+                "trained_on": self._trained_on,
+                "feedback_total": len(self._queries),
+                "feedback_pending": self._since_train,
+                "drift": self._drift_flag,
+                "drift_statistic": (
+                    round(self._detector.statistic, 3) if self._detector else None
+                ),
+            }
+
+
+# ---------------------------------------------------------------------------
+# HTTP adapter
+# ---------------------------------------------------------------------------
+
+
+def _make_handler(service: EstimatorService):
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *args):  # silence request logging in tests
+            pass
+
+        def _reply(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            return json.loads(self.rfile.read(length) or b"{}")
+
+        def do_GET(self):
+            if self.path == "/status":
+                self._reply(200, service.status())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self):
+            try:
+                if self.path == "/estimate":
+                    data = self._read_json()
+                    query = range_from_dict(data["query"])
+                    self._reply(200, {"selectivity": service.estimate(query)})
+                elif self.path == "/feedback":
+                    data = self._read_json()
+                    query = range_from_dict(data["query"])
+                    result = service.feedback(query, float(data["selectivity"]))
+                    self._reply(200, result)
+                elif self.path == "/retrain":
+                    self._reply(200, service.retrain())
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path}"})
+            except (KeyError, ValueError, TypeError) as exc:
+                self._reply(400, {"error": str(exc)})
+            except RuntimeError as exc:
+                self._reply(409, {"error": str(exc)})
+
+    return Handler
+
+
+def serve(
+    service: EstimatorService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Start the HTTP server on a background thread; returns the server.
+
+    ``port=0`` picks a free port (read it from ``server.server_address``).
+    Call ``server.shutdown()`` to stop.
+    """
+    server = ThreadingHTTPServer((host, port), _make_handler(service))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server

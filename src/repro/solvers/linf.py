@@ -1,0 +1,58 @@
+"""L∞-objective weight estimation (Section 4.6 of the paper).
+
+Section 4.6 retrains the models with the worst-case (L∞) loss in place of
+the squared loss.  The problem
+
+.. math::
+    \\min_w \\max_i |(A w)_i - s_i| \\quad \\text{s.t.}\\;
+    \\mathbf{1}^T w = 1,\\; w \\ge 0
+
+is a linear program: minimise ``t`` subject to ``-t <= (A w)_i - s_i <= t``.
+Solved with scipy's HiGHS backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["fit_simplex_weights_linf"]
+
+
+def fit_simplex_weights_linf(a: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Minimise the L∞ training error over the probability simplex."""
+    a = np.asarray(a, dtype=float)
+    s = np.asarray(s, dtype=float)
+    if a.ndim != 2:
+        raise ValueError(f"a must be 2-D, got shape {a.shape}")
+    m, n = a.shape
+    if s.shape != (m,):
+        raise ValueError(f"s must have shape ({m},), got {s.shape}")
+    if n == 0:
+        raise ValueError("at least one bucket is required")
+    if n == 1:
+        return np.ones(1)
+
+    # Variables: [w (n), t (1)]; objective: minimise t.
+    c = np.zeros(n + 1)
+    c[n] = 1.0
+    #  A w - s <= t   ->  A w - t <= s
+    # -(A w - s) <= t -> -A w - t <= -s
+    a_ub = np.zeros((2 * m, n + 1))
+    a_ub[:m, :n] = a
+    a_ub[:m, n] = -1.0
+    a_ub[m:, :n] = -a
+    a_ub[m:, n] = -1.0
+    b_ub = np.concatenate([s, -s])
+    a_eq = np.zeros((1, n + 1))
+    a_eq[0, :n] = 1.0
+    b_eq = np.array([1.0])
+    bounds = [(0.0, 1.0)] * n + [(0.0, None)]
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    if result.status != 0 or result.x is None:
+        # The simplex is non-empty so this should never trigger; fall back
+        # to the uniform vector rather than crash mid-training.
+        return np.full(n, 1.0 / n)
+    w = np.maximum(result.x[:n], 0.0)
+    total = float(w.sum())
+    return w / total if total > 0 else np.full(n, 1.0 / n)

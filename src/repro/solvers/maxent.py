@@ -1,0 +1,93 @@
+"""Maximum-entropy weight fitting (for the ISOMER baseline).
+
+ISOMER [Srivastava et al., ICDE 2006] assigns bucket weights by choosing
+the *maximum-entropy* distribution consistent with the observed query
+selectivities:
+
+.. math::
+    \\max_w \\; -\\sum_j w_j \\log w_j \\quad \\text{s.t.}\\;
+    (A w)_i = s_i \\; \\forall i, \\quad \\mathbf{1}^T w = 1, \\; w \\ge 0.
+
+Because real feedback can be mutually inconsistent (and our design matrices
+include fractional coverage), we solve the standard *soft-constrained* dual:
+with Lagrange multipliers λ the primal optimum has the Gibbs form
+``w_j ∝ exp(Σ_i λ_i A_ij)``, and λ minimises the convex dual
+
+.. math::
+    g(λ) = \\log Z(λ) - λ^T s + \\tfrac{1}{2σ^2}\\|λ\\|^2,
+
+where the quadratic term (a Gaussian prior) converts hard constraints into
+soft ones, guaranteeing a finite optimum even for inconsistent feedback.
+Minimised by L-BFGS with an analytic gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+__all__ = ["fit_maxent_weights"]
+
+
+def fit_maxent_weights(
+    a: np.ndarray,
+    s: np.ndarray,
+    slack: float = 1e-3,
+    max_iter: int = 500,
+) -> np.ndarray:
+    """Maximum-entropy weights consistent (softly) with ``A w = s``.
+
+    Parameters
+    ----------
+    a:
+        Constraint matrix ``(n_queries, n_buckets)`` of per-bucket coverage
+        fractions.
+    s:
+        Observed selectivities.
+    slack:
+        Strength of the Gaussian prior on the multipliers (``1/(2σ²)`` with
+        ``σ² = 1/(2·slack)``); larger = softer constraints.
+
+    Returns
+    -------
+    A probability vector ``w`` maximising entropy subject to the soft
+    constraints.
+    """
+    a = np.asarray(a, dtype=float)
+    s = np.asarray(s, dtype=float)
+    if a.ndim != 2:
+        raise ValueError(f"a must be 2-D, got shape {a.shape}")
+    m, n = a.shape
+    if s.shape != (m,):
+        raise ValueError(f"s must have shape ({m},), got {s.shape}")
+    if n == 0:
+        raise ValueError("at least one bucket is required")
+    if n == 1:
+        return np.ones(1)
+    if slack <= 0:
+        raise ValueError(f"slack must be positive, got {slack}")
+
+    def gibbs_weights(lam: np.ndarray) -> tuple[np.ndarray, float]:
+        scores = a.T @ lam  # (n,)
+        scores -= scores.max()  # numerical stabilisation
+        unnormalised = np.exp(scores)
+        z = float(unnormalised.sum())
+        return unnormalised / z, np.log(z) + 0.0
+
+    def dual(lam: np.ndarray) -> tuple[float, np.ndarray]:
+        scores = a.T @ lam
+        shift = scores.max()
+        unnormalised = np.exp(scores - shift)
+        z = float(unnormalised.sum())
+        w = unnormalised / z
+        log_z = np.log(z) + shift
+        value = log_z - float(lam @ s) + 0.5 * slack * float(lam @ lam)
+        gradient = a @ w - s + slack * lam
+        return value, gradient
+
+    lam0 = np.zeros(m)
+    result = minimize(
+        dual, lam0, jac=True, method="L-BFGS-B", options={"maxiter": max_iter}
+    )
+    w, _ = gibbs_weights(result.x)
+    return w

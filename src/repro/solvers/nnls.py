@@ -1,0 +1,89 @@
+"""Non-negative least squares: Lawson–Hanson active-set algorithm.
+
+The paper's weight-estimation phase cites scipy's NNLS solver [reference 1
+in the paper].  We ship our own implementation of the same classical
+algorithm (Lawson & Hanson 1974) so the library is self-contained, and use
+scipy's as an optional cross-check in the tests.
+
+Solves ``min_x ||A x - b||_2`` subject to ``x >= 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nnls"]
+
+
+def nnls(a: np.ndarray, b: np.ndarray, max_iter: int | None = None, tol: float = 1e-11) -> np.ndarray:
+    """Lawson–Hanson NNLS.
+
+    Parameters
+    ----------
+    a:
+        Design matrix of shape ``(m, n)``.
+    b:
+        Target vector of shape ``(m,)``.
+    max_iter:
+        Iteration cap (default ``3 * n``).
+    tol:
+        Dual-feasibility tolerance on the gradient.
+
+    Returns
+    -------
+    The non-negative least-squares solution ``x`` with shape ``(n,)``.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2:
+        raise ValueError(f"a must be 2-D, got shape {a.shape}")
+    m, n = a.shape
+    if b.shape != (m,):
+        raise ValueError(f"b must have shape ({m},), got {b.shape}")
+    if max_iter is None:
+        max_iter = max(3 * n, 30)
+
+    x = np.zeros(n)
+    passive = np.zeros(n, dtype=bool)  # the "P" set
+    residual = b - a @ x
+    gradient = a.T @ residual
+
+    iteration = 0
+    while iteration < max_iter:
+        iteration += 1
+        # Optimality: all inactive variables have non-positive gradient.
+        candidates = ~passive & (gradient > tol)
+        if not candidates.any():
+            break
+        # Move the most promising variable into the passive set.
+        j = int(np.argmax(np.where(candidates, gradient, -np.inf)))
+        passive[j] = True
+
+        # Inner loop: least squares on the passive set, backtracking when a
+        # passive variable would go negative.
+        while True:
+            idx = np.nonzero(passive)[0]
+            sub = a[:, idx]
+            z, *_ = np.linalg.lstsq(sub, b, rcond=None)
+            if np.all(z > tol):
+                x = np.zeros(n)
+                x[idx] = z
+                break
+            # Step toward z only as far as feasibility allows.
+            current = x[idx]
+            negative = z <= tol
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(negative, current / (current - z), np.inf)
+            alpha = float(np.min(ratios))
+            alpha = min(max(alpha, 0.0), 1.0)
+            x_new = np.zeros(n)
+            x_new[idx] = current + alpha * (z - current)
+            x = x_new
+            newly_zero = idx[x[idx] <= tol]
+            passive[newly_zero] = False
+            x[newly_zero] = 0.0
+            if not passive.any():
+                break
+        residual = b - a @ x
+        gradient = a.T @ residual
+    return x

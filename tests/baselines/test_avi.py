@@ -1,0 +1,78 @@
+"""AVI product histogram — the classical independence-assumption oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AVIProductHistogram
+from repro.core import QuadHist
+from repro.data import Dataset, WorkloadSpec, generate_workload, label_queries
+from repro.geometry import Ball, Box
+
+
+@pytest.fixture(scope="module")
+def independent_data():
+    gen = np.random.default_rng(5)
+    return Dataset("indep", gen.random((20_000, 2)))
+
+
+@pytest.fixture(scope="module")
+def correlated_data():
+    gen = np.random.default_rng(6)
+    x = gen.random(20_000)
+    y = np.clip(x + gen.normal(0, 0.02, 20_000), 0, 1)  # y ~ x
+    return Dataset("corr", np.column_stack([x, y]))
+
+
+class TestAVI:
+    def test_exact_on_independent_data(self, independent_data, rng):
+        est = AVIProductHistogram(buckets_per_dim=64).fit_data(independent_data.rows)
+        queries = generate_workload(
+            40, 2, rng, WorkloadSpec("box", "random")
+        )
+        truths = label_queries(independent_data, queries)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - truths) ** 2)) < 0.02
+
+    def test_fails_on_correlated_data(self, correlated_data):
+        """The AVI failure mode: on y ~ x data, an off-diagonal box is
+        (nearly) empty but the product of marginals predicts a large mass."""
+        est = AVIProductHistogram(buckets_per_dim=64).fit_data(correlated_data.rows)
+        off_diagonal = Box([0.0, 0.6], [0.4, 1.0])
+        truth = label_queries(correlated_data, [off_diagonal])[0]
+        assert truth < 0.01  # precondition: correlation empties the box
+        assert est.predict(off_diagonal) > 0.1  # AVI badly overestimates
+
+    def test_learned_model_beats_avi_on_correlated_data(self, correlated_data, rng):
+        """The motivating comparison: query feedback captures correlation
+        that the independence assumption cannot."""
+        spec = WorkloadSpec("box", "data")
+        train = generate_workload(150, 2, rng, spec, dataset=correlated_data)
+        test = generate_workload(100, 2, rng, spec, dataset=correlated_data)
+        train_s = label_queries(correlated_data, train)
+        test_s = label_queries(correlated_data, test)
+        learned = QuadHist(tau=0.005).fit(train, train_s)
+        avi = AVIProductHistogram(buckets_per_dim=64).fit_data(correlated_data.rows)
+        rms_learned = np.sqrt(np.mean((learned.predict_many(test) - test_s) ** 2))
+        rms_avi = np.sqrt(np.mean((avi.predict_many(test) - test_s) ** 2))
+        assert rms_learned < rms_avi / 2
+
+    def test_model_size_sums_marginals(self, independent_data):
+        est = AVIProductHistogram(buckets_per_dim=32).fit_data(independent_data.rows)
+        assert est.model_size <= 2 * 32
+
+    def test_rejects_query_driven_fit(self):
+        with pytest.raises(TypeError):
+            AVIProductHistogram().fit([Box([0.0, 0.0], [0.5, 0.5])], [0.25])
+
+    def test_rejects_wrong_dim_or_type(self, independent_data):
+        est = AVIProductHistogram().fit_data(independent_data.rows)
+        with pytest.raises(TypeError):
+            est.predict(Box([0.0], [0.5]))
+        with pytest.raises(TypeError):
+            est.predict(Ball([0.5, 0.5], 0.2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AVIProductHistogram(buckets_per_dim=0)
+        with pytest.raises(ValueError):
+            AVIProductHistogram().fit_data(np.empty((0, 2)))

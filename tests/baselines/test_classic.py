@@ -1,0 +1,117 @@
+"""Classic data-driven 1-D histograms (oracle baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    VOptimalHistogram,
+    WaveletHistogram,
+)
+from repro.geometry import Box
+
+ALL = [
+    ("equi-width", lambda: EquiWidthHistogram(buckets=64)),
+    ("equi-depth", lambda: EquiDepthHistogram(buckets=64)),
+    ("v-optimal", lambda: VOptimalHistogram(buckets=24, grid=128)),
+    ("wavelet", lambda: WaveletHistogram(coefficients=48, grid=128)),
+]
+
+
+@pytest.fixture(scope="module")
+def skewed_column():
+    gen = np.random.default_rng(17)
+    return np.clip(gen.beta(1.5, 6.0, size=30_000), 0, 1)
+
+
+def true_selectivity(column, lo, hi):
+    return float(np.mean((column >= lo) & (column <= hi)))
+
+
+@pytest.mark.parametrize("name,factory", ALL)
+class TestSharedBehaviour:
+    def test_whole_domain_is_one(self, name, factory, skewed_column):
+        est = factory().fit_data(skewed_column)
+        assert est.predict(Box([0.0], [1.0])) == pytest.approx(1.0, abs=1e-6)
+
+    def test_accurate_on_random_ranges(self, name, factory, skewed_column, rng):
+        est = factory().fit_data(skewed_column)
+        errors = []
+        for _ in range(40):
+            lo = rng.random() * 0.8
+            hi = lo + rng.random() * (1 - lo)
+            truth = true_selectivity(skewed_column, lo, hi)
+            errors.append(abs(est.predict(Box([lo], [hi])) - truth))
+        assert float(np.mean(errors)) < 0.02, name
+
+    def test_rejects_query_driven_fit(self, name, factory):
+        with pytest.raises(TypeError):
+            factory().fit([Box([0.0], [0.5])], [0.5])
+
+    def test_rejects_2d_queries(self, name, factory, skewed_column):
+        est = factory().fit_data(skewed_column)
+        with pytest.raises(TypeError):
+            est.predict(Box([0.0, 0.0], [0.5, 0.5]))
+
+    def test_rejects_unnormalised_data(self, name, factory):
+        with pytest.raises(ValueError):
+            factory().fit_data(np.array([0.5, 2.0]))
+
+    def test_rejects_empty_data(self, name, factory):
+        with pytest.raises(ValueError):
+            factory().fit_data(np.array([]))
+
+    def test_monotone(self, name, factory, skewed_column):
+        est = factory().fit_data(skewed_column)
+        inner = est.predict(Box([0.2], [0.4]))
+        outer = est.predict(Box([0.1], [0.5]))
+        assert inner <= outer + 1e-9
+
+
+class TestEquiDepth:
+    def test_buckets_hold_equal_mass(self, skewed_column):
+        est = EquiDepthHistogram(buckets=10).fit_data(skewed_column)
+        assert np.allclose(est._masses, 0.1, atol=0.01)
+
+    def test_handles_ties(self):
+        column = np.concatenate([np.zeros(500), np.full(500, 0.5), np.ones(500)])
+        est = EquiDepthHistogram(buckets=8).fit_data(column)
+        assert est.predict(Box([0.0], [1.0])) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestVOptimal:
+    def test_beats_equi_width_on_spiky_data(self):
+        """V-optimal's raison d'être: it isolates spikes exactly."""
+        gen = np.random.default_rng(3)
+        spike = np.full(20_000, 0.305)
+        background = gen.random(10_000)
+        column = np.concatenate([spike, background])
+        v_opt = VOptimalHistogram(buckets=16, grid=128).fit_data(column)
+        equi = EquiWidthHistogram(buckets=16).fit_data(column)
+        query = Box([0.30], [0.31])
+        truth = true_selectivity(column, 0.30, 0.31)
+        assert abs(v_opt.predict(query) - truth) <= abs(equi.predict(query) - truth)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            VOptimalHistogram(buckets=50, grid=20)
+
+
+class TestWavelet:
+    def test_full_coefficients_reconstruct_exactly(self, skewed_column):
+        est = WaveletHistogram(coefficients=128, grid=128).fit_data(skewed_column)
+        reference = EquiWidthHistogram(buckets=128).fit_data(skewed_column)
+        for lo, hi in [(0.0, 0.25), (0.1, 0.6), (0.5, 1.0)]:
+            assert est.predict(Box([lo], [hi])) == pytest.approx(
+                reference.predict(Box([lo], [hi])), abs=1e-9
+            )
+
+    def test_sparse_synopsis_still_accurate(self, skewed_column):
+        est = WaveletHistogram(coefficients=16, grid=256).fit_data(skewed_column)
+        truth = true_selectivity(skewed_column, 0.0, 0.2)
+        assert est.predict(Box([0.0], [0.2])) == pytest.approx(truth, abs=0.05)
+
+    def test_power_of_two_validation(self):
+        with pytest.raises(ValueError):
+            WaveletHistogram(grid=100)

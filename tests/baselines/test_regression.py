@@ -1,0 +1,118 @@
+"""Regression baseline: the from-scratch trees, boosting, and LW estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GradientBoostedTrees, LWRegression, RegressionTree
+from repro.baselines.regression import featurize_box
+from repro.core import QuadHist
+from repro.eval import monotonicity_violations
+from repro.geometry import Ball, Box, unit_box
+
+
+class TestRegressionTree:
+    def test_fits_step_function_exactly(self):
+        x = np.linspace(0, 1, 200)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=2).fit(x, y)
+        preds = tree.predict(x)
+        assert np.max(np.abs(preds - y)) < 1e-9
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).random((50, 3))
+        y = np.full(50, 0.7)
+        tree = RegressionTree().fit(x, y)
+        assert np.allclose(tree.predict(x), 0.7)
+
+    def test_respects_min_samples_leaf(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        tree = RegressionTree(min_samples_leaf=2).fit(x, y)
+        # Cannot split: both points predict the mean.
+        assert np.allclose(tree.predict(x), 0.5)
+
+    def test_deeper_trees_fit_better(self, rng):
+        x = rng.random((400, 2))
+        y = np.sin(6 * x[:, 0]) * x[:, 1]
+        shallow = RegressionTree(max_depth=2).fit(x, y)
+        deep = RegressionTree(max_depth=6).fit(x, y)
+        sse_shallow = np.sum((shallow.predict(x) - y) ** 2)
+        sse_deep = np.sum((deep.predict(x) - y) ** 2)
+        assert sse_deep < sse_shallow
+
+    def test_split_chooses_informative_feature(self, rng):
+        x = rng.random((300, 2))
+        y = (x[:, 1] > 0.5).astype(float)  # only feature 1 matters
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        assert tree._root.feature == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.ones((1, 2)))
+
+
+class TestBoosting:
+    def test_training_error_monotonically_decreases(self, rng):
+        x = rng.random((300, 3))
+        y = x[:, 0] * 2 + np.sin(5 * x[:, 1])
+        model = GradientBoostedTrees(n_trees=50, learning_rate=0.2).fit(x, y)
+        errors = model.train_errors
+        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_beats_single_tree(self, rng):
+        x = rng.random((400, 2))
+        y = np.sin(6 * x[:, 0]) + 0.5 * x[:, 1] ** 2
+        boosted = GradientBoostedTrees(n_trees=80, max_depth=3).fit(x, y)
+        single = RegressionTree(max_depth=3).fit(x, y)
+        mse_boosted = np.mean((boosted.predict(x) - y) ** 2)
+        mse_single = np.mean((single.predict(x) - y) ** 2)
+        assert mse_boosted < mse_single / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_trees=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+
+
+class TestLWRegression:
+    def test_featurize_shape(self):
+        features = featurize_box(Box([0.1, 0.2], [0.5, 0.9]))
+        assert features.shape == (4 * 2 + 1,)
+
+    def test_accuracy_on_power_data(self, power2d_box_workload):
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        est = LWRegression(n_trees=120).fit(train_q, train_s)
+        rms = np.sqrt(np.mean((est.predict_many(test_q) - test_s) ** 2))
+        assert rms < 0.12
+
+    def test_comparable_but_not_guaranteed_valid(self, power2d_box_workload, rng):
+        """The paper's point about regression models, measured: accuracy is
+        fine, but monotonicity violations occur (a distribution model has
+        exactly zero)."""
+        train_q, train_s, _, _ = power2d_box_workload
+        lw = LWRegression(n_trees=120).fit(train_q, train_s)
+        quad = QuadHist(tau=0.01).fit(train_q, train_s)
+        lw_viol = monotonicity_violations(lw, rng, dim=2, chains=60)
+        quad_viol = monotonicity_violations(quad, rng, dim=2, chains=60)
+        assert quad_viol == 0.0
+        assert lw_viol >= quad_viol  # typically strictly positive
+
+    def test_rejects_non_box_queries(self):
+        with pytest.raises(TypeError):
+            LWRegression().fit([Ball([0.5, 0.5], 0.2)], [0.2])
+
+    def test_prediction_clipped_to_unit_interval(self, power2d_box_workload, rng):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = LWRegression(n_trees=60).fit(train_q, train_s)
+        for _ in range(20):
+            q = Box.from_center(rng.random(2), rng.random(2), clip_to=unit_box(2))
+            assert 0.0 <= est.predict(q) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LWRegression(log_floor=0.0)

@@ -1,0 +1,44 @@
+"""Trivial baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MeanEstimator, UniformEstimator
+from repro.geometry import Ball, Box, Halfspace, unit_box
+
+
+class TestUniformEstimator:
+    def test_box_prediction_is_volume(self):
+        est = UniformEstimator().fit([Box([0.0, 0.0], [1.0, 1.0])], [1.0])
+        assert est.predict(Box([0.0, 0.0], [0.5, 0.5])) == pytest.approx(0.25)
+
+    def test_halfspace_prediction(self):
+        est = UniformEstimator().fit([Box([0.0, 0.0], [1.0, 1.0])], [1.0])
+        assert est.predict(Halfspace([1.0, 0.0], 0.4)) == pytest.approx(0.6)
+
+    def test_ball_prediction(self):
+        est = UniformEstimator().fit([Box([0.0, 0.0], [1.0, 1.0])], [1.0])
+        assert est.predict(Ball([0.5, 0.5], 0.25)) == pytest.approx(
+            np.pi * 0.0625, abs=1e-9
+        )
+
+    def test_exact_on_uniform_data(self, rng):
+        est = UniformEstimator().fit([unit_box(2)], [1.0])
+        for _ in range(10):
+            q = Box.from_center(rng.random(2), rng.random(2), clip_to=unit_box(2))
+            assert est.predict(q) == pytest.approx(q.volume(), abs=1e-9)
+
+    def test_model_size(self):
+        assert UniformEstimator().fit([unit_box(2)], [1.0]).model_size == 1
+
+
+class TestMeanEstimator:
+    def test_predicts_training_mean(self):
+        est = MeanEstimator().fit(
+            [Box([0.0], [0.1]), Box([0.0], [0.9])], [0.2, 0.6]
+        )
+        assert est.predict(Box([0.0], [0.5])) == pytest.approx(0.4)
+
+    def test_ignores_query(self):
+        est = MeanEstimator().fit([Box([0.0], [0.5])], [0.33])
+        assert est.predict(Box([0.0], [0.01])) == est.predict(Box([0.0], [0.99]))

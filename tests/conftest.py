@@ -1,0 +1,34 @@
+"""Shared fixtures: deterministic RNGs and small datasets/workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import WorkloadSpec, generate_workload, label_queries, power_like
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def power2d():
+    """Small 2-D projection of the power-like dataset (session-cached)."""
+    return power_like(rows=8_000).project([0, 3])
+
+
+@pytest.fixture(scope="session")
+def power2d_box_workload(power2d):
+    """100 labeled data-driven box queries + 100 test queries."""
+    gen = np.random.default_rng(777)
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    train = generate_workload(100, 2, gen, spec=spec, dataset=power2d)
+    test = generate_workload(100, 2, gen, spec=spec, dataset=power2d)
+    return (
+        train,
+        label_queries(power2d, train),
+        test,
+        label_queries(power2d, test),
+    )

@@ -1,0 +1,93 @@
+"""Hypothesis property tests on estimator invariants.
+
+These go beyond example-based tests: for *arbitrary* small workloads the
+learners must produce valid distributions (weights on the simplex, buckets
+partitioning the domain) and predictions consistent with distribution
+semantics (monotone in query growth, bounded by 0/1).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PtsHist, QuadHist
+from repro.geometry import Box, unit_box
+
+
+@st.composite
+def box_workloads(draw):
+    """A small arbitrary 2-D box workload with labels in [0, 1]."""
+    n = draw(st.integers(3, 10))
+    queries = []
+    labels = []
+    for _ in range(n):
+        cx = draw(st.floats(0.05, 0.95, allow_nan=False))
+        cy = draw(st.floats(0.05, 0.95, allow_nan=False))
+        wx = draw(st.floats(0.05, 0.9, allow_nan=False))
+        wy = draw(st.floats(0.05, 0.9, allow_nan=False))
+        queries.append(Box.from_center([cx, cy], [wx, wy], clip_to=unit_box(2)))
+        labels.append(draw(st.floats(0.0, 1.0, allow_nan=False)))
+    return queries, labels
+
+
+class TestQuadHistProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(box_workloads())
+    def test_leaves_always_partition_domain(self, workload):
+        queries, labels = workload
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        assert sum(b.volume() for b in est.leaf_boxes()) == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(box_workloads())
+    def test_weights_always_on_simplex(self, workload):
+        queries, labels = workload
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        weights = est.distribution.weights
+        assert np.all(weights >= -1e-12)
+        assert np.sum(weights) == pytest.approx(1.0, abs=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(box_workloads())
+    def test_monotone_under_query_growth(self, workload):
+        queries, labels = workload
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        inner = Box([0.3, 0.3], [0.6, 0.6])
+        outer = Box([0.2, 0.2], [0.8, 0.8])
+        assert est.predict(inner) <= est.predict(outer) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(box_workloads())
+    def test_domain_query_predicts_one(self, workload):
+        queries, labels = workload
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        assert est.predict(unit_box(2)) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPtsHistProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(box_workloads(), st.integers(10, 80))
+    def test_support_size_and_simplex(self, workload, size):
+        queries, labels = workload
+        est = PtsHist(size=size, seed=0).fit(queries, labels)
+        assert est.model_size == size
+        weights = est.distribution.weights
+        assert np.all(weights >= -1e-12)
+        assert np.sum(weights) == pytest.approx(1.0, abs=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(box_workloads())
+    def test_support_inside_domain(self, workload):
+        queries, labels = workload
+        est = PtsHist(size=60, seed=0).fit(queries, labels)
+        assert np.all(unit_box(2).contains(est.distribution.points))
+
+    @settings(max_examples=15, deadline=None)
+    @given(box_workloads())
+    def test_monotone_under_query_growth(self, workload):
+        queries, labels = workload
+        est = PtsHist(size=60, seed=0).fit(queries, labels)
+        inner = Box([0.25, 0.25], [0.55, 0.55])
+        outer = Box([0.1, 0.1], [0.9, 0.9])
+        assert est.predict(inner) <= est.predict(outer) + 1e-9

@@ -1,0 +1,122 @@
+"""KdHist — binary-split histogram for higher dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import KdHist, QuadHist
+from repro.geometry import Ball, Box, Halfspace, unit_box
+from repro.geometry.volume import range_volume
+
+
+class TestBucketDesign:
+    def test_no_split_below_threshold(self):
+        est = KdHist(tau=0.5).fit([Box([0.0, 0.0], [1.0, 1.0])], [0.3])
+        assert est.model_size == 1
+
+    def test_dense_query_splits(self):
+        est = KdHist(tau=0.05).fit([Box([0.0, 0.0], [0.25, 0.25])], [0.9])
+        assert est.model_size > 1
+
+    def test_leaves_partition_domain(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = KdHist(tau=0.01).fit(train_q, train_s)
+        assert sum(b.volume() for b in est.leaf_boxes()) == pytest.approx(1.0)
+
+    def test_binary_splits_respect_leaf_cap_exactly(self, power2d_box_workload):
+        """Unlike QuadHist's 2^d-way splits, the binary split can honour
+        a tight bucket budget in any dimension."""
+        train_q, train_s, _, _ = power2d_box_workload
+        est = KdHist(tau=0.001, max_leaves=37).fit(train_q, train_s)
+        assert est.model_size <= 37
+
+    def test_high_dimension_still_refines(self, rng):
+        """The motivating case: at d = 10 QuadHist cannot split under a
+        4n bucket cap (2^10 children), KdHist can."""
+        d = 10
+        queries = [
+            Box.from_center(rng.random(d), rng.random(d), clip_to=unit_box(d))
+            for _ in range(30)
+        ]
+        # High selectivity in small boxes = high density -> splits demanded.
+        labels = np.full(len(queries), 0.5)
+        cap = 120
+        kd = KdHist(tau=0.01, max_leaves=cap).fit(queries, labels)
+        quad = QuadHist(tau=0.01, max_leaves=cap).fit(queries, labels)
+        assert quad.model_size == 1  # cannot split: 2^10 > cap
+        assert kd.model_size > 1
+
+    def test_order_invariance(self, rng, power2d_box_workload):
+        """Same argument as Lemma A.4 applies to binary midpoint splits."""
+        train_q, train_s, _, _ = power2d_box_workload
+        a = KdHist(tau=0.02).fit(train_q, train_s)
+        order = rng.permutation(len(train_q))
+        b = KdHist(tau=0.02).fit([train_q[i] for i in order], train_s[order])
+        assert {bx for bx in a.leaf_boxes()} == {bx for bx in b.leaf_boxes()}
+
+
+class TestFitQuality:
+    def test_accuracy_on_power_data(self, power2d_box_workload):
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        est = KdHist(tau=0.005).fit(train_q, train_s)
+        rms = np.sqrt(np.mean((est.predict_many(test_q) - test_s) ** 2))
+        assert rms < 0.05
+
+    def test_comparable_to_quadhist_in_2d(self, power2d_box_workload):
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        kd = KdHist(tau=0.005).fit(train_q, train_s)
+        quad = QuadHist(tau=0.005).fit(train_q, train_s)
+        rms_kd = np.sqrt(np.mean((kd.predict_many(test_q) - test_s) ** 2))
+        rms_quad = np.sqrt(np.mean((quad.predict_many(test_q) - test_s) ** 2))
+        assert rms_kd <= rms_quad * 3
+
+    def test_beats_quadhist_in_high_dimension_under_cap(self, rng):
+        d = 8
+        from repro.data import forest_like, WorkloadSpec, generate_workload, label_queries
+
+        data = forest_like(rows=8_000).numeric_projection(d, rng)
+        spec = WorkloadSpec(query_kind="box", center_kind="data")
+        train = generate_workload(80, d, rng, spec=spec, dataset=data)
+        test = generate_workload(60, d, rng, spec=spec, dataset=data)
+        train_s = label_queries(data, train)
+        test_s = label_queries(data, test)
+        cap = 200
+        kd = KdHist(tau=0.01, max_leaves=cap).fit(train, train_s)
+        quad = QuadHist(tau=0.01, max_leaves=cap, max_depth=10).fit(train, train_s)
+        rms_kd = np.sqrt(np.mean((kd.predict_many(test) - test_s) ** 2))
+        rms_quad = np.sqrt(np.mean((quad.predict_many(test) - test_s) ** 2))
+        assert rms_kd <= rms_quad + 0.01
+
+    def test_halfspace_queries(self, rng):
+        queries = [
+            Halfspace.through_point(rng.random(2), rng.normal(size=2))
+            for _ in range(25)
+        ]
+        labels = np.array([range_volume(q, unit_box(2)) for q in queries])
+        est = KdHist(tau=0.02).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.05
+
+    def test_ball_queries(self, rng):
+        queries = [Ball(rng.random(2), 0.2 + 0.5 * rng.random()) for _ in range(25)]
+        labels = np.array([range_volume(q, unit_box(2)) for q in queries])
+        est = KdHist(tau=0.02).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.05
+
+    def test_distribution_is_valid(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = KdHist(tau=0.02).fit(train_q, train_s)
+        est.distribution.validate()
+        assert np.sum(est.distribution.weights) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KdHist(tau=0.0)
+        with pytest.raises(ValueError):
+            KdHist(max_leaves=0)
+        with pytest.raises(ValueError):
+            KdHist(max_depth=0)
+        with pytest.raises(ValueError):
+            KdHist(objective="huber")

@@ -1,0 +1,129 @@
+"""PtsHist — bucket sampling, determinism, and fit quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import PtsHist
+from repro.distributions import DiscreteDistribution
+from repro.geometry import Ball, Box, Halfspace, unit_box
+from repro.geometry.volume import range_volume
+
+
+class TestBucketSampling:
+    def test_model_size_matches_request(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = PtsHist(size=150).fit(train_q, train_s)
+        assert est.model_size == 150
+
+    def test_interior_points_follow_selectivity_shares(self, rng):
+        """A high-selectivity query receives proportionally more bucket
+        points than a low-selectivity one."""
+        heavy = Box([0.0, 0.0], [0.5, 0.5])
+        light = Box([0.6, 0.6], [0.9, 0.9])
+        est = PtsHist(size=400, seed=3).fit([heavy, light], [0.8, 0.1])
+        pts = est.distribution.points
+        in_heavy = int(np.sum(heavy.contains(pts)))
+        in_light = int(np.sum(light.contains(pts)))
+        assert in_heavy > 2 * in_light
+
+    def test_uniform_share_covers_uncovered_space(self):
+        """~10% of points land outside all training queries."""
+        q = Box([0.0, 0.0], [0.3, 0.3])
+        est = PtsHist(size=500, seed=1).fit([q], [1.0])
+        pts = est.distribution.points
+        outside = ~np.asarray(q.contains(pts))
+        assert 0.02 <= outside.mean() <= 0.25
+
+    def test_interior_fraction_zero_is_all_uniform(self):
+        q = Box([0.0, 0.0], [0.1, 0.1])
+        est = PtsHist(size=300, interior_fraction=0.0, seed=2).fit([q], [1.0])
+        pts = est.distribution.points
+        # Uniform points fall in the tiny query only ~1% of the time.
+        assert np.mean(q.contains(pts)) < 0.1
+
+    def test_all_zero_selectivities_fall_back_to_uniform(self):
+        q = Box([0.0, 0.0], [0.5, 0.5])
+        est = PtsHist(size=100, seed=4).fit([q], [0.0])
+        assert est.model_size == 100
+
+    def test_deterministic_given_seed(self, power2d_box_workload):
+        train_q, train_s, test_q, _ = power2d_box_workload
+        a = PtsHist(size=200, seed=7).fit(train_q, train_s).predict_many(test_q)
+        b = PtsHist(size=200, seed=7).fit(train_q, train_s).predict_many(test_q)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, power2d_box_workload):
+        train_q, train_s, test_q, _ = power2d_box_workload
+        a = PtsHist(size=200, seed=1).fit(train_q, train_s).predict_many(test_q)
+        b = PtsHist(size=200, seed=2).fit(train_q, train_s).predict_many(test_q)
+        assert not np.array_equal(a, b)
+
+
+class TestFitQuality:
+    def test_accuracy_on_power_data(self, power2d_box_workload):
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        est = PtsHist(size=400, seed=0).fit(train_q, train_s)
+        rms = np.sqrt(np.mean((est.predict_many(test_q) - test_s) ** 2))
+        assert rms < 0.08
+
+    def test_halfspace_queries(self, rng):
+        queries = [
+            Halfspace.through_point(rng.random(3), rng.normal(size=3))
+            for _ in range(40)
+        ]
+        labels = np.array([range_volume(q, unit_box(3)) for q in queries])
+        est = PtsHist(size=300, seed=0).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.08
+
+    def test_ball_queries(self, rng):
+        queries = [Ball(rng.random(3), 0.3 + 0.5 * rng.random()) for _ in range(40)]
+        labels = np.array([range_volume(q, unit_box(3)) for q in queries])
+        est = PtsHist(size=300, seed=0).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.08
+
+    def test_high_dimensional_fit(self, rng):
+        """PtsHist is the high-dimension method: it must stay usable at d=8."""
+        queries = [
+            Box.from_center(rng.random(8), rng.random(8), clip_to=unit_box(8))
+            for _ in range(50)
+        ]
+        labels = np.array([q.volume() for q in queries])
+        est = PtsHist(size=200, seed=0).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.15
+
+    def test_linf_objective(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        inf_est = PtsHist(size=200, seed=0, objective="linf").fit(train_q, train_s)
+        l2_est = PtsHist(size=200, seed=0).fit(train_q, train_s)
+        inf_train = np.max(np.abs(inf_est.predict_many(train_q) - train_s))
+        l2_train = np.max(np.abs(l2_est.predict_many(train_q) - train_s))
+        assert inf_train <= l2_train + 1e-6
+
+    def test_distribution_is_valid(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = PtsHist(size=100, seed=0).fit(train_q, train_s)
+        dist = est.distribution
+        assert isinstance(dist, DiscreteDistribution)
+        assert np.sum(dist.weights) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PtsHist(size=0)
+
+    def test_invalid_interior_fraction(self):
+        with pytest.raises(ValueError):
+            PtsHist(interior_fraction=1.5)
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            PtsHist(objective="l1")
+
+    def test_domain_mismatch(self):
+        est = PtsHist(domain=unit_box(3))
+        with pytest.raises(ValueError):
+            est.fit([Box([0.0, 0.0], [1.0, 1.0])], [0.5])

@@ -1,0 +1,175 @@
+"""QuadHist — Algorithms 1 & 2, the stability lemma, and fit quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadHist
+from repro.distributions import HistogramDistribution
+from repro.geometry import Ball, Box, Halfspace, unit_box
+
+
+def _leaf_set(est: QuadHist) -> set:
+    return {b for b in est.leaf_boxes()}
+
+
+class TestBucketDesign:
+    def test_no_split_below_threshold(self):
+        """A query whose density share never exceeds tau leaves one bucket."""
+        q = Box([0.0, 0.0], [1.0, 1.0])
+        est = QuadHist(tau=0.5).fit([q], [0.3])
+        assert est.model_size == 1
+
+    def test_dense_query_splits(self):
+        q = Box([0.0, 0.0], [0.25, 0.25])
+        est = QuadHist(tau=0.05).fit([q], [0.9])
+        assert est.model_size > 1
+
+    def test_splitting_is_local_to_query(self):
+        """Leaves far from a small dense query stay coarse."""
+        q = Box([0.0, 0.0], [0.25, 0.25])
+        est = QuadHist(tau=0.05).fit([q], [0.9])
+        leaves = est.leaf_boxes()
+        far = [b for b in leaves if b.lows[0] >= 0.5 and b.lows[1] >= 0.5]
+        assert len(far) == 1  # the whole upper-right quadrant stayed intact
+
+    def test_smaller_tau_gives_more_buckets(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        coarse = QuadHist(tau=0.05).fit(train_q, train_s)
+        fine = QuadHist(tau=0.005).fit(train_q, train_s)
+        assert fine.model_size > coarse.model_size
+
+    def test_max_leaves_cap(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = QuadHist(tau=0.001, max_leaves=60).fit(train_q, train_s)
+        assert est.model_size <= 60
+
+    def test_max_depth_cap(self):
+        q = Box([0.0, 0.0], [1e-4, 1e-4])
+        est = QuadHist(tau=1e-6, max_depth=3).fit([q], [1.0])
+        # Depth 3 in 2-D allows at most 4^3 = 64 leaves.
+        assert est.model_size <= 64
+
+    def test_degenerate_query_is_skipped(self):
+        q = Box([0.5, 0.0], [0.5, 1.0])  # zero volume
+        est = QuadHist(tau=0.01).fit([q], [0.4])
+        assert est.model_size == 1
+
+    def test_zero_selectivity_query_never_splits(self):
+        q = Box([0.0, 0.0], [0.5, 0.5])
+        est = QuadHist(tau=0.001).fit([q], [0.0])
+        assert est.model_size == 1
+
+    def test_leaves_partition_domain(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = QuadHist(tau=0.01).fit(train_q, train_s)
+        assert sum(b.volume() for b in est.leaf_boxes()) == pytest.approx(1.0)
+
+
+class TestStabilityLemmaA4:
+    def test_order_invariance(self, rng, power2d_box_workload):
+        """Lemma A.4: bucket design is independent of query order."""
+        train_q, train_s, _, _ = power2d_box_workload
+        est1 = QuadHist(tau=0.02).fit(train_q, train_s)
+        order = rng.permutation(len(train_q))
+        est2 = QuadHist(tau=0.02).fit(
+            [train_q[i] for i in order], train_s[order]
+        )
+        assert _leaf_set(est1) == _leaf_set(est2)
+
+    def test_full_model_determinism(self, power2d_box_workload):
+        """Same workload -> identical predictions (bucket design + weights
+        are both deterministic)."""
+        train_q, train_s, test_q, _ = power2d_box_workload
+        a = QuadHist(tau=0.02).fit(train_q, train_s).predict_many(test_q)
+        b = QuadHist(tau=0.02).fit(train_q, train_s).predict_many(test_q)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFitQuality:
+    def test_perfect_on_uniform_labels(self, rng):
+        """Labels = volumes (the uniform distribution's selectivities) are
+        fit exactly by some histogram, so training error ~ 0."""
+        queries = [
+            Box.from_center(rng.random(2), rng.random(2), clip_to=unit_box(2))
+            for _ in range(30)
+        ]
+        labels = np.array([q.volume() for q in queries])
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.max(np.abs(preds - labels)) < 0.02
+
+    def test_learns_point_mass_region(self):
+        """All mass in the lower-left quadrant is identified."""
+        lower = Box([0.0, 0.0], [0.5, 0.5])
+        upper = Box([0.5, 0.5], [1.0, 1.0])
+        est = QuadHist(tau=0.3).fit([lower, upper], [1.0, 0.0])
+        assert est.predict(lower) > 0.9
+        assert est.predict(upper) < 0.1
+
+    def test_accuracy_on_power_data(self, power2d_box_workload):
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        est = QuadHist(tau=0.005).fit(train_q, train_s)
+        rms = np.sqrt(np.mean((est.predict_many(test_q) - test_s) ** 2))
+        assert rms < 0.05
+
+    def test_halfspace_queries_2d(self, rng):
+        """Generic splitting rule works on halfspace training queries."""
+        queries = [
+            Halfspace.through_point(rng.random(2), rng.normal(size=2))
+            for _ in range(25)
+        ]
+        # Uniform data: label = clipped volume.
+        from repro.geometry.volume import range_volume
+
+        labels = np.array([range_volume(q, unit_box(2)) for q in queries])
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.05
+
+    def test_ball_queries_2d(self, rng):
+        queries = [Ball(rng.random(2), 0.2 + 0.5 * rng.random()) for _ in range(25)]
+        from repro.geometry.volume import range_volume
+
+        labels = np.array([range_volume(q, unit_box(2)) for q in queries])
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.05
+
+    def test_linf_objective_trains(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = QuadHist(tau=0.02, objective="linf").fit(train_q, train_s)
+        train_linf = np.max(np.abs(est.predict_many(train_q) - train_s))
+        l2_est = QuadHist(tau=0.02).fit(train_q, train_s)
+        l2_linf = np.max(np.abs(l2_est.predict_many(train_q) - train_s))
+        assert train_linf <= l2_linf + 1e-6
+
+    def test_distribution_property_is_valid(self, power2d_box_workload):
+        train_q, train_s, _, _ = power2d_box_workload
+        est = QuadHist(tau=0.02).fit(train_q, train_s)
+        dist = est.distribution
+        assert isinstance(dist, HistogramDistribution)
+        assert np.sum(dist.weights) == pytest.approx(1.0)
+        dist.validate()  # buckets must be disjoint
+
+
+class TestValidation:
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            QuadHist(tau=0.0)
+        with pytest.raises(ValueError):
+            QuadHist(tau=1.0)
+
+    def test_invalid_caps(self):
+        with pytest.raises(ValueError):
+            QuadHist(max_leaves=0)
+        with pytest.raises(ValueError):
+            QuadHist(max_depth=0)
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            QuadHist(objective="l7")
+
+    def test_domain_mismatch(self):
+        est = QuadHist(domain=unit_box(3))
+        with pytest.raises(ValueError):
+            est.fit([Box([0.0, 0.0], [1.0, 1.0])], [0.5])

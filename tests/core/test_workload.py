@@ -1,0 +1,78 @@
+"""TrainingSet / LabeledQuery containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabeledQuery, TrainingSet
+from repro.geometry import Box, Halfspace
+
+
+class TestLabeledQuery:
+    def test_valid(self):
+        lq = LabeledQuery(Box([0.0], [0.5]), 0.3)
+        assert lq.selectivity == 0.3
+
+    def test_rejects_out_of_range_selectivity(self):
+        with pytest.raises(ValueError):
+            LabeledQuery(Box([0.0], [0.5]), 1.5)
+
+    def test_rejects_non_range(self):
+        with pytest.raises(TypeError):
+            LabeledQuery("not a range", 0.5)
+
+
+class TestTrainingSet:
+    def test_construction_and_iteration(self):
+        queries = [Box([0.0], [0.5]), Box([0.2], [0.9])]
+        ts = TrainingSet(queries, [0.5, 0.7])
+        assert len(ts) == 2
+        assert ts.dim == 1
+        samples = list(ts)
+        assert samples[0].selectivity == 0.5
+        assert samples[1].query is queries[1]
+
+    def test_getitem(self):
+        ts = TrainingSet([Box([0.0], [1.0])], [1.0])
+        assert ts[0].selectivity == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TrainingSet([], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TrainingSet([Box([0.0], [1.0])], [0.5, 0.6])
+
+    def test_rejects_mixed_dimensions(self):
+        with pytest.raises(ValueError):
+            TrainingSet([Box([0.0], [1.0]), Box([0.0, 0.0], [1.0, 1.0])], [0.5, 0.5])
+
+    def test_rejects_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            TrainingSet([Box([0.0], [1.0])], [1.2])
+
+    def test_mixed_range_types_allowed(self):
+        ts = TrainingSet(
+            [Box([0.0, 0.0], [1.0, 1.0]), Halfspace([1.0, 0.0], 0.5)], [1.0, 0.5]
+        )
+        assert ts.dim == 2
+
+    def test_subset(self):
+        queries = [Box([0.0], [w]) for w in (0.2, 0.5, 0.8)]
+        ts = TrainingSet(queries, [0.2, 0.5, 0.8])
+        sub = ts.subset([0, 2])
+        assert len(sub) == 2
+        np.testing.assert_allclose(sub.selectivities, [0.2, 0.8])
+
+    def test_clips_tiny_float_noise(self):
+        ts = TrainingSet([Box([0.0], [1.0])], [1.0 + 1e-13])
+        assert ts.selectivities[0] == 1.0
+
+    def test_rejects_nan_selectivity(self):
+        """NaN passes both < and > comparisons, so it needs its own check."""
+        with pytest.raises(ValueError):
+            TrainingSet([Box([0.0], [1.0])], [float("nan")])
+
+    def test_rejects_infinite_selectivity(self):
+        with pytest.raises(ValueError):
+            TrainingSet([Box([0.0], [1.0])], [float("inf")])

@@ -1,0 +1,104 @@
+"""Dataset container: normalisation, projection, categorical cells."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeType, Dataset
+
+
+@pytest.fixture
+def mixed_dataset(rng):
+    rows = rng.random((100, 3))
+    # Attribute 2 is categorical with 4 categories: snap to cell centers.
+    codes = rng.integers(0, 4, size=100)
+    rows[:, 2] = (codes + 0.5) / 4
+    return Dataset(
+        "mixed",
+        rows,
+        kinds=[AttributeType.NUMERIC, AttributeType.NUMERIC, AttributeType.CATEGORICAL],
+        cardinalities=[None, None, 4],
+    )
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        ds = Dataset("t", rng.random((50, 2)))
+        assert ds.num_rows == 50
+        assert ds.dim == 2
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.array([[1.5, 0.0]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.empty((0, 3)))
+
+    def test_rejects_nan_rows(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.array([[0.5, np.nan]]))
+
+    def test_rejects_metadata_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Dataset("bad", rng.random((5, 2)), kinds=[AttributeType.NUMERIC])
+
+    def test_categorical_requires_cardinality(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(
+                "bad",
+                rng.random((5, 1)),
+                kinds=[AttributeType.CATEGORICAL],
+                cardinalities=[None],
+            )
+
+
+class TestProjection:
+    def test_project_keeps_metadata(self, mixed_dataset):
+        proj = mixed_dataset.project([2, 0])
+        assert proj.dim == 2
+        assert proj.kinds == [AttributeType.CATEGORICAL, AttributeType.NUMERIC]
+        assert proj.cardinalities == [4, None]
+
+    def test_project_rows(self, mixed_dataset):
+        proj = mixed_dataset.project([1])
+        np.testing.assert_array_equal(proj.rows[:, 0], mixed_dataset.rows[:, 1])
+
+    def test_random_projection_dimension(self, mixed_dataset, rng):
+        proj = mixed_dataset.random_projection(2, rng)
+        assert proj.dim == 2
+
+    def test_numeric_projection_excludes_categorical(self, mixed_dataset, rng):
+        proj = mixed_dataset.numeric_projection(2, rng)
+        assert all(k is AttributeType.NUMERIC for k in proj.kinds)
+
+    def test_numeric_projection_too_large_rejected(self, mixed_dataset, rng):
+        with pytest.raises(ValueError):
+            mixed_dataset.numeric_projection(3, rng)
+
+    def test_empty_projection_rejected(self, mixed_dataset):
+        with pytest.raises(ValueError):
+            mixed_dataset.project([])
+
+
+class TestCategoricalCells:
+    def test_cell_bounds(self, mixed_dataset):
+        lo, hi = mixed_dataset.categorical_cell(2, 0.125)  # category 0 of 4
+        assert (lo, hi) == (0.0, 0.25)
+        lo, hi = mixed_dataset.categorical_cell(2, 0.875)  # category 3
+        assert (lo, hi) == (0.75, 1.0)
+
+    def test_value_one_maps_to_last_cell(self, mixed_dataset):
+        lo, hi = mixed_dataset.categorical_cell(2, 1.0)
+        assert (lo, hi) == (0.75, 1.0)
+
+    def test_numeric_attribute_rejected(self, mixed_dataset):
+        with pytest.raises(ValueError):
+            mixed_dataset.categorical_cell(0, 0.5)
+
+
+class TestSampling:
+    def test_sample_rows_are_dataset_rows(self, mixed_dataset, rng):
+        sample = mixed_dataset.sample_rows(30, rng)
+        assert sample.shape == (30, 3)
+        row_set = {tuple(np.round(r, 12)) for r in mixed_dataset.rows}
+        assert all(tuple(np.round(r, 12)) in row_set for r in sample)

@@ -1,0 +1,60 @@
+"""Exact selectivity oracle."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, true_selectivity, label_queries
+from repro.geometry import Ball, Box, Halfspace
+
+
+@pytest.fixture
+def grid_dataset():
+    """A 10x10 grid of points in [0.05, 0.95]^2 — selectivities are exact."""
+    xs = np.linspace(0.05, 0.95, 10)
+    rows = np.array([[x, y] for x in xs for y in xs])
+    return Dataset("grid", rows)
+
+
+class TestTrueSelectivity:
+    def test_whole_domain(self, grid_dataset):
+        assert true_selectivity(grid_dataset, Box([0.0, 0.0], [1.0, 1.0])) == 1.0
+
+    def test_exact_fraction(self, grid_dataset):
+        # x in [0, 0.5] covers columns 0.05..0.45: 5 of 10.
+        q = Box([0.0, 0.0], [0.5, 1.0])
+        assert true_selectivity(grid_dataset, q) == pytest.approx(0.5)
+
+    def test_empty_query(self, grid_dataset):
+        assert true_selectivity(grid_dataset, Box([0.96, 0.96], [1.0, 1.0])) == 0.0
+
+    def test_halfspace(self, grid_dataset):
+        half = Halfspace([1.0, 0.0], 0.5)  # x >= 0.5
+        assert true_selectivity(grid_dataset, half) == pytest.approx(0.5)
+
+    def test_ball(self, grid_dataset):
+        ball = Ball([0.05, 0.05], 0.01)  # exactly the corner point
+        assert true_selectivity(grid_dataset, ball) == pytest.approx(0.01)
+
+    def test_dimension_mismatch(self, grid_dataset):
+        with pytest.raises(ValueError):
+            true_selectivity(grid_dataset, Box([0.0], [1.0]))
+
+
+class TestLabelQueries:
+    def test_batch_matches_single(self, grid_dataset):
+        queries = [
+            Box([0.0, 0.0], [0.5, 1.0]),
+            Box([0.0, 0.0], [1.0, 0.5]),
+            Ball([0.5, 0.5], 0.3),
+        ]
+        labels = label_queries(grid_dataset, queries)
+        singles = [true_selectivity(grid_dataset, q) for q in queries]
+        np.testing.assert_allclose(labels, singles)
+
+    def test_labels_in_unit_interval(self, grid_dataset, rng):
+        queries = [
+            Box.from_center(rng.random(2), rng.random(2), clip_to=Box([0, 0], [1, 1]))
+            for _ in range(20)
+        ]
+        labels = label_queries(grid_dataset, queries)
+        assert np.all(labels >= 0.0) and np.all(labels <= 1.0)

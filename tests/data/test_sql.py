@@ -1,0 +1,132 @@
+"""SQL WHERE-clause parsing into query ranges."""
+
+import numpy as np
+import pytest
+
+from repro.data.sql import PredicateError, parse_predicate
+from repro.geometry import Ball, Box, Halfspace
+
+ATTRS = ["A1", "A2", "A3"]
+
+
+class TestBoxPredicates:
+    def test_simple_range(self):
+        box = parse_predicate("0.1 <= A1 AND A1 <= 0.5", ATTRS)
+        assert isinstance(box, Box)
+        assert box.lows[0] == pytest.approx(0.1)
+        assert box.highs[0] == pytest.approx(0.5)
+        # Unconstrained attributes span the whole domain.
+        assert box.lows[1] == 0.0 and box.highs[1] == 1.0
+
+    def test_where_keyword_accepted(self):
+        box = parse_predicate("WHERE A1 <= 0.5", ATTRS)
+        assert box.highs[0] == pytest.approx(0.5)
+
+    def test_two_attributes(self):
+        box = parse_predicate(
+            "0.1 <= A1 AND A1 <= 0.5 AND 0.2 <= A2 AND A2 <= 0.6", ATTRS
+        )
+        assert box.lows[1] == pytest.approx(0.2)
+        assert box.highs[1] == pytest.approx(0.6)
+
+    def test_between(self):
+        box = parse_predicate("A2 BETWEEN 0.25 AND 0.75", ATTRS)
+        assert box.lows[1] == pytest.approx(0.25)
+        assert box.highs[1] == pytest.approx(0.75)
+
+    def test_equality_predicate(self):
+        box = parse_predicate("A3 = 0.5", ATTRS)
+        assert box.lows[2] == box.highs[2] == pytest.approx(0.5)
+
+    def test_combined_forms(self):
+        box = parse_predicate("A1 >= 0.3 AND A2 BETWEEN 0.1 AND 0.2 AND A3 < 0.9", ATTRS)
+        assert box.lows[0] == pytest.approx(0.3)
+        assert box.highs[2] == pytest.approx(0.9)
+
+    def test_repeated_constraints_tighten(self):
+        box = parse_predicate("A1 >= 0.2 AND A1 >= 0.4 AND A1 <= 0.9 AND A1 <= 0.7", ATTRS)
+        assert box.lows[0] == pytest.approx(0.4)
+        assert box.highs[0] == pytest.approx(0.7)
+
+    def test_case_insensitive_and(self):
+        box = parse_predicate("A1 <= 0.5 and A2 >= 0.5", ATTRS)
+        assert box.highs[0] == pytest.approx(0.5)
+        assert box.lows[1] == pytest.approx(0.5)
+
+
+class TestHalfspacePredicates:
+    def test_paper_form(self):
+        """SELECT ... WHERE theta0 + theta1*A1 + theta2*A2 >= 0."""
+        half = parse_predicate("0.3 + 1.0*A1 - 2.0*A2 >= 0", ATTRS)
+        assert isinstance(half, Halfspace)
+        # 1.0*A1 - 2.0*A2 >= -0.3
+        assert [0.5, 0.1, 0.0] in half  # 0.5 - 0.2 = 0.3 >= -0.3
+        assert [0.0, 0.9, 0.0] not in half  # -1.8 < -0.3
+
+    def test_le_direction_flipped(self):
+        half = parse_predicate("A1 + A2 <= 1.0", ATTRS)
+        assert isinstance(half, Halfspace)
+        assert [0.2, 0.2, 0.0] in half
+        assert [0.9, 0.9, 0.0] not in half
+
+    def test_bare_attribute_coefficients(self):
+        half = parse_predicate("A1 - A2 >= 0", ATTRS)
+        assert [0.6, 0.4, 0.0] in half
+        assert [0.4, 0.6, 0.0] not in half
+
+
+class TestBallPredicates:
+    def test_paper_form(self):
+        ball = parse_predicate("(A1-0.2)^2 + (A2-0.7)^2 + (A3-0.5)^2 <= 0.04", ATTRS)
+        assert isinstance(ball, Ball)
+        np.testing.assert_allclose(ball.ball_center, [0.2, 0.7, 0.5])
+        assert ball.radius == pytest.approx(0.2)
+
+    def test_partial_dimension_not_a_ball(self):
+        """Mentioning only some attributes is not a full-space ball; it
+        falls through and fails as a box conjunct (squares unsupported)."""
+        with pytest.raises(PredicateError):
+            parse_predicate("(A1-0.2)^2 <= 0.04", ATTRS[:2] + ["A9"])
+
+
+class TestErrors:
+    def test_unknown_attribute(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("B7 <= 0.5", ATTRS)
+
+    def test_empty_clause(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("   ", ATTRS)
+
+    def test_garbage(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("A1 LIKE 'foo'", ATTRS)
+
+    def test_contradictory_bounds(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("A1 >= 0.8 AND A1 <= 0.2", ATTRS)
+
+    def test_reversed_between(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("A1 BETWEEN 0.9 AND 0.1", ATTRS)
+
+    def test_empty_attributes(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("A1 <= 0.5", [])
+
+
+class TestEndToEnd:
+    def test_parsed_queries_train_a_model(self, power2d):
+        """SQL-authored workload drives the normal pipeline."""
+        from repro.core import QuadHist
+        from repro.data import label_queries
+
+        attrs = ["A1", "A2"]
+        clauses = [
+            f"{lo:.2f} <= A1 AND A1 <= {lo + 0.4:.2f} AND A2 <= {hi:.2f}"
+            for lo, hi in zip(np.linspace(0, 0.5, 12), np.linspace(0.3, 1.0, 12))
+        ]
+        queries = [parse_predicate(c, attrs) for c in clauses]
+        labels = label_queries(power2d, queries)
+        model = QuadHist(tau=0.05).fit(queries, labels)
+        assert 0.0 <= model.predict(queries[0]) <= 1.0

@@ -1,0 +1,106 @@
+"""Synthetic dataset generators: shape, determinism, and skew sanity."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AttributeType,
+    census_like,
+    dmv_like,
+    forest_like,
+    load_dataset,
+    power_like,
+)
+
+
+class TestShapes:
+    def test_power_shape(self):
+        ds = power_like(rows=2000)
+        assert ds.num_rows == 2000
+        assert ds.dim == 7
+        assert all(k is AttributeType.NUMERIC for k in ds.kinds)
+
+    def test_forest_shape(self):
+        ds = forest_like(rows=2000)
+        assert ds.dim == 10
+        assert all(k is AttributeType.NUMERIC for k in ds.kinds)
+
+    def test_census_shape(self):
+        ds = census_like(rows=2000)
+        assert ds.dim == 13
+        assert sum(k is AttributeType.CATEGORICAL for k in ds.kinds) == 8
+
+    def test_dmv_shape(self):
+        ds = dmv_like(rows=2000)
+        assert ds.dim == 11
+        assert sum(k is AttributeType.CATEGORICAL for k in ds.kinds) == 10
+
+    def test_rows_normalised(self):
+        for loader in (power_like, forest_like, census_like, dmv_like):
+            ds = loader(rows=500)
+            assert np.all(ds.rows >= 0.0) and np.all(ds.rows <= 1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = power_like(rows=1000, seed=7)
+        b = power_like(rows=1000, seed=7)
+        np.testing.assert_array_equal(a.rows, b.rows)
+
+    def test_different_seed_different_data(self):
+        a = power_like(rows=1000, seed=7)
+        b = power_like(rows=1000, seed=8)
+        assert not np.array_equal(a.rows, b.rows)
+
+
+class TestSkewStructure:
+    def test_power_is_skewed(self):
+        """The experiments rely on skew: mean far from median on the
+        power-draw attribute (lognormal-like tail)."""
+        ds = power_like(rows=20_000)
+        col = ds.rows[:, 0]
+        assert np.mean(col) > np.median(col) * 1.1
+
+    def test_power_submetering_mass_near_zero(self):
+        ds = power_like(rows=20_000)
+        sub1 = ds.rows[:, 4]
+        assert np.mean(sub1 < 0.1) > 0.4
+
+    def test_power_attributes_correlated(self):
+        ds = power_like(rows=20_000)
+        corr = np.corrcoef(ds.rows[:, 0], ds.rows[:, 3])[0, 1]
+        assert corr > 0.8  # active power vs intensity
+
+    def test_forest_terrain_correlation(self):
+        ds = forest_like(rows=20_000)
+        # Hydrology distance shrinks with elevation by construction.
+        corr = np.corrcoef(ds.rows[:, 0], ds.rows[:, 3])[0, 1]
+        assert corr < -0.1
+
+    def test_categorical_columns_are_zipf_skewed(self):
+        ds = dmv_like(rows=20_000)
+        col = ds.rows[:, 2]  # categorical with few categories
+        values, counts = np.unique(col, return_counts=True)
+        assert counts.max() > 2 * counts.min()
+
+    def test_categorical_values_on_cell_centers(self):
+        ds = census_like(rows=5000)
+        for axis, attr in enumerate(ds.attributes):
+            if attr.kind is AttributeType.CATEGORICAL:
+                centers = (np.arange(attr.cardinality) + 0.5) / attr.cardinality
+                assert np.all(np.isin(np.round(ds.rows[:, axis], 9), np.round(centers, 9)))
+
+
+class TestLoader:
+    def test_load_by_name(self):
+        ds = load_dataset("forest", rows=500)
+        assert ds.name == "forest"
+
+    def test_load_with_seed(self):
+        a = load_dataset("power", rows=500, seed=1)
+        b = load_dataset("power", rows=500, seed=1)
+        np.testing.assert_array_equal(a.rows, b.rows)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("tpch")

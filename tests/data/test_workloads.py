@@ -1,0 +1,136 @@
+"""Workload generation (Section 4's three center distributions x three
+query types, plus the shifted-Gaussian workloads of Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    WorkloadSpec,
+    census_like,
+    generate_workload,
+    power_like,
+    shifted_gaussian_workload,
+)
+from repro.data.datasets import AttributeType
+from repro.geometry import Ball, Box, Halfspace, unit_box
+
+
+@pytest.fixture(scope="module")
+def power2d_module():
+    return power_like(rows=4000).project([0, 3])
+
+
+class TestSpecs:
+    def test_invalid_query_kind(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(query_kind="triangle")
+
+    def test_invalid_center_kind(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(center_kind="poisson")
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(gaussian_std=0.0)
+
+
+class TestBoxWorkloads:
+    def test_boxes_clipped_to_domain(self, rng, power2d_module):
+        queries = generate_workload(
+            50, 2, rng, WorkloadSpec("box", "data"), dataset=power2d_module
+        )
+        dom = unit_box(2)
+        for q in queries:
+            assert isinstance(q, Box)
+            assert dom.contains_box(q)
+
+    def test_random_centers_need_no_dataset(self, rng):
+        queries = generate_workload(20, 3, rng, WorkloadSpec("box", "random"))
+        assert len(queries) == 20
+        assert all(q.dim == 3 for q in queries)
+
+    def test_data_driven_requires_dataset(self, rng):
+        with pytest.raises(ValueError):
+            generate_workload(5, 2, rng, WorkloadSpec("box", "data"))
+
+    def test_gaussian_centers_cluster_at_mean(self, rng):
+        queries = generate_workload(400, 2, rng, WorkloadSpec("box", "gaussian"))
+        centers = np.array([q.center() for q in queries])
+        assert np.allclose(centers.mean(axis=0), 0.5, atol=0.05)
+
+    def test_data_driven_centers_follow_data(self, rng, power2d_module):
+        """Data-driven box centers concentrate where rows concentrate."""
+        queries = generate_workload(
+            300, 2, rng, WorkloadSpec("box", "data"), dataset=power2d_module
+        )
+        # Most power rows sit in the lower half of attribute 0.
+        row_frac = float(np.mean(power2d_module.rows[:, 0] < 0.5))
+        assert row_frac > 0.6  # precondition: data is skewed
+
+    def test_dataset_dim_mismatch(self, rng, power2d_module):
+        with pytest.raises(ValueError):
+            generate_workload(5, 3, rng, WorkloadSpec("box", "data"), dataset=power2d_module)
+
+    def test_categorical_attributes_get_equality_cells(self, rng):
+        ds = census_like(rows=2000).project([5, 0])  # categorical + numeric
+        assert ds.kinds[0] is AttributeType.CATEGORICAL
+        card = ds.cardinalities[0]
+        queries = generate_workload(
+            30, 2, rng, WorkloadSpec("box", "data"), dataset=ds
+        )
+        for q in queries:
+            width = q.highs[0] - q.lows[0]
+            assert width == pytest.approx(1.0 / card, abs=1e-9)
+
+
+class TestBallAndHalfspaceWorkloads:
+    def test_ball_workload(self, rng):
+        queries = generate_workload(30, 2, rng, WorkloadSpec("ball", "random"))
+        assert all(isinstance(q, Ball) for q in queries)
+        assert all(0.0 <= q.radius <= 1.0 for q in queries)
+
+    def test_halfspace_workload(self, rng):
+        queries = generate_workload(30, 2, rng, WorkloadSpec("halfspace", "random"))
+        assert all(isinstance(q, Halfspace) for q in queries)
+        for q in queries:
+            assert np.linalg.norm(q.normal) == pytest.approx(1.0)
+
+    def test_halfspace_boundary_through_center(self, rng, power2d_module):
+        """The sampled center lies on the boundary: roughly half the domain
+        is selected on average."""
+        queries = generate_workload(
+            300, 2, rng, WorkloadSpec("halfspace", "gaussian")
+        )
+        from repro.geometry.volume import range_volume
+
+        volumes = [range_volume(q, unit_box(2)) for q in queries]
+        assert np.mean(volumes) == pytest.approx(0.5, abs=0.06)
+
+
+class TestShiftedGaussian:
+    def test_centers_follow_requested_mean(self, rng):
+        queries = shifted_gaussian_workload(400, 2, mean=0.3, rng=rng)
+        centers = np.array([q.center() for q in queries])
+        assert np.allclose(centers.mean(axis=0), 0.3, atol=0.06)
+
+    def test_variance_parameter(self, rng):
+        narrow = shifted_gaussian_workload(400, 2, mean=0.5, rng=rng, variance=0.001)
+        wide = shifted_gaussian_workload(400, 2, mean=0.5, rng=rng, variance=0.05)
+        spread = lambda qs: np.std([q.center()[0] for q in qs])  # noqa: E731
+        assert spread(narrow) < spread(wide)
+
+
+class TestValidation:
+    def test_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            generate_workload(-1, 2, rng)
+
+    def test_zero_dim(self, rng):
+        with pytest.raises(ValueError):
+            generate_workload(5, 0, rng)
+
+    def test_determinism(self):
+        a = generate_workload(10, 2, np.random.default_rng(5), WorkloadSpec("box", "random"))
+        b = generate_workload(10, 2, np.random.default_rng(5), WorkloadSpec("box", "random"))
+        for qa, qb in zip(a, b):
+            assert qa == qb

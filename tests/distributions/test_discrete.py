@@ -1,0 +1,85 @@
+"""DiscreteDistribution — Eq. (7) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution
+from repro.geometry import Ball, Box, Halfspace, unit_box
+
+
+@pytest.fixture
+def simple():
+    points = np.array([[0.25, 0.25], [0.75, 0.25], [0.25, 0.75], [0.75, 0.75]])
+    return DiscreteDistribution(points, np.array([0.4, 0.3, 0.2, 0.1]))
+
+
+class TestConstruction:
+    def test_valid(self, simple):
+        assert simple.size == 4
+        assert simple.dim == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.empty((0, 2)), np.array([]))
+
+    def test_rejects_bad_weight_shape(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.zeros((3, 2)), np.array([0.5, 0.5]))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.zeros((2, 1)), np.array([1.5, -0.5]))
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.zeros((2, 1)), np.array([0.9, 0.9]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(np.zeros((2, 1)), np.array([0.0, 0.0]))
+
+
+class TestSelectivity:
+    def test_whole_domain(self, simple):
+        assert simple.selectivity(unit_box(2)) == pytest.approx(1.0)
+
+    def test_half_domain(self, simple):
+        q = Box([0.0, 0.0], [0.5, 1.0])  # contains the two x=0.25 points
+        assert simple.selectivity(q) == pytest.approx(0.6)
+
+    def test_empty_query(self, simple):
+        q = Box([0.9, 0.9], [1.0, 1.0])
+        assert simple.selectivity(q) == 0.0
+
+    def test_halfspace(self, simple):
+        half = Halfspace([0.0, 1.0], 0.5)  # y >= 0.5
+        assert simple.selectivity(half) == pytest.approx(0.3)
+
+    def test_ball(self, simple):
+        ball = Ball([0.25, 0.25], 0.1)
+        assert simple.selectivity(ball) == pytest.approx(0.4)
+
+    def test_membership_row(self, simple):
+        row = simple.membership_row(Box([0.0, 0.0], [0.5, 1.0]))
+        np.testing.assert_array_equal(row, [1.0, 0.0, 1.0, 0.0])
+
+    def test_boundary_points_included(self):
+        dist = DiscreteDistribution(np.array([[0.5, 0.5]]), np.array([1.0]))
+        assert dist.selectivity(Box([0.5, 0.5], [1.0, 1.0])) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_from_support(self, rng, simple):
+        pts = simple.sample(500, rng)
+        assert pts.shape == (500, 2)
+        support = {tuple(p) for p in simple.points}
+        assert all(tuple(p) in support for p in pts)
+
+    def test_sample_respects_weights(self, rng, simple):
+        pts = simple.sample(8000, rng)
+        heavy = np.all(pts == simple.points[0], axis=1)
+        assert heavy.mean() == pytest.approx(0.4, abs=0.03)
+
+    def test_negative_count_rejected(self, rng, simple):
+        with pytest.raises(ValueError):
+            simple.sample(-1, rng)

@@ -1,0 +1,129 @@
+"""HistogramDistribution — Eq. (6) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import HistogramDistribution
+from repro.geometry import Ball, Box, Halfspace, unit_box
+
+
+@pytest.fixture
+def quadrants():
+    """Four equal buckets tiling the unit square."""
+    return unit_box(2).split()
+
+
+class TestConstruction:
+    def test_valid(self, quadrants):
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        assert hist.size == 4
+        assert hist.dim == 2
+
+    def test_rejects_weight_mismatch(self, quadrants):
+        with pytest.raises(ValueError):
+            HistogramDistribution(quadrants, [0.5, 0.5])
+
+    def test_rejects_negative_weights(self, quadrants):
+        with pytest.raises(ValueError):
+            HistogramDistribution(quadrants, [0.5, 0.6, -0.1, 0.0])
+
+    def test_rejects_unnormalised(self, quadrants):
+        with pytest.raises(ValueError):
+            HistogramDistribution(quadrants, [0.5, 0.5, 0.5, 0.5])
+
+    def test_rejects_weighted_degenerate_bucket(self):
+        buckets = [Box([0.0, 0.0], [0.0, 1.0]), Box([0.5, 0.0], [1.0, 1.0])]
+        with pytest.raises(ValueError):
+            HistogramDistribution(buckets, [0.5, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HistogramDistribution([], [])
+
+    def test_rejects_mixed_dimensions(self):
+        with pytest.raises(ValueError):
+            HistogramDistribution([Box([0.0], [1.0]), unit_box(2)], [0.5, 0.5])
+
+    def test_validate_detects_overlap(self):
+        buckets = [Box([0.0, 0.0], [0.6, 1.0]), Box([0.4, 0.0], [1.0, 1.0])]
+        hist = HistogramDistribution(buckets, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            hist.validate()
+
+    def test_validate_passes_disjoint(self, quadrants):
+        HistogramDistribution(quadrants, [0.25] * 4).validate()
+
+
+class TestSelectivity:
+    def test_whole_domain_is_one(self, quadrants):
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        assert hist.selectivity(unit_box(2)) == pytest.approx(1.0)
+
+    def test_single_bucket_query(self, quadrants):
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        # quadrants[0] is the low-low quadrant (split() ordering).
+        q = quadrants[0]
+        assert hist.selectivity(Box(q.lows, q.highs)) == pytest.approx(0.4)
+
+    def test_partial_overlap_uses_fraction(self, quadrants):
+        hist = HistogramDistribution(quadrants, [1.0, 0.0, 0.0, 0.0])
+        # Query covering half (by volume) of the weighted quadrant.
+        query = Box([0.0, 0.0], [0.25, 0.5])
+        assert hist.selectivity(query) == pytest.approx(0.5)
+
+    def test_uniform_histogram_matches_volume(self, rng):
+        hist = HistogramDistribution(unit_box(2).split(), [0.25] * 4)
+        for _ in range(10):
+            q = Box.from_center(rng.random(2), rng.random(2), clip_to=unit_box(2))
+            assert hist.selectivity(q) == pytest.approx(q.volume(), abs=1e-9)
+
+    def test_halfspace_query(self):
+        hist = HistogramDistribution(unit_box(2).split(), [0.25] * 4)
+        half = Halfspace([1.0, 0.0], 0.5)
+        assert hist.selectivity(half) == pytest.approx(0.5)
+
+    def test_ball_query(self):
+        hist = HistogramDistribution(unit_box(2).split(), [0.25] * 4)
+        ball = Ball([0.5, 0.5], 0.25)
+        assert hist.selectivity(ball) == pytest.approx(np.pi * 0.0625, abs=1e-9)
+
+    def test_clipped_to_unit_interval(self, quadrants):
+        hist = HistogramDistribution(quadrants, [0.25] * 4)
+        assert 0.0 <= hist.selectivity(Box([-1.0, -1.0], [2.0, 2.0])) <= 1.0
+
+    def test_intersection_fractions_row(self, quadrants):
+        hist = HistogramDistribution(quadrants, [0.25] * 4)
+        row = hist.intersection_fractions(unit_box(2))
+        np.testing.assert_allclose(row, np.ones(4))
+
+
+class TestDensityAndSampling:
+    def test_density_value(self, quadrants):
+        hist = HistogramDistribution(quadrants, [1.0, 0.0, 0.0, 0.0])
+        assert hist.density(np.array([0.1, 0.1])) == pytest.approx(4.0)
+        assert hist.density(np.array([0.9, 0.9])) == pytest.approx(0.0)
+
+    def test_density_integrates_to_one(self, rng, quadrants):
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        pts = rng.random((40_000, 2))
+        assert np.mean(hist.density(pts)) == pytest.approx(1.0, abs=0.05)
+
+    def test_sample_respects_weights(self, rng, quadrants):
+        hist = HistogramDistribution(quadrants, [0.7, 0.1, 0.1, 0.1])
+        pts = hist.sample(4000, rng)
+        in_heavy = np.asarray(quadrants[0].contains(pts))
+        assert in_heavy.mean() == pytest.approx(0.7, abs=0.05)
+
+    def test_sample_shape_and_bounds(self, rng, quadrants):
+        hist = HistogramDistribution(quadrants, [0.25] * 4)
+        pts = hist.sample(100, rng)
+        assert pts.shape == (100, 2)
+        assert np.all(unit_box(2).contains(pts))
+
+    def test_sample_selectivity_consistency(self, rng, quadrants):
+        """Empirical selectivity of a sample ≈ model selectivity."""
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        pts = hist.sample(20_000, rng)
+        q = Box([0.0, 0.0], [0.5, 1.0])
+        empirical = float(np.mean(q.contains(pts)))
+        assert empirical == pytest.approx(hist.selectivity(q), abs=0.02)

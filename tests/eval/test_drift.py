@@ -1,0 +1,91 @@
+"""Workload-drift detection (CUSUM on prediction errors)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadHist
+from repro.data import label_queries, power_like, shifted_gaussian_workload
+from repro.eval.drift import DriftDetector
+
+
+class TestDriftDetectorUnit:
+    @pytest.fixture
+    def detector(self, rng):
+        # Baseline drawn from the same error process the in-control
+        # serving stream will produce (squared N(0, 0.02) deviations).
+        baseline = rng.normal(0, 0.02, 300) ** 2
+        return DriftDetector(baseline)  # calibrated defaults
+
+    def test_no_alarm_under_baseline_conditions(self, detector, rng):
+        fired = False
+        for _ in range(200):
+            truth = rng.random()
+            estimate = truth + rng.normal(0, 0.02)
+            fired = detector.update(estimate, truth) or fired
+        assert not fired
+
+    def test_alarm_on_sustained_large_errors(self, detector, rng):
+        fired = False
+        for _ in range(50):
+            fired = detector.update(0.9, 0.1) or fired
+        assert fired
+
+    def test_statistic_resets(self, detector):
+        for _ in range(50):
+            detector.update(0.9, 0.1)
+        assert detector.statistic > 0
+        detector.reset()
+        assert detector.statistic == 0.0
+        assert detector.observations == 0
+
+    def test_statistic_never_negative(self, detector, rng):
+        for _ in range(100):
+            detector.update(0.5, 0.5)  # perfect predictions
+            assert detector.statistic >= 0.0
+
+    def test_update_many(self, detector):
+        fired = detector.update_many(np.full(60, 0.9), np.full(60, 0.1))
+        assert fired
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            DriftDetector(np.array([0.1]))
+        with pytest.raises(ValueError):
+            DriftDetector(np.array([0.1, np.nan]))
+        with pytest.raises(ValueError):
+            DriftDetector(np.array([0.1, 0.2]), slack=-1)
+        with pytest.raises(ValueError):
+            DriftDetector(np.array([0.1, 0.2]), threshold=0)
+        detector = DriftDetector(np.array([0.001, 0.002]))
+        with pytest.raises(ValueError):
+            detector.update_many(np.ones(3), np.ones(4))
+
+
+class TestDriftEndToEnd:
+    def test_detects_workload_shift(self):
+        """The Section 4.3 scenario, online: train on mean-0.7 Gaussians
+        (queries over the sparse region), serve mean-0.7 (no alarm), then
+        mean-0.2 — the dense data region the model never saw (alarm)."""
+        gen = np.random.default_rng(8)
+        data = power_like(rows=10_000).project([0, 3])
+
+        train = shifted_gaussian_workload(200, 2, 0.7, gen, dataset=data)
+        train_labels = label_queries(data, train)
+        model = QuadHist(tau=0.005).fit(train, train_labels)
+
+        holdout = shifted_gaussian_workload(80, 2, 0.7, gen, dataset=data)
+        holdout_labels = label_queries(data, holdout)
+        baseline = (model.predict_many(holdout) - holdout_labels) ** 2
+        detector = DriftDetector(baseline)
+
+        same = shifted_gaussian_workload(120, 2, 0.7, gen, dataset=data)
+        fired_same = detector.update_many(
+            model.predict_many(same), label_queries(data, same)
+        )
+        assert not fired_same
+
+        shifted = shifted_gaussian_workload(120, 2, 0.2, gen, dataset=data)
+        fired_shifted = detector.update_many(
+            model.predict_many(shifted), label_queries(data, shifted)
+        )
+        assert fired_shifted

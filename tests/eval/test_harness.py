@@ -1,0 +1,66 @@
+"""Experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MeanEstimator
+from repro.core import QuadHist
+from repro.data import WorkloadSpec
+from repro.eval import evaluate_estimator, make_workload, train_test_workload
+
+
+class TestMakeWorkload:
+    def test_labels_match_queries(self, power2d, rng):
+        wl = make_workload(power2d, 30, rng)
+        assert len(wl) == 30
+        assert wl.selectivities.shape == (30,)
+        assert np.all(wl.selectivities >= 0) and np.all(wl.selectivities <= 1)
+
+    def test_spec_is_respected(self, power2d, rng):
+        from repro.geometry import Ball
+
+        wl = make_workload(power2d, 10, rng, spec=WorkloadSpec("ball", "random"))
+        assert all(isinstance(q, Ball) for q in wl.queries)
+
+    def test_nonempty_filter(self, power2d, rng):
+        wl = make_workload(power2d, 50, rng, spec=WorkloadSpec("box", "random"))
+        filtered = wl.nonempty()
+        assert all(s > 0 for s in filtered.selectivities)
+        assert len(filtered) <= len(wl)
+
+
+class TestTrainTest:
+    def test_sizes(self, power2d, rng):
+        train, test = train_test_workload(power2d, 40, 20, rng)
+        assert len(train) == 40
+        assert len(test) == 20
+
+    def test_independent_workloads(self, power2d, rng):
+        train, test = train_test_workload(power2d, 10, 10, rng)
+        assert train.queries[0] != test.queries[0]
+
+
+class TestEvaluate:
+    def test_result_fields(self, power2d, rng):
+        train, test = train_test_workload(power2d, 40, 20, rng)
+        result = evaluate_estimator("quadhist", QuadHist(tau=0.05), train, test)
+        assert result.name == "quadhist"
+        assert result.train_size == 40
+        assert result.model_size >= 1
+        assert result.fit_seconds >= 0
+        assert 0 <= result.rms <= 1
+        assert set(result.q_quantiles) == {0.5, 0.95, 0.99, 1.0}
+
+    def test_row_is_flat(self, power2d, rng):
+        train, test = train_test_workload(power2d, 20, 10, rng)
+        result = evaluate_estimator("mean", MeanEstimator(), train, test)
+        row = result.row()
+        assert row["method"] == "mean"
+        assert "q99" in row and "MAX" in row
+
+    def test_custom_q_floor(self, power2d, rng):
+        train, test = train_test_workload(power2d, 20, 10, rng)
+        result = evaluate_estimator(
+            "mean", MeanEstimator(), train, test, q_floor=0.01
+        )
+        assert result.q_quantiles[1.0] <= 100.0

@@ -1,0 +1,67 @@
+"""Learning curves and empirical sample complexity."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadHist
+from repro.eval.learning_curve import empirical_sample_complexity, learning_curve
+
+
+def _factory(n):
+    return QuadHist(tau=0.005, max_leaves=4 * n)
+
+
+class TestLearningCurve:
+    def test_curve_shape(self, power2d, rng):
+        curve = learning_curve(_factory, power2d, rng, train_sizes=(25, 100))
+        assert [point["train"] for point in curve] == [25, 100]
+        assert all(0.0 <= point["rms"] <= 1.0 for point in curve)
+
+    def test_error_decreases_along_curve(self, power2d, rng):
+        curve = learning_curve(_factory, power2d, rng, train_sizes=(25, 200))
+        assert curve[-1]["rms"] <= curve[0]["rms"]
+
+    def test_repeats_report_spread(self, power2d, rng):
+        curve = learning_curve(
+            _factory, power2d, rng, train_sizes=(50,), repeats=3
+        )
+        assert curve[0]["rms_std"] >= 0.0
+
+    def test_validation(self, power2d, rng):
+        with pytest.raises(ValueError):
+            learning_curve(_factory, power2d, rng, train_sizes=())
+        with pytest.raises(ValueError):
+            learning_curve(_factory, power2d, rng, repeats=0)
+
+
+class TestSampleComplexity:
+    def test_finds_modest_target(self, power2d, rng):
+        n = empirical_sample_complexity(
+            _factory, power2d, rng, target_rms=0.05, start=25, max_size=800
+        )
+        assert n is not None and 25 <= n <= 800
+
+    def test_harder_target_needs_more_samples(self, power2d, rng):
+        easy = empirical_sample_complexity(
+            _factory, power2d, rng, target_rms=0.1, start=25, max_size=1600
+        )
+        hard = empirical_sample_complexity(
+            _factory, power2d, rng, target_rms=0.01, start=25, max_size=1600
+        )
+        assert easy is not None
+        if hard is not None:
+            assert hard >= easy
+
+    def test_unreachable_target_returns_none(self, power2d, rng):
+        n = empirical_sample_complexity(
+            _factory, power2d, rng, target_rms=1e-9, start=25, max_size=50
+        )
+        assert n is None
+
+    def test_validation(self, power2d, rng):
+        with pytest.raises(ValueError):
+            empirical_sample_complexity(_factory, power2d, rng, target_rms=0.0)
+        with pytest.raises(ValueError):
+            empirical_sample_complexity(
+                _factory, power2d, rng, target_rms=0.1, start=100, max_size=50
+            )

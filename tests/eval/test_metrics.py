@@ -1,0 +1,83 @@
+"""Error measures (Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import linf_error, q_error_quantiles, q_errors, rms_error
+
+unit_arrays = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=40
+)
+
+
+class TestRMS:
+    def test_known_value(self):
+        assert rms_error([0.5, 0.0], [0.0, 0.0]) == pytest.approx(np.sqrt(0.125))
+
+    def test_zero_on_perfect(self):
+        assert rms_error([0.1, 0.9], [0.1, 0.9]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rms_error([0.1], [0.1, 0.2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            rms_error([], [])
+
+
+class TestLinf:
+    def test_known_value(self):
+        assert linf_error([0.5, 0.2], [0.1, 0.2]) == pytest.approx(0.4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(unit_arrays, unit_arrays)
+    def test_linf_dominates_rms(self, a, b):
+        n = min(len(a), len(b))
+        assert linf_error(a[:n], b[:n]) >= rms_error(a[:n], b[:n]) - 1e-12
+
+
+class TestQError:
+    def test_exact_prediction_is_one(self):
+        np.testing.assert_allclose(q_errors([0.5], [0.5]), [1.0])
+
+    def test_symmetric(self):
+        np.testing.assert_allclose(q_errors([0.1], [0.2]), q_errors([0.2], [0.1]))
+
+    def test_ratio(self):
+        np.testing.assert_allclose(q_errors([0.1], [0.4]), [4.0])
+
+    def test_floor_prevents_division_by_zero(self):
+        errors = q_errors([0.0], [0.5], floor=0.001)
+        assert errors[0] == pytest.approx(500.0)
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            q_errors([0.1], [0.1], floor=0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(unit_arrays, unit_arrays)
+    def test_q_errors_at_least_one(self, a, b):
+        n = min(len(a), len(b))
+        assert np.all(q_errors(a[:n], b[:n]) >= 1.0)
+
+    def test_quantiles_default_keys(self):
+        est = np.linspace(0.01, 0.99, 50)
+        tru = est * 1.1
+        quantiles = q_error_quantiles(est, np.clip(tru, 0, 1))
+        assert set(quantiles) == {0.5, 0.95, 0.99, 1.0}
+
+    def test_quantiles_monotone(self):
+        gen = np.random.default_rng(0)
+        est = gen.random(100)
+        tru = gen.random(100)
+        quantiles = q_error_quantiles(est, tru)
+        assert quantiles[0.5] <= quantiles[0.95] <= quantiles[0.99] <= quantiles[1.0]
+
+    def test_max_quantile_is_max(self):
+        est = np.array([0.1, 0.2, 0.9])
+        tru = np.array([0.1, 0.4, 0.3])
+        quantiles = q_error_quantiles(est, tru)
+        assert quantiles[1.0] == pytest.approx(3.0)

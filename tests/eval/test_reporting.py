@@ -1,0 +1,38 @@
+"""Text reporting helpers."""
+
+from repro.eval import format_series, format_table
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"method": "quadhist", "rms": 0.01}, {"method": "ptshist", "rms": 0.02}]
+        text = format_table(rows, title="Accuracy")
+        assert "Accuracy" in text
+        assert "quadhist" in text and "ptshist" in text
+        assert "0.01" in text
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "3" in text
+
+    def test_floats_formatted(self):
+        text = format_table([{"x": 0.123456789}])
+        assert "0.12346" in text
+
+
+class TestFormatSeries:
+    def test_renders_x_and_series(self):
+        text = format_series(
+            "train", [50, 100], {"quadhist": [0.05, 0.02], "ptshist": [0.06, 0.03]}
+        )
+        assert "train" in text
+        assert "50" in text and "100" in text
+        assert "0.02" in text
+
+    def test_ragged_series_tolerated(self):
+        text = format_series("n", [1, 2, 3], {"a": [0.1]})
+        assert "3" in text

@@ -1,0 +1,88 @@
+"""Arrangement cell construction (Section 3.1 bucket design)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Ball,
+    Box,
+    Halfspace,
+    box_arrangement_cells,
+    sign_vector_cells,
+    unit_box,
+)
+
+
+class TestBoxArrangement:
+    def test_single_box_makes_grid(self):
+        cells = box_arrangement_cells([Box([0.25, 0.25], [0.75, 0.75])])
+        # 3 cuts per dimension -> 3x3 grid.
+        assert len(cells) == 9
+        assert sum(c.volume() for c in cells) == pytest.approx(1.0)
+
+    def test_cells_partition_domain(self, rng):
+        boxes = [
+            Box.from_center(rng.random(2), rng.random(2), clip_to=unit_box(2))
+            for _ in range(5)
+        ]
+        cells = box_arrangement_cells(boxes)
+        assert sum(c.volume() for c in cells) == pytest.approx(1.0)
+
+    def test_cells_are_sign_invariant(self, rng):
+        """Every cell lies entirely inside or outside each input box."""
+        boxes = [
+            Box.from_center(rng.random(2), rng.random(2) * 0.6, clip_to=unit_box(2))
+            for _ in range(4)
+        ]
+        cells = box_arrangement_cells(boxes)
+        for cell in cells:
+            if cell.volume() <= 0:
+                continue
+            probe = cell.lows + rng.random((20, 2)) * cell.widths
+            for box in boxes:
+                inside = np.asarray(box.contains(probe))
+                assert inside.all() or not inside.any()
+
+    def test_empty_input_returns_domain(self):
+        cells = box_arrangement_cells([], domain=unit_box(2))
+        assert cells == [unit_box(2)]
+
+    def test_max_cells_guard(self):
+        boxes = [Box([i / 30, 0.0], [i / 30 + 0.01, 1.0]) for i in range(30)]
+        with pytest.raises(ValueError):
+            box_arrangement_cells(boxes, max_cells=10)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            box_arrangement_cells([Box([0.0], [1.0]), Box([0.0, 0.0], [1.0, 1.0])])
+
+    def test_1d_intervals(self):
+        cells = box_arrangement_cells([Box([0.3], [0.7])], domain=unit_box(1))
+        lows = sorted(float(c.lows[0]) for c in cells)
+        assert lows == pytest.approx([0.0, 0.3, 0.7])
+
+
+class TestSignVectorCells:
+    def test_one_point_per_distinct_cell(self, rng):
+        ranges = [Box([0.0, 0.0], [0.5, 1.0]), Box([0.0, 0.0], [1.0, 0.5])]
+        points = sign_vector_cells(ranges, rng, samples=4000)
+        membership = np.stack([np.asarray(r.contains(points)) for r in ranges], axis=1)
+        keys = {tuple(row) for row in membership}
+        # 4 sign vectors exist: in-both, in-first-only, in-second-only, in-neither.
+        assert len(points) == len(keys) == 4
+
+    def test_works_for_mixed_range_types(self, rng):
+        ranges = [Ball([0.5, 0.5], 0.3), Halfspace([1.0, 0.0], 0.5)]
+        points = sign_vector_cells(ranges, rng, samples=3000)
+        membership = np.stack([np.asarray(r.contains(points)) for r in ranges], axis=1)
+        assert len({tuple(row) for row in membership}) == len(points)
+
+    def test_empty_ranges_returns_center(self, rng):
+        points = sign_vector_cells([], rng, domain=unit_box(2))
+        np.testing.assert_allclose(points, [[0.5, 0.5]])
+
+    def test_deterministic_given_generator_seed(self):
+        ranges = [Ball([0.4, 0.4], 0.2)]
+        a = sign_vector_cells(ranges, np.random.default_rng(3))
+        b = sign_vector_cells(ranges, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,83 @@
+"""Exact 2-D halfspace arrangement enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Halfspace, unit_box
+from repro.geometry.arrangement import halfspace_arrangement_points
+
+
+def _cells(halfspaces, points):
+    membership = np.stack([np.asarray(h.contains(points)) for h in halfspaces], axis=1)
+    return {tuple(row) for row in membership}
+
+
+class TestHalfspaceArrangement:
+    def test_one_line_two_cells(self):
+        hs = [Halfspace([1.0, 0.0], 0.5)]
+        points = halfspace_arrangement_points(hs)
+        assert len(_cells(hs, points)) == 2
+
+    def test_two_crossing_lines_four_cells(self):
+        hs = [Halfspace([1.0, 0.0], 0.5), Halfspace([0.0, 1.0], 0.5)]
+        points = halfspace_arrangement_points(hs)
+        assert len(_cells(hs, points)) == 4
+
+    def test_matches_monte_carlo_discovery(self, rng):
+        """Exact enumeration finds every cell a dense MC sample finds."""
+        for trial in range(5):
+            hs = [
+                Halfspace.through_point(rng.random(2), rng.normal(size=2))
+                for _ in range(8)
+            ]
+            exact = _cells(hs, halfspace_arrangement_points(hs))
+            mc = _cells(hs, rng.random((100_000, 2)))
+            assert mc.issubset(exact)
+
+    def test_representatives_inside_domain(self, rng):
+        hs = [
+            Halfspace.through_point(rng.random(2), rng.normal(size=2))
+            for _ in range(6)
+        ]
+        points = halfspace_arrangement_points(hs)
+        assert np.all(unit_box(2).contains(points))
+
+    def test_cell_count_within_arrangement_bound(self, rng):
+        """n lines in general position partition the plane into at most
+        1 + n + C(n, 2) cells; clipping to the box only removes cells."""
+        n = 10
+        hs = [
+            Halfspace.through_point(rng.random(2), rng.normal(size=2))
+            for _ in range(n)
+        ]
+        points = halfspace_arrangement_points(hs)
+        assert len(points) <= 1 + n + n * (n - 1) // 2
+
+    def test_empty_input(self):
+        points = halfspace_arrangement_points([])
+        assert points.shape == (1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            halfspace_arrangement_points([Halfspace([1.0, 0.0, 0.0], 0.2)])
+        with pytest.raises(ValueError):
+            halfspace_arrangement_points([Halfspace([1.0, 0.0], 0.5)], epsilon=0.5)
+
+    def test_exact_erm_for_halfspaces(self, rng):
+        """The exact buckets support a perfect fit of consistent labels."""
+        from repro.distributions import DiscreteDistribution
+        from repro.solvers import fit_simplex_weights
+
+        hs = [
+            Halfspace.through_point(rng.random(2), rng.normal(size=2))
+            for _ in range(10)
+        ]
+        from repro.geometry.volume import range_volume
+
+        labels = np.array([range_volume(h, unit_box(2)) for h in hs])
+        points = halfspace_arrangement_points(hs)
+        design = np.stack([np.asarray(h.contains(points), dtype=float) for h in hs])
+        weights = fit_simplex_weights(design, labels, method="pgd")
+        model = DiscreteDistribution(points, weights)
+        preds = np.array([model.selectivity(h) for h in hs])
+        assert np.max(np.abs(preds - labels)) < 0.02

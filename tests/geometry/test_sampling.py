@@ -1,0 +1,138 @@
+"""Rejection sampling and bounding boxes (Appendix A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Ball,
+    Box,
+    Halfspace,
+    halfspace_bounding_box,
+    rejection_sample,
+    sample_in_box,
+    smallest_bounding_box,
+    unit_box,
+)
+from repro.geometry.ranges import SemiAlgebraicRange
+
+
+class TestSampleInBox:
+    def test_points_inside(self, rng):
+        box = Box([0.2, 0.4], [0.6, 0.9])
+        pts = sample_in_box(box, 500, rng)
+        assert pts.shape == (500, 2)
+        assert np.all(box.contains(pts))
+
+    def test_zero_count(self, rng):
+        assert sample_in_box(unit_box(2), 0, rng).shape == (0, 2)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_in_box(unit_box(2), -1, rng)
+
+    def test_deterministic_given_seed(self):
+        a = sample_in_box(unit_box(3), 50, np.random.default_rng(9))
+        b = sample_in_box(unit_box(3), 50, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_roughly_uniform(self, rng):
+        pts = sample_in_box(unit_box(1), 8000, rng)
+        assert np.mean(pts < 0.5) == pytest.approx(0.5, abs=0.03)
+
+
+class TestHalfspaceBoundingBox:
+    def test_axis_aligned(self):
+        half = Halfspace([1.0, 0.0], 0.4)  # x >= 0.4
+        bbox = halfspace_bounding_box(half, unit_box(2))
+        assert bbox.lows[0] == pytest.approx(0.4)
+        assert bbox.highs[0] == pytest.approx(1.0)
+        assert bbox.lows[1] == pytest.approx(0.0)
+
+    def test_negative_coefficient(self):
+        half = Halfspace([-1.0, 0.0], -0.3)  # x <= 0.3
+        bbox = halfspace_bounding_box(half, unit_box(2))
+        assert bbox.highs[0] == pytest.approx(0.3)
+
+    def test_diagonal_constraint_tightens_both(self):
+        half = Halfspace([1.0, 1.0], 1.5)  # x + y >= 1.5 in the unit square
+        bbox = halfspace_bounding_box(half, unit_box(2))
+        assert bbox.lows[0] == pytest.approx(0.5)
+        assert bbox.lows[1] == pytest.approx(0.5)
+
+    def test_bbox_contains_feasible_region(self, rng):
+        for _ in range(20):
+            half = Halfspace(rng.normal(size=3), rng.normal() * 0.4)
+            bbox = halfspace_bounding_box(half, unit_box(3))
+            pts = sample_in_box(unit_box(3), 2000, rng)
+            feasible = pts[np.asarray(half.contains(pts))]
+            if feasible.size:
+                assert np.all(bbox.contains(feasible))
+
+    def test_empty_intersection_collapses(self):
+        half = Halfspace([1.0, 0.0], 5.0)
+        bbox = halfspace_bounding_box(half, unit_box(2))
+        assert bbox.volume() == 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            halfspace_bounding_box(Halfspace([1.0], 0.0), unit_box(2))
+
+
+class TestSmallestBoundingBox:
+    def test_ball(self):
+        bbox = smallest_bounding_box(Ball([0.5, 0.5], 0.2))
+        assert np.allclose(bbox.lows, [0.3, 0.3])
+
+    def test_box_clipped(self):
+        bbox = smallest_bounding_box(Box([-0.5, 0.2], [0.5, 0.8]))
+        assert bbox.lows[0] == pytest.approx(0.0)
+
+    def test_disjoint_box_collapses(self):
+        bbox = smallest_bounding_box(Box([2.0, 2.0], [3.0, 3.0]))
+        assert bbox.volume() == 0.0
+
+
+class TestRejectionSample:
+    def test_box_samples_inside(self, rng):
+        box = Box([0.1, 0.1], [0.4, 0.4])
+        pts = rejection_sample(box, 200, rng)
+        assert pts.shape == (200, 2)
+        assert np.all(box.contains(pts))
+
+    def test_ball_samples_inside(self, rng):
+        ball = Ball([0.5, 0.5], 0.3)
+        pts = rejection_sample(ball, 300, rng)
+        assert np.all(ball.contains(pts))
+
+    def test_halfspace_samples_inside(self, rng):
+        half = Halfspace([1.0, 1.0], 1.2)
+        pts = rejection_sample(half, 300, rng)
+        assert np.all(half.contains(pts))
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_semialgebraic_samples_inside(self, rng):
+        ring = SemiAlgebraicRange(
+            dim=2,
+            predicates=[
+                lambda p: (p[:, 0] - 0.5) ** 2 + (p[:, 1] - 0.5) ** 2 - 0.2,
+                lambda p: 0.05 - ((p[:, 0] - 0.5) ** 2 + (p[:, 1] - 0.5) ** 2),
+            ],
+            bounding_box=Box([0.0, 0.0], [1.0, 1.0]),
+        )
+        pts = rejection_sample(ring, 100, rng)
+        assert np.all(ring.contains(pts))
+
+    def test_zero_count(self, rng):
+        assert rejection_sample(Ball([0.5, 0.5], 0.2), 0, rng).shape == (0, 2)
+
+    def test_tiny_range_degrades_gracefully(self, rng):
+        # Acceptance probability ~ 0: must still return the right shape.
+        ball = Ball([0.5, 0.5], 1e-9)
+        pts = rejection_sample(ball, 10, rng)
+        assert pts.shape == (10, 2)
+
+    def test_roughly_uniform_within_ball(self, rng):
+        ball = Ball([0.5, 0.5], 0.4)
+        pts = rejection_sample(ball, 6000, rng)
+        # Left/right symmetry of a uniform sample from a disc.
+        assert np.mean(pts[:, 0] < 0.5) == pytest.approx(0.5, abs=0.04)

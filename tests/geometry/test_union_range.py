@@ -1,0 +1,86 @@
+"""UnionRange — IN-list and disjunctive predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core import PtsHist
+from repro.geometry import Ball, Box, UnionRange, unit_box
+
+
+class TestUnionRange:
+    def test_membership_is_union(self):
+        union = UnionRange([Box([0.0, 0.0], [0.2, 1.0]), Box([0.8, 0.0], [1.0, 1.0])])
+        pts = np.array([[0.1, 0.5], [0.5, 0.5], [0.9, 0.5]])
+        np.testing.assert_array_equal(union.contains(pts), [True, False, True])
+
+    def test_mixed_member_types(self):
+        union = UnionRange([Ball([0.2, 0.2], 0.1), Box([0.7, 0.7], [0.9, 0.9])])
+        assert [0.2, 0.2] in union
+        assert [0.8, 0.8] in union
+        assert [0.5, 0.5] not in union
+
+    def test_bounding_box_covers_members(self):
+        union = UnionRange([Box([0.1, 0.1], [0.2, 0.2]), Box([0.7, 0.8], [0.9, 0.95])])
+        bbox = union.bounding_box()
+        np.testing.assert_allclose(bbox.lows, [0.1, 0.1])
+        np.testing.assert_allclose(bbox.highs, [0.9, 0.95])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnionRange([])
+        with pytest.raises(ValueError):
+            UnionRange([Box([0.0], [1.0]), Box([0.0, 0.0], [1.0, 1.0])])
+
+    def test_in_list_construction(self):
+        # Attribute 0 categorical with 4 categories; IN (cells of 0.1, 0.6).
+        union = UnionRange.in_list(0, [0.1, 0.6], cardinality=4, dim=2)
+        assert [0.1, 0.5] in union  # category 0
+        assert [0.6, 0.5] in union  # category 2
+        assert [0.3, 0.5] not in union  # category 1
+
+    def test_in_list_validation(self):
+        with pytest.raises(ValueError):
+            UnionRange.in_list(0, [], cardinality=4, dim=2)
+        with pytest.raises(ValueError):
+            UnionRange.in_list(5, [0.1], cardinality=4, dim=2)
+        with pytest.raises(ValueError):
+            UnionRange.in_list(0, [0.1], cardinality=0, dim=2)
+
+
+class TestInListLearnability:
+    def test_ptshist_learns_in_list_workload(self, rng):
+        """IN-list selectivities are learnable with the standard machinery
+        (finite VC dimension of bounded unions)."""
+        from repro.data import census_like, label_queries
+
+        data = census_like(rows=8_000).project([5, 0])  # categorical + numeric
+        card = data.cardinalities[0]
+        queries = []
+        for _ in range(60):
+            n_values = int(rng.integers(1, 4))
+            values = rng.random(n_values)
+            queries.append(UnionRange.in_list(0, values, cardinality=card, dim=2))
+        labels = label_queries(data, queries)
+        est = PtsHist(size=300, seed=0).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.1
+
+    def test_quadhist_handles_union_queries_via_mc(self, rng):
+        """QuadHist's generic volume dispatch covers unions (quasi-MC)."""
+        from repro.core import QuadHist
+
+        queries = [
+            UnionRange(
+                [
+                    Box.from_center(rng.random(2), rng.random(2) * 0.3, clip_to=unit_box(2)),
+                    Box.from_center(rng.random(2), rng.random(2) * 0.3, clip_to=unit_box(2)),
+                ]
+            )
+            for _ in range(15)
+        ]
+        # Uniform-data labels via MC membership.
+        probe = rng.random((20_000, 2))
+        labels = np.array([float(np.mean(q.contains(probe))) for q in queries])
+        est = QuadHist(tau=0.05).fit(queries, labels)
+        preds = est.predict_many(queries)
+        assert np.sqrt(np.mean((preds - labels) ** 2)) < 0.06

@@ -1,0 +1,97 @@
+"""Cross-cutting volume invariants (complement, additivity, containment)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Ball, Box, Halfspace, unit_box
+from repro.geometry.volume import (
+    box_ball_intersection_volume,
+    box_box_intersection_volume,
+    box_halfspace_intersection_volume,
+)
+
+normals = st.tuples(
+    st.floats(-2, 2, allow_nan=False), st.floats(-2, 2, allow_nan=False)
+).filter(lambda t: abs(t[0]) + abs(t[1]) > 1e-3)
+
+
+class TestComplement:
+    @settings(max_examples=60, deadline=None)
+    @given(normals, st.floats(-2, 2, allow_nan=False))
+    def test_halfspace_complement_partitions_domain(self, normal, offset):
+        """vol(a.x >= b) + vol(a.x <= b) = vol(domain) (boundary has
+        measure zero)."""
+        dom = unit_box(2)
+        pos = box_halfspace_intersection_volume(dom, Halfspace(list(normal), offset))
+        neg = box_halfspace_intersection_volume(
+            dom, Halfspace([-normal[0], -normal[1]], -offset)
+        )
+        assert pos + neg == pytest.approx(1.0, abs=1e-9)
+
+    def test_halfspace_complement_in_shifted_box(self):
+        box = Box([0.25, 0.5], [0.75, 1.0])
+        half = Halfspace([1.0, -1.0], 0.1)
+        pos = box_halfspace_intersection_volume(box, half)
+        neg = box_halfspace_intersection_volume(box, Halfspace([-1.0, 1.0], -0.1))
+        assert pos + neg == pytest.approx(box.volume(), abs=1e-12)
+
+
+class TestAdditivity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(0.05, 0.95, allow_nan=False),
+        st.floats(-0.2, 1.2, allow_nan=False),
+        st.floats(-0.2, 1.2, allow_nan=False),
+        st.floats(0.05, 0.8, allow_nan=False),
+    )
+    def test_ball_volume_additive_over_box_split(self, cut, cx, cy, radius):
+        """Splitting the domain at x = cut: the two halves' ball overlaps
+        sum to the whole domain's."""
+        ball = Ball([cx, cy], radius)
+        whole = box_ball_intersection_volume(unit_box(2), ball)
+        left = box_ball_intersection_volume(Box([0.0, 0.0], [cut, 1.0]), ball)
+        right = box_ball_intersection_volume(Box([cut, 0.0], [1.0, 1.0]), ball)
+        assert left + right == pytest.approx(whole, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(0.05, 0.95, allow_nan=False),
+        normals,
+        st.floats(-1, 2, allow_nan=False),
+    )
+    def test_halfspace_volume_additive_over_box_split(self, cut, normal, offset):
+        half = Halfspace(list(normal), offset)
+        whole = box_halfspace_intersection_volume(unit_box(2), half)
+        left = box_halfspace_intersection_volume(Box([0.0, 0.0], [cut, 1.0]), half)
+        right = box_halfspace_intersection_volume(Box([cut, 0.0], [1.0, 1.0]), half)
+        assert left + right == pytest.approx(whole, abs=1e-9)
+
+
+class TestContainmentMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(0.0, 0.4, allow_nan=False),
+        st.floats(0.0, 0.4, allow_nan=False),
+        st.floats(0.1, 0.5, allow_nan=False),
+    )
+    def test_smaller_box_has_smaller_overlap(self, lo0, lo1, shrink):
+        """A sub-box can never overlap a range by more than its super-box."""
+        outer = Box([lo0, lo1], [lo0 + 0.5, lo1 + 0.5])
+        inner = Box([lo0 + shrink / 4, lo1 + shrink / 4], [lo0 + 0.5 - shrink / 4, lo1 + 0.5 - shrink / 4])
+        for range_ in (
+            Box([0.2, 0.2], [0.8, 0.8]),
+            Halfspace([1.0, 1.0], 0.8),
+            Ball([0.5, 0.5], 0.3),
+        ):
+            if isinstance(range_, Box):
+                outer_vol = box_box_intersection_volume(outer, range_)
+                inner_vol = box_box_intersection_volume(inner, range_)
+            elif isinstance(range_, Halfspace):
+                outer_vol = box_halfspace_intersection_volume(outer, range_)
+                inner_vol = box_halfspace_intersection_volume(inner, range_)
+            else:
+                outer_vol = box_ball_intersection_volume(outer, range_)
+                inner_vol = box_ball_intersection_volume(inner, range_)
+            assert inner_vol <= outer_vol + 1e-9

@@ -1,0 +1,110 @@
+"""Integration tests: the paper's qualitative claims, end to end.
+
+These are the fast versions of the benchmark suite's checks — each one
+validates a headline claim of the paper on a small scale:
+
+* learnability: test error decreases with training size (Theorem 2.1),
+* genericity: the same learners handle boxes, halfspaces, and balls,
+* query-driven models beat the uniform assumption on skewed data,
+* Q-errors of simplex-constrained models stay bounded where QuickSel's
+  blow up (Section 4.2 / Table 1),
+* the learned model is a genuine distribution one can sample from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QuickSel, UniformEstimator
+from repro.core import PtsHist, QuadHist
+from repro.data import WorkloadSpec, forest_like, power_like
+from repro.eval import evaluate_estimator, make_workload, rms_error, train_test_workload
+
+
+@pytest.fixture(scope="module")
+def power2d_big():
+    return power_like(rows=15_000).project([0, 3])
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return np.random.default_rng(2022)
+
+
+class TestLearnability:
+    def test_error_decreases_with_training_size(self, power2d_big, gen):
+        """Theorem 2.1's empirical signature (Figure 11)."""
+        test = make_workload(power2d_big, 150, gen)
+        errors = []
+        for n in (25, 100, 400):
+            train = make_workload(power2d_big, n, gen)
+            est = QuadHist(tau=0.005).fit(train.queries, train.selectivities)
+            errors.append(rms_error(est.predict_many(test.queries), test.selectivities))
+        assert errors[2] < errors[0]
+        assert errors[2] < 0.03  # the paper reaches <0.01 at n=1000
+
+    def test_ptshist_error_decreases_too(self, power2d_big, gen):
+        test = make_workload(power2d_big, 150, gen)
+        errors = []
+        for n in (25, 100, 400):
+            train = make_workload(power2d_big, n, gen)
+            est = PtsHist(size=4 * n, seed=0).fit(train.queries, train.selectivities)
+            errors.append(rms_error(est.predict_many(test.queries), test.selectivities))
+        assert errors[2] < errors[0]
+
+
+class TestGenericity:
+    @pytest.mark.parametrize("query_kind", ["box", "ball", "halfspace"])
+    def test_quadhist_handles_all_query_types_2d(self, power2d_big, gen, query_kind):
+        spec = WorkloadSpec(query_kind=query_kind, center_kind="data")
+        train, test = train_test_workload(power2d_big, 80, 60, gen, spec=spec)
+        result = evaluate_estimator("quadhist", QuadHist(tau=0.01), train, test)
+        assert result.rms < 0.08
+
+    @pytest.mark.parametrize("query_kind", ["box", "ball", "halfspace"])
+    def test_ptshist_handles_all_query_types_4d(self, gen, query_kind):
+        data = forest_like(rows=10_000).numeric_projection(4, gen)
+        spec = WorkloadSpec(query_kind=query_kind, center_kind="data")
+        train, test = train_test_workload(data, 100, 60, gen, spec=spec)
+        result = evaluate_estimator("ptshist", PtsHist(size=400, seed=0), train, test)
+        assert result.rms < 0.12
+
+
+class TestAgainstBaselines:
+    def test_learned_models_beat_uniform_assumption(self, power2d_big, gen):
+        train, test = train_test_workload(power2d_big, 150, 100, gen)
+        uniform = evaluate_estimator("uniform", UniformEstimator(), train, test)
+        quad = evaluate_estimator("quadhist", QuadHist(tau=0.01), train, test)
+        pts = evaluate_estimator("ptshist", PtsHist(size=600, seed=0), train, test)
+        assert quad.rms < uniform.rms / 5
+        assert pts.rms < uniform.rms / 3
+
+    def test_simplex_models_bound_qerror_vs_quicksel(self, power2d_big, gen):
+        """Table 1's story: on Random workloads over skewed data QuickSel's
+        tail Q-error explodes while QuadHist stays moderate."""
+        spec = WorkloadSpec(query_kind="box", center_kind="random")
+        train, test = train_test_workload(power2d_big, 150, 100, gen, spec=spec)
+        quad = evaluate_estimator("quadhist", QuadHist(tau=0.01), train, test)
+        quick = evaluate_estimator("quicksel", QuickSel(), train, test)
+        assert quad.q_quantiles[0.99] <= quick.q_quantiles[0.99] * 2
+
+
+class TestDistributionSemantics:
+    def test_learned_histogram_is_samplable_and_consistent(self, power2d_big, gen):
+        train = make_workload(power2d_big, 150, gen)
+        est = QuadHist(tau=0.01).fit(train.queries, train.selectivities)
+        sample = est.distribution.sample(8000, gen)
+        # Empirical selectivity of the sample matches model predictions.
+        for q in train.queries[:10]:
+            empirical = float(np.mean(q.contains(sample)))
+            assert empirical == pytest.approx(est.predict(q), abs=0.03)
+
+    def test_agnostic_labels_accepted(self, power2d_big, gen):
+        """The agnostic model: noisy labels still train (Remark, Sec 2.1)."""
+        train = make_workload(power2d_big, 100, gen)
+        noisy = np.clip(
+            train.selectivities + gen.normal(0, 0.05, len(train)), 0, 1
+        )
+        est = QuadHist(tau=0.01).fit(train.queries, noisy)
+        preds = est.predict_many(train.queries)
+        # Fit should track the noisy labels roughly but remain a distribution.
+        assert rms_error(preds, noisy) < 0.08

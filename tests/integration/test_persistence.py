@@ -1,0 +1,53 @@
+"""Model persistence: every fitted estimator must pickle round-trip.
+
+A selectivity model is trained once and shipped into a query optimizer;
+if it cannot be serialised it cannot be deployed.  All estimators hold
+plain numpy state, so pickle must reproduce predictions exactly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines import Isomer, MeanEstimator, QuickSel, STHoles, UniformEstimator
+from repro.core import ArrangementERM, GaussianMixtureHist, KdHist, PtsHist, QuadHist
+
+
+ESTIMATORS = [
+    ("quadhist", lambda: QuadHist(tau=0.02)),
+    ("ptshist", lambda: PtsHist(size=100, seed=0)),
+    ("gmm", lambda: GaussianMixtureHist(components=60, seed=0)),
+    ("kdhist", lambda: KdHist(tau=0.02)),
+    ("arrangement", lambda: ArrangementERM(mode="discrete", samples=800)),
+    ("isomer", lambda: Isomer(max_buckets=1000)),
+    ("stholes", lambda: STHoles(max_buckets=80)),
+    ("quicksel", lambda: QuickSel()),
+    ("uniform", lambda: UniformEstimator()),
+    ("mean", lambda: MeanEstimator()),
+]
+
+
+@pytest.mark.parametrize("name,factory", ESTIMATORS)
+def test_pickle_roundtrip_preserves_predictions(name, factory, power2d_box_workload):
+    train_q, train_s, test_q, _ = power2d_box_workload
+    model = factory().fit(train_q, train_s)
+    restored = pickle.loads(pickle.dumps(model))
+    np.testing.assert_array_equal(
+        model.predict_many(test_q), restored.predict_many(test_q)
+    )
+    assert restored.model_size == model.model_size
+
+
+def test_unfitted_estimator_also_picklable():
+    restored = pickle.loads(pickle.dumps(QuadHist(tau=0.01)))
+    assert "unfitted" in repr(restored)
+
+
+def test_pickled_distribution_still_samples(power2d_box_workload):
+    train_q, train_s, _, _ = power2d_box_workload
+    model = QuadHist(tau=0.02).fit(train_q, train_s)
+    restored = pickle.loads(pickle.dumps(model))
+    rng = np.random.default_rng(0)
+    sample = restored.distribution.sample(100, rng)
+    assert sample.shape == (100, 2)

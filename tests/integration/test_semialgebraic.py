@@ -1,0 +1,98 @@
+"""Semi-algebraic and disc-intersection queries, end to end (Section 2.2).
+
+The paper's generality claim: any query class expressible as semi-algebraic
+sets with bounded description complexity has finite VC dimension, so its
+selectivity is learnable — including range spaces whose *objects* are not
+points (disc-intersection queries, via the (x, y, radius) lifting).
+These tests run the actual learners on such workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PtsHist
+from repro.data import Dataset, label_queries
+from repro.geometry import Box, DiscIntersectionRange, SemiAlgebraicRange
+from repro.eval import rms_error
+
+
+@pytest.fixture(scope="module")
+def disc_dataset():
+    """A universe of discs encoded as points (x, y, radius) in [0,1]^3.
+
+    Radii are small and skewed; centers cluster in the lower-left.
+    """
+    gen = np.random.default_rng(31)
+    n = 8000
+    centers = gen.beta(2.0, 4.0, size=(n, 2))
+    radii = gen.beta(1.5, 12.0, size=n)
+    rows = np.column_stack([centers, radii])
+    return Dataset("discs", np.clip(rows, 0, 1))
+
+
+class TestDiscIntersectionQueries:
+    def test_learnable_with_ptshist(self, disc_dataset):
+        gen = np.random.default_rng(7)
+        def workload(count):
+            queries = []
+            for _ in range(count):
+                center = gen.random(2)
+                radius = gen.random() * 0.5
+                queries.append(DiscIntersectionRange(center, radius))
+            return queries
+
+        train = workload(120)
+        test = workload(80)
+        train_labels = label_queries(disc_dataset, train)
+        test_labels = label_queries(disc_dataset, test)
+        est = PtsHist(size=480, seed=0).fit(train, train_labels)
+        rms = rms_error(est.predict_many(test), test_labels)
+        assert rms < 0.1
+
+    def test_selectivity_semantics(self, disc_dataset):
+        """A query disc covering everything selects every data disc."""
+        huge = DiscIntersectionRange([0.5, 0.5], radius=3.0)
+        assert label_queries(disc_dataset, [huge])[0] == 1.0
+
+    def test_empty_query(self, disc_dataset):
+        tiny_far = DiscIntersectionRange([5.0, 5.0], radius=0.01, max_data_radius=1.0)
+        assert label_queries(disc_dataset, [tiny_far])[0] == 0.0
+
+
+class TestSemiAlgebraicQueries:
+    def test_annulus_queries_learnable(self, rng):
+        """Annulus (ring) queries: b=2 quadratic predicates, finite VC."""
+        data_points = rng.random((6000, 2))
+        dataset = Dataset("uniform2d", data_points)
+
+        def make_annulus(center, r_inner, r_outer):
+            cx, cy = center
+            return SemiAlgebraicRange(
+                dim=2,
+                predicates=[
+                    lambda p, cx=cx, cy=cy, r=r_outer: (p[:, 0] - cx) ** 2
+                    + (p[:, 1] - cy) ** 2
+                    - r**2,
+                    lambda p, cx=cx, cy=cy, r=r_inner: r**2
+                    - ((p[:, 0] - cx) ** 2 + (p[:, 1] - cy) ** 2),
+                ],
+                bounding_box=Box(
+                    np.clip([cx - r_outer, cy - r_outer], 0, 1),
+                    np.clip([cx + r_outer, cy + r_outer], 0, 1),
+                ),
+            )
+
+        def workload(count):
+            queries = []
+            for _ in range(count):
+                center = rng.random(2)
+                r_inner = 0.05 + 0.15 * rng.random()
+                r_outer = r_inner + 0.1 + 0.3 * rng.random()
+                queries.append(make_annulus(center, r_inner, r_outer))
+            return queries
+
+        train = workload(100)
+        test = workload(60)
+        est = PtsHist(size=400, seed=0).fit(train, label_queries(dataset, train))
+        rms = rms_error(est.predict_many(test), label_queries(dataset, test))
+        assert rms < 0.1

@@ -1,0 +1,77 @@
+"""Loss functions and empirical risk (Section 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box
+from repro.learning import empirical_risk, l1_loss, l2_loss, linf_loss
+
+unit_floats = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=30
+)
+
+
+class TestLosses:
+    def test_l2_on_known_values(self):
+        assert l2_loss([0.5, 0.0], [0.0, 0.0]) == pytest.approx(0.125)
+
+    def test_l1_on_known_values(self):
+        assert l1_loss([0.5, 0.1], [0.0, 0.0]) == pytest.approx(0.3)
+
+    def test_linf_on_known_values(self):
+        assert linf_loss([0.5, 0.1], [0.0, 0.3]) == pytest.approx(0.5)
+
+    def test_zero_on_perfect_prediction(self):
+        preds = [0.2, 0.5, 0.9]
+        assert l2_loss(preds, preds) == 0.0
+        assert l1_loss(preds, preds) == 0.0
+        assert linf_loss(preds, preds) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            l2_loss([0.1, 0.2], [0.1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            l2_loss([], [])
+
+    @settings(max_examples=50, deadline=None)
+    @given(unit_floats, unit_floats)
+    def test_loss_ordering(self, a, b):
+        """l2 <= l1 <= linf on [0,1]-valued errors."""
+        n = min(len(a), len(b))
+        preds, labels = a[:n], b[:n]
+        assert l2_loss(preds, labels) <= l1_loss(preds, labels) + 1e-12
+        assert l1_loss(preds, labels) <= linf_loss(preds, labels) + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(unit_floats, unit_floats)
+    def test_losses_bounded_by_one(self, a, b):
+        n = min(len(a), len(b))
+        preds, labels = a[:n], b[:n]
+        for loss in (l2_loss, l1_loss, linf_loss):
+            value = loss(preds, labels)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestEmpiricalRisk:
+    def test_constant_hypothesis(self):
+        sample = [(Box([0.0], [0.5]), 0.5), (Box([0.0], [1.0]), 1.0)]
+        risk = empirical_risk(lambda r: 0.5, sample)
+        assert risk == pytest.approx(0.5 * (0.0 + 0.25))
+
+    def test_custom_loss(self):
+        sample = [(Box([0.0], [0.5]), 0.5), (Box([0.0], [1.0]), 1.0)]
+        risk = empirical_risk(lambda r: 0.5, sample, loss=linf_loss)
+        assert risk == pytest.approx(0.5)
+
+    def test_volume_hypothesis_is_exact_for_uniform_labels(self):
+        queries = [Box([0.0], [w]) for w in (0.2, 0.5, 0.8)]
+        sample = [(q, q.volume()) for q in queries]
+        assert empirical_risk(lambda r: r.volume(), sample) == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_risk(lambda r: 0.0, [])

@@ -1,0 +1,94 @@
+"""Sample-complexity bounds: shape and monotonicity checks."""
+
+import pytest
+
+from repro.learning import (
+    ball_training_bound,
+    bartlett_long_sample_size,
+    fat_shattering_upper_bound,
+    halfspace_training_bound,
+    orthogonal_range_training_bound,
+    theorem21_training_bound,
+)
+
+
+class TestBartlettLong:
+    def test_decreasing_in_eps(self):
+        assert bartlett_long_sample_size(10, 0.05, 0.1) > bartlett_long_sample_size(
+            10, 0.1, 0.1
+        )
+
+    def test_increasing_in_fat_dimension(self):
+        assert bartlett_long_sample_size(100, 0.1, 0.1) > bartlett_long_sample_size(
+            10, 0.1, 0.1
+        )
+
+    def test_increasing_as_delta_shrinks(self):
+        assert bartlett_long_sample_size(10, 0.1, 0.01) > bartlett_long_sample_size(
+            10, 0.1, 0.2
+        )
+
+    def test_eps_squared_scaling(self):
+        """Halving eps multiplies the bound by at least 4 (the 1/eps^2 factor)."""
+        a = bartlett_long_sample_size(10, 0.1, 0.1)
+        b = bartlett_long_sample_size(10, 0.05, 0.1)
+        assert b >= 4 * a
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bartlett_long_sample_size(10, 1.5, 0.1)
+        with pytest.raises(ValueError):
+            bartlett_long_sample_size(10, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            bartlett_long_sample_size(-1, 0.1, 0.1)
+
+
+class TestFatUpperBound:
+    def test_grows_with_vc_dim(self):
+        assert fat_shattering_upper_bound(4, 0.1) > fat_shattering_upper_bound(2, 0.1)
+
+    def test_grows_as_gamma_shrinks(self):
+        assert fat_shattering_upper_bound(2, 0.01) > fat_shattering_upper_bound(2, 0.1)
+
+    def test_polynomial_exponent(self):
+        """fat(γ) ~ 1/γ^(λ+1) up to logs: tenfold γ drop ⟹ ≥ 10^(λ+1) growth."""
+        lam = 2
+        small = fat_shattering_upper_bound(lam, 0.001)
+        large = fat_shattering_upper_bound(lam, 0.01)
+        assert small / large >= 10 ** (lam + 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fat_shattering_upper_bound(0, 0.1)
+        with pytest.raises(ValueError):
+            fat_shattering_upper_bound(2, 1.5)
+
+
+class TestTheorem21:
+    def test_query_class_ordering_matches_paper(self):
+        """For d >= 2: boxes (λ=2d) need more samples than balls (λ=d+2),
+        which need more than halfspaces (λ=d+1), at the same (ε, δ)."""
+        eps, delta, d = 0.1, 0.05, 3
+        boxes = orthogonal_range_training_bound(d, eps, delta)
+        balls = ball_training_bound(d, eps, delta)
+        halfspaces = halfspace_training_bound(d, eps, delta)
+        assert boxes > balls > halfspaces
+
+    def test_exponential_in_dimension(self):
+        eps, delta = 0.1, 0.05
+        assert orthogonal_range_training_bound(4, eps, delta) > 10 * (
+            orthogonal_range_training_bound(2, eps, delta)
+        )
+
+    def test_matches_generic_form(self):
+        assert orthogonal_range_training_bound(2, 0.1, 0.1) == pytest.approx(
+            theorem21_training_bound(4, 0.1, 0.1)
+        )
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            orthogonal_range_training_bound(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            halfspace_training_bound(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            ball_training_bound(0, 0.1, 0.1)

@@ -1,0 +1,101 @@
+"""Low-crossing orderings (the Lemma 2.4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box, unit_box
+from repro.learning import (
+    crossing_counts,
+    expected_crossings,
+    greedy_low_crossing_order,
+    max_crossing_number,
+)
+
+
+def _random_boxes(rng, k):
+    return [
+        Box.from_center(rng.random(2), rng.random(2) * 0.5 + 0.1, clip_to=unit_box(2))
+        for _ in range(k)
+    ]
+
+
+class TestCrossingCounts:
+    def test_identical_ranges_never_cross(self, rng):
+        box = Box([0.2, 0.2], [0.7, 0.7])
+        points = rng.random((200, 2))
+        counts = crossing_counts([box, box, box], [0, 1, 2], points)
+        assert np.all(counts == 0)
+
+    def test_disjoint_interval_chain(self, rng):
+        """1-D intervals laid left to right: a point inside interval i
+        crosses exactly its two adjacent pairs (enter + leave)."""
+        intervals = [Box([i / 5.0], [(i + 1) / 5.0 - 0.01]) for i in range(5)]
+        points = np.array([[0.5]])  # inside interval 2
+        counts = crossing_counts(intervals, [0, 1, 2, 3, 4], points)
+        assert counts[0] == 2
+
+    def test_point_outside_everything(self, rng):
+        intervals = [Box([0.1], [0.2]), Box([0.3], [0.4])]
+        counts = crossing_counts(intervals, [0, 1], np.array([[0.9]]))
+        assert counts[0] == 0
+
+    def test_order_validation(self, rng):
+        boxes = _random_boxes(rng, 3)
+        points = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            crossing_counts(boxes, [0, 1], points)
+        with pytest.raises(ValueError):
+            crossing_counts(boxes, [0, 1, 1], points)
+
+    def test_max_and_expected_relation(self, rng):
+        boxes = _random_boxes(rng, 8)
+        points = rng.random((500, 2))
+        order = list(range(8))
+        assert expected_crossings(boxes, order, points) <= max_crossing_number(
+            boxes, order, points
+        )
+
+
+class TestGreedyOrdering:
+    def test_is_permutation(self, rng):
+        boxes = _random_boxes(rng, 12)
+        points = rng.random((300, 2))
+        order = greedy_low_crossing_order(boxes, points)
+        assert sorted(order) == list(range(12))
+
+    def test_beats_worst_random_ordering(self, rng):
+        """Lemma 2.4's point, empirically: a good ordering has a far lower
+        crossing number than typical random ones."""
+        boxes = _random_boxes(rng, 16)
+        points = rng.random((800, 2))
+        greedy = greedy_low_crossing_order(boxes, points)
+        greedy_max = max_crossing_number(boxes, greedy, points)
+        random_maxima = []
+        for _ in range(10):
+            perm = list(rng.permutation(16))
+            random_maxima.append(max_crossing_number(boxes, perm, points))
+        assert greedy_max <= min(random_maxima)
+        assert greedy_max < np.mean(random_maxima)
+
+    def test_sublinear_growth_for_boxes(self, rng):
+        """max_x I_x = O(k^{1-1/λ} log k) with λ = 4 for 2-D boxes: the
+        crossing number of the greedy ordering grows clearly sublinearly.
+
+        A point crossing *every* consecutive pair would give k-1; we check
+        the greedy ordering stays well below half of that at k = 32."""
+        k = 32
+        boxes = _random_boxes(rng, k)
+        points = rng.random((1500, 2))
+        order = greedy_low_crossing_order(boxes, points)
+        assert max_crossing_number(boxes, order, points) < (k - 1) / 2
+
+    def test_start_parameter(self, rng):
+        boxes = _random_boxes(rng, 5)
+        points = rng.random((100, 2))
+        order = greedy_low_crossing_order(boxes, points, start=3)
+        assert order[0] == 3
+        with pytest.raises(ValueError):
+            greedy_low_crossing_order(boxes, points, start=9)
+
+    def test_empty_input(self, rng):
+        assert greedy_low_crossing_order([], rng.random((10, 2))) == []

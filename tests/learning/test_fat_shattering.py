@@ -1,0 +1,86 @@
+"""γ-fat-shattering of selectivity classes (Lemmas 2.6 / 2.7)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Ball, Box
+from repro.learning import delta_distribution_fat_shatters, fat_shatters
+
+
+class TestFatShattersLP:
+    def test_dual_shattered_pair_is_fat_shattered(self, rng):
+        """Two overlapping boxes (not covering the domain) admit all four
+        sign cells, so delta distributions γ-shatter them for any γ < 1/2
+        (Lemma 2.7)."""
+        ranges = [Box([0.1, 0.2], [0.5, 0.8]), Box([0.4, 0.2], [0.8, 0.8])]
+        atoms = rng.random((300, 2))
+        assert fat_shatters(ranges, atoms, gamma=0.45)
+
+    def test_nested_boxes_not_fat_shattered_at_large_gamma(self, rng):
+        """If R' ⊆ R then s(R') <= s(R) for every distribution, so the
+        pattern (R' high, R low) is unrealisable: shattering fails for any
+        γ with 2γ > 0 once witnesses must satisfy both orderings."""
+        ranges = [Box([0.0, 0.0], [1.0, 1.0]), Box([0.2, 0.2], [0.8, 0.8])]
+        atoms = rng.random((300, 2))
+        # E = {inner} requires s(inner) >= sigma_1 + gamma and
+        # s(outer) <= sigma_0 - gamma; with outer = domain, s(outer) = 1
+        # always, so sigma_0 >= 1 + gamma is impossible.
+        assert not fat_shatters(ranges, atoms, gamma=0.1)
+
+    def test_identical_ranges_not_fat_shattered(self, rng):
+        box = Box([0.2, 0.2], [0.7, 0.7])
+        atoms = rng.random((200, 2))
+        assert not fat_shatters([box, box], atoms, gamma=0.05)
+
+    def test_empty_range_set_trivially_shattered(self, rng):
+        assert fat_shatters([], rng.random((10, 2)), gamma=0.25)
+
+    def test_invalid_gamma_rejected(self, rng):
+        ranges = [Box([0.0, 0.0], [0.5, 0.5])]
+        with pytest.raises(ValueError):
+            fat_shatters(ranges, rng.random((10, 2)), gamma=0.6)
+
+    def test_three_disjoint_boxes_fat_shattered_at_small_gamma(self, rng):
+        """k pairwise-disjoint boxes not covering the domain are
+        γ-shatterable up to γ = 1/(2k) (mass-splitting argument), but not
+        beyond: the all-high and all-low patterns need Σσ >= kγ and
+        Σ(σ+γ) <= 1 simultaneously."""
+        ranges = [
+            Box([0.0, 0.1], [0.3, 0.9]),
+            Box([0.35, 0.1], [0.65, 0.9]),
+            Box([0.7, 0.1], [1.0, 0.9]),
+        ]
+        atoms = rng.random((400, 2))
+        assert fat_shatters(ranges, atoms, gamma=0.15)
+        assert not fat_shatters(ranges, atoms, gamma=0.3)
+
+    def test_refuses_exponential_blowup(self, rng):
+        ranges = [Box([0.0, 0.0], [0.5, 0.5])] * 13
+        with pytest.raises(ValueError):
+            fat_shatters(ranges, rng.random((10, 2)), gamma=0.1)
+
+
+class TestDeltaConstruction:
+    def test_lemma_2_7_overlapping_balls(self, rng):
+        """Figure 5's construction with two overlapping discs."""
+        ranges = [Ball([0.4, 0.5], 0.25), Ball([0.6, 0.5], 0.25)]
+        pool = rng.random((4000, 2))
+        assert delta_distribution_fat_shatters(ranges, pool, gamma=0.49)
+
+    def test_fails_when_dual_not_shattered(self, rng):
+        ranges = [Box([0.0, 0.0], [1.0, 1.0]), Box([0.2, 0.2], [0.8, 0.8])]
+        pool = rng.random((2000, 2))
+        assert not delta_distribution_fat_shatters(ranges, pool)
+
+    def test_gamma_validation(self, rng):
+        with pytest.raises(ValueError):
+            delta_distribution_fat_shatters(
+                [Box([0.0, 0.0], [0.5, 0.5])], rng.random((10, 2)), gamma=0.5
+            )
+
+    def test_consistency_with_lp(self, rng):
+        """Whenever the delta construction succeeds, the LP must agree."""
+        ranges = [Box([0.1, 0.2], [0.5, 0.8]), Box([0.4, 0.2], [0.8, 0.8])]
+        pool = rng.random((1500, 2))
+        assert delta_distribution_fat_shatters(ranges, pool, gamma=0.45)
+        assert fat_shatters(ranges, pool[:200], gamma=0.45)

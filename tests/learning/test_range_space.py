@@ -1,0 +1,147 @@
+"""Realizability oracles: checked against geometric ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    ball_space,
+    box_space,
+    convex_polygon_space,
+    dual_shatters,
+    halfspace_space,
+)
+from repro.geometry import Ball, Box
+
+
+DIAMOND = np.array([[0.5, 0.1], [0.5, 0.9], [0.1, 0.5], [0.9, 0.5]])
+
+
+class TestBoxOracle:
+    def test_empty_and_full_subsets_realizable(self):
+        space = box_space(2)
+        assert space.realizes_subset(DIAMOND, [])
+        assert space.realizes_subset(DIAMOND, [0, 1, 2, 3])
+
+    def test_singletons_realizable(self):
+        space = box_space(2)
+        for i in range(4):
+            assert space.realizes_subset(DIAMOND, [i])
+
+    def test_center_point_blocks_extremes(self):
+        space = box_space(2)
+        points = np.vstack([DIAMOND, [[0.5, 0.5]]])
+        # Any box containing the 4 extreme points contains the center.
+        assert not space.realizes_subset(points, [0, 1, 2, 3])
+
+    def test_collinear_middle_blocked(self):
+        space = box_space(1)
+        points = np.array([[0.1], [0.5], [0.9]])
+        assert not space.realizes_subset(points, [0, 2])
+        assert space.realizes_subset(points, [0, 1])
+
+
+class TestHalfspaceOracle:
+    def test_separable_subset(self):
+        space = halfspace_space(2)
+        points = np.array([[0.1, 0.1], [0.2, 0.2], [0.9, 0.9]])
+        assert space.realizes_subset(points, [2])
+        assert space.realizes_subset(points, [0])
+
+    def test_middle_of_segment_not_separable(self):
+        space = halfspace_space(2)
+        points = np.array([[0.1, 0.1], [0.5, 0.5], [0.9, 0.9]])
+        assert not space.realizes_subset(points, [0, 2])
+
+    def test_xor_not_separable(self):
+        space = halfspace_space(2)
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]])
+        assert not space.realizes_subset(points, [0, 1])
+
+    def test_triangle_fully_shatterable(self):
+        space = halfspace_space(2)
+        tri = np.array([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]])
+        for bits in range(8):
+            subset = [i for i in range(3) if (bits >> i) & 1]
+            assert space.realizes_subset(tri, subset)
+
+
+class TestBallOracle:
+    def test_singleton(self):
+        space = ball_space(2)
+        points = np.array([[0.2, 0.2], [0.8, 0.8]])
+        assert space.realizes_subset(points, [0])
+
+    def test_midpoint_of_pair_blocked(self):
+        space = ball_space(1)
+        points = np.array([[0.1], [0.5], [0.9]])
+        # A 1-D ball is an interval: cannot contain 0.1 and 0.9 but not 0.5.
+        assert not space.realizes_subset(points, [0, 2])
+
+    def test_xor_not_realizable_by_balls(self):
+        """Any disc through two opposite unit-square corners contains at
+        least one of the other two (the perpendicular-shift argument), so
+        the XOR dichotomy is unrealisable by genuine balls."""
+        space = ball_space(2)
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]])
+        assert not space.realizes_subset(points, [0, 1])
+        assert not space.realizes_subset(points, [2, 3])
+
+    def test_off_center_pair_realizable_by_balls(self):
+        space = ball_space(2)
+        points = np.array([[0.1, 0.1], [0.3, 0.1], [0.9, 0.9]])
+        assert space.realizes_subset(points, [0, 1])
+
+    def test_halfspace_dichotomies_are_ball_realizable(self, rng):
+        """Balls of huge radius approximate halfspaces, so every
+        halfspace-realizable dichotomy is ball-realizable."""
+        hs = halfspace_space(2)
+        balls = ball_space(2)
+        points = rng.random((5, 2))
+        for bits in range(1 << 5):
+            subset = [i for i in range(5) if (bits >> i) & 1]
+            if hs.realizes_subset(points, subset):
+                assert balls.realizes_subset(points, subset)
+
+
+class TestConvexPolygonOracle:
+    def test_circle_points_all_realizable(self):
+        space = convex_polygon_space()
+        angles = np.linspace(0, 2 * np.pi, 6, endpoint=False)
+        circle = np.stack([0.5 + 0.4 * np.cos(angles), 0.5 + 0.4 * np.sin(angles)], axis=1)
+        for bits in range(1 << 6):
+            subset = [i for i in range(6) if (bits >> i) & 1]
+            assert space.realizes_subset(circle, subset)
+
+    def test_interior_point_blocks(self):
+        space = convex_polygon_space()
+        points = np.array([[0.1, 0.1], [0.9, 0.1], [0.5, 0.9], [0.5, 0.4]])
+        # The hull of the outer triangle contains the interior point.
+        assert not space.realizes_subset(points, [0, 1, 2])
+
+
+class TestDualShatters:
+    def test_two_overlapping_boxes_dual_shattered(self, rng):
+        ranges = [Box([0.1, 0.2], [0.5, 0.8]), Box([0.4, 0.2], [0.8, 0.8])]
+        pool = rng.random((2000, 2))
+        witnesses = dual_shatters(ranges, pool)
+        assert len(witnesses) == 4  # {}, {0}, {1}, {0,1}
+
+    def test_nested_boxes_not_dual_shattered(self, rng):
+        ranges = [Box([0.1, 0.1], [0.9, 0.9]), Box([0.2, 0.2], [0.8, 0.8])]
+        pool = rng.random((2000, 2))
+        witnesses = dual_shatters(ranges, pool)
+        # No point is in the inner box but outside the outer box.
+        assert frozenset({1}) not in witnesses
+        assert len(witnesses) == 3
+
+    def test_witnesses_are_correct(self, rng):
+        ranges = [Ball([0.3, 0.5], 0.25), Ball([0.7, 0.5], 0.25)]
+        witnesses = dual_shatters(ranges, rng.random((3000, 2)))
+        for key, point in witnesses.items():
+            for idx, r in enumerate(ranges):
+                assert (idx in key) == (point in r)
+
+    def test_invalid_subset_index(self):
+        space = box_space(2)
+        with pytest.raises(IndexError):
+            space.realizes_subset(DIAMOND, [7])

@@ -1,0 +1,94 @@
+"""VC-dimension checks against the textbook values Section 2.2 cites."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    ball_space,
+    box_space,
+    convex_polygon_space,
+    estimate_vc_dimension,
+    halfspace_space,
+    shatters,
+    vc_dimension_lower_bound,
+)
+
+DIAMOND = np.array([[0.5, 0.1], [0.5, 0.9], [0.1, 0.5], [0.9, 0.5]])
+
+
+class TestShatters:
+    def test_boxes_shatter_diamond(self):
+        assert shatters(box_space(2), DIAMOND)
+
+    def test_boxes_cannot_shatter_five_points(self, rng):
+        """Figure 2's argument: extremes of 5 points trap the fifth."""
+        space = box_space(2)
+        for _ in range(25):
+            points = rng.random((5, 2))
+            assert not shatters(space, points)
+
+    def test_halfspaces_shatter_triangle(self):
+        tri = np.array([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]])
+        assert shatters(halfspace_space(2), tri)
+
+    def test_halfspaces_cannot_shatter_four_points(self, rng):
+        space = halfspace_space(2)
+        for _ in range(15):
+            points = rng.random((4, 2))
+            assert not shatters(space, points)
+
+    def test_balls_shatter_triangle(self):
+        tri = np.array([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]])
+        assert shatters(ball_space(2), tri)
+
+    def test_balls_cannot_shatter_five_points_2d(self, rng):
+        # VC-dim of discs in the plane is 3; 5 random points never shatter.
+        space = ball_space(2)
+        for _ in range(10):
+            points = rng.random((5, 2))
+            assert not shatters(space, points)
+
+    def test_convex_polygons_shatter_circle_points(self):
+        angles = np.linspace(0, 2 * np.pi, 8, endpoint=False)
+        circle = np.stack(
+            [0.5 + 0.4 * np.cos(angles), 0.5 + 0.4 * np.sin(angles)], axis=1
+        )
+        assert shatters(convex_polygon_space(), circle)
+
+    def test_refuses_huge_sets(self):
+        with pytest.raises(ValueError):
+            shatters(box_space(2), np.zeros((25, 2)))
+
+
+class TestLowerBound:
+    def test_certifies_diamond(self):
+        assert vc_dimension_lower_bound(box_space(2), DIAMOND) == 4
+
+    def test_rejects_unshattered(self, rng):
+        points = np.vstack([DIAMOND, [[0.5, 0.5]]])
+        with pytest.raises(ValueError):
+            vc_dimension_lower_bound(box_space(2), points)
+
+
+class TestEstimate:
+    def test_boxes_2d(self, rng):
+        assert estimate_vc_dimension(box_space(2), rng, max_k=6, trials=150) == 4
+
+    def test_halfspaces_2d(self, rng):
+        assert estimate_vc_dimension(halfspace_space(2), rng, max_k=5, trials=100) == 3
+
+    def test_balls_2d(self, rng):
+        # VC-dim of discs is exactly 3 (<= d+2 = 4 from the generic bound);
+        # random search may find 3 but never 5.
+        est = estimate_vc_dimension(ball_space(2), rng, max_k=6, trials=100)
+        assert 3 <= est <= 4
+
+    def test_boxes_1d(self, rng):
+        assert estimate_vc_dimension(box_space(1), rng, max_k=4, trials=100) == 2
+
+    def test_polygons_hit_search_ceiling(self, rng):
+        """Infinite VC dimension: the search ceiling is always reached."""
+        est = estimate_vc_dimension(
+            convex_polygon_space(), rng, max_k=5, pool_size=40, trials=60
+        )
+        assert est == 5

@@ -1,0 +1,140 @@
+"""Mini cost-based optimizer: cost model, plan choice, regret."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuadHist
+from repro.baselines import MeanEstimator, UniformEstimator
+from repro.optimizer import (
+    AccessPath,
+    TableStats,
+    choose_plan,
+    crossover_selectivity,
+    evaluate_plan_quality,
+    index_scan_cost,
+    plan_cost,
+    plan_regret,
+    seq_scan_cost,
+)
+
+STATS = TableStats(rows=100_000)
+
+
+class TestCostModel:
+    def test_seq_scan_flat_in_selectivity(self):
+        assert seq_scan_cost(STATS, 0.01) == seq_scan_cost(STATS, 0.99)
+
+    def test_index_scan_linear_in_selectivity(self):
+        low = index_scan_cost(STATS, 0.01)
+        high = index_scan_cost(STATS, 0.02)
+        descent = 2.0 * STATS.random_page_cost
+        assert (high - descent) == pytest.approx(2 * (low - descent))
+
+    def test_index_wins_when_selective(self):
+        assert index_scan_cost(STATS, 0.0001) < seq_scan_cost(STATS, 0.0001)
+
+    def test_seq_wins_when_unselective(self):
+        assert seq_scan_cost(STATS, 0.5) < index_scan_cost(STATS, 0.5)
+
+    def test_stats_validation(self):
+        with pytest.raises(ValueError):
+            TableStats(rows=0)
+        with pytest.raises(ValueError):
+            TableStats(rows=10, seq_page_cost=0.0)
+        with pytest.raises(ValueError):
+            TableStats(rows=10, index_cpu_cost=-1.0)
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ValueError):
+            seq_scan_cost(STATS, 1.5)
+        with pytest.raises(ValueError):
+            index_scan_cost(STATS, -0.1)
+
+
+class TestPlanner:
+    def test_crossover_separates_choices(self):
+        s_star = crossover_selectivity(STATS)
+        assert 0.0 < s_star < 1.0
+        assert choose_plan(STATS, s_star * 0.5) is AccessPath.INDEX_SCAN
+        assert choose_plan(STATS, min(1.0, s_star * 2)) is AccessPath.SEQ_SCAN
+
+    def test_costs_equal_at_crossover(self):
+        s_star = crossover_selectivity(STATS)
+        assert seq_scan_cost(STATS, s_star) == pytest.approx(
+            index_scan_cost(STATS, s_star), rel=1e-9
+        )
+
+    def test_tiny_table_always_seq(self):
+        tiny = TableStats(rows=10, tuples_per_page=100)
+        assert crossover_selectivity(tiny) == 0.0
+
+    def test_regret_one_for_perfect_estimate(self):
+        for truth in (0.001, 0.1, 0.9):
+            assert plan_regret(STATS, truth, truth) == pytest.approx(1.0)
+
+    def test_regret_one_for_decision_equivalent_estimate(self):
+        s_star = crossover_selectivity(STATS)
+        # Wildly wrong magnitude but same side of the crossover.
+        assert plan_regret(STATS, s_star / 100, s_star / 2) == pytest.approx(1.0)
+
+    def test_regret_above_one_for_crossover_flip(self):
+        s_star = crossover_selectivity(STATS)
+        # Truth is unselective (seq optimal) but the estimate says index.
+        regret = plan_regret(STATS, s_star / 10, 0.8)
+        assert regret > 5.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(0.0, 1.0, allow_nan=False), st.floats(0.0, 1.0, allow_nan=False)
+    )
+    def test_regret_at_least_one(self, estimate, truth):
+        assert plan_regret(STATS, estimate, truth) >= 1.0 - 1e-12
+
+    def test_plan_cost_rejects_junk(self):
+        with pytest.raises(ValueError):
+            plan_cost("hash join", STATS, 0.5)
+
+
+class TestWorkloadEvaluation:
+    def test_learned_estimator_beats_mean_on_plan_quality(self, power2d_box_workload):
+        train_q, train_s, test_q, test_s = power2d_box_workload
+        learned = QuadHist(tau=0.01).fit(train_q, train_s)
+        mean = MeanEstimator().fit(train_q, train_s)
+        q_learned = evaluate_plan_quality(learned, test_q, test_s, STATS)
+        q_mean = evaluate_plan_quality(mean, test_q, test_s, STATS)
+        assert q_learned.correct_choice_rate >= q_mean.correct_choice_rate
+        assert q_learned.mean_regret <= q_mean.mean_regret
+
+    def test_perfect_oracle_has_unit_regret(self, power2d_box_workload):
+        _, _, test_q, test_s = power2d_box_workload
+
+        class Oracle(UniformEstimator):
+            def __init__(self, answers):
+                super().__init__()
+                self._answers = {id(q): s for q, s in answers}
+
+            def _predict_one(self, query):
+                return self._answers[id(query)]
+
+        oracle = Oracle(list(zip(test_q, test_s)))
+        oracle._fitted = True
+        quality = evaluate_plan_quality(oracle, test_q, test_s, STATS)
+        assert quality.correct_choice_rate == 1.0
+        assert quality.mean_regret == pytest.approx(1.0)
+
+    def test_validation(self, power2d_box_workload):
+        _, _, test_q, test_s = power2d_box_workload
+        est = MeanEstimator().fit(test_q, test_s)
+        with pytest.raises(ValueError):
+            evaluate_plan_quality(est, test_q, test_s[:-1], STATS)
+        with pytest.raises(ValueError):
+            evaluate_plan_quality(est, [], np.array([]), STATS)
+
+    def test_row_output(self, power2d_box_workload):
+        _, _, test_q, test_s = power2d_box_workload
+        est = MeanEstimator().fit(test_q, test_s)
+        quality = evaluate_plan_quality(est, test_q, test_s, STATS)
+        row = quality.row()
+        assert set(row) == {"correct_plans", "mean_regret", "max_regret", "queries"}

@@ -1,0 +1,45 @@
+"""L∞-objective trainer (Section 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import fit_simplex_weights, fit_simplex_weights_linf
+
+
+class TestLinfFit:
+    @pytest.fixture
+    def problem(self, rng):
+        a = rng.random((30, 10))
+        w_true = rng.dirichlet(np.ones(10))
+        s = np.clip(a @ w_true + rng.normal(0, 0.01, 30), 0, 1)
+        return a, s
+
+    def test_output_on_simplex(self, problem):
+        a, s = problem
+        w = fit_simplex_weights_linf(a, s)
+        assert np.all(w >= -1e-12)
+        assert np.sum(w) == pytest.approx(1.0, abs=1e-8)
+
+    def test_linf_no_worse_than_l2_solution(self, problem):
+        """The L∞ minimiser achieves max-error <= that of the L2 fit."""
+        a, s = problem
+        w_inf = fit_simplex_weights_linf(a, s)
+        w_l2 = fit_simplex_weights(a, s, method="pgd")
+        assert np.max(np.abs(a @ w_inf - s)) <= np.max(np.abs(a @ w_l2 - s)) + 1e-8
+
+    def test_exact_interpolation(self):
+        a = np.eye(4)
+        s = np.array([0.1, 0.2, 0.3, 0.4])
+        w = fit_simplex_weights_linf(a, s)
+        assert np.max(np.abs(a @ w - s)) <= 1e-8
+
+    def test_single_bucket(self):
+        np.testing.assert_allclose(
+            fit_simplex_weights_linf(np.ones((3, 1)), np.array([0.2, 0.5, 0.8])), [1.0]
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fit_simplex_weights_linf(np.ones((2, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            fit_simplex_weights_linf(np.ones(4), np.ones(4))

@@ -1,0 +1,77 @@
+"""Maximum-entropy solver (ISOMER's weight-estimation phase)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import fit_maxent_weights
+
+
+class TestMaxEnt:
+    def test_unconstrained_is_uniform(self):
+        """With no informative constraints the max-ent solution is uniform."""
+        a = np.ones((1, 5))  # constraint: total mass = s
+        w = fit_maxent_weights(a, np.array([1.0]))
+        np.testing.assert_allclose(w, np.full(5, 0.2), atol=1e-6)
+
+    def test_output_is_distribution(self, rng):
+        a = (rng.random((10, 20)) > 0.5).astype(float)
+        s = rng.random(10) * 0.5
+        w = fit_maxent_weights(a, s)
+        assert np.all(w >= 0.0)
+        assert np.sum(w) == pytest.approx(1.0, abs=1e-9)
+
+    def test_constraints_approximately_satisfied(self, rng):
+        """Consistent constraints are met to within the slack tolerance."""
+        membership = np.array(
+            [
+                [1.0, 1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 1.0],
+                [1.0, 0.0, 1.0, 0.0],
+            ]
+        )
+        w_true = np.array([0.4, 0.2, 0.3, 0.1])
+        s = membership @ w_true
+        w = fit_maxent_weights(membership, s, slack=1e-5)
+        np.testing.assert_allclose(membership @ w, s, atol=5e-3)
+
+    def test_entropy_maximised_among_consistent(self, rng):
+        """Among distributions meeting the constraints, ours has (near-)max
+        entropy: compare against random consistent distributions."""
+        membership = np.array([[1.0, 1.0, 0.0, 0.0]])
+        s = np.array([0.6])
+        w = fit_maxent_weights(membership, s, slack=1e-6)
+
+        def entropy(p):
+            p = np.maximum(p, 1e-15)
+            return -float(np.sum(p * np.log(p)))
+
+        # Max-ent solution: (0.3, 0.3, 0.2, 0.2).
+        np.testing.assert_allclose(w, [0.3, 0.3, 0.2, 0.2], atol=1e-3)
+        for _ in range(20):
+            probe = rng.dirichlet(np.ones(2)) * 0.6
+            rest = rng.dirichlet(np.ones(2)) * 0.4
+            candidate = np.concatenate([probe, rest])
+            assert entropy(w) >= entropy(candidate) - 1e-3
+
+    def test_inconsistent_constraints_do_not_crash(self):
+        """Conflicting feedback (same query, different selectivities) must
+        still return a valid distribution (soft constraints)."""
+        a = np.array([[1.0, 0.0], [1.0, 0.0]])
+        s = np.array([0.2, 0.8])
+        w = fit_maxent_weights(a, s, slack=1e-2)
+        assert np.sum(w) == pytest.approx(1.0)
+        # The fit lands between the two conflicting targets.
+        assert 0.2 <= w[0] <= 0.8
+
+    def test_single_bucket(self):
+        np.testing.assert_allclose(
+            fit_maxent_weights(np.ones((2, 1)), np.array([1.0, 1.0])), [1.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_maxent_weights(np.ones((2, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            fit_maxent_weights(np.ones((2, 2)), np.ones(2), slack=0.0)
+        with pytest.raises(ValueError):
+            fit_maxent_weights(np.ones(4), np.ones(4))

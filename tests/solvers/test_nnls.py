@@ -1,0 +1,74 @@
+"""Own Lawson–Hanson NNLS vs scipy's reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import nnls as scipy_nnls
+
+from repro.solvers import nnls
+
+
+class TestNNLS:
+    def test_matches_unconstrained_when_solution_positive(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        b = np.array([1.0, 2.0, 3.0])
+        x = nnls(a, b)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(x, expected, atol=1e-9)
+
+    def test_clamps_negative_component(self):
+        a = np.eye(2)
+        b = np.array([1.0, -1.0])
+        x = nnls(a, b)
+        np.testing.assert_allclose(x, [1.0, 0.0], atol=1e-12)
+
+    def test_zero_rhs(self):
+        a = np.random.default_rng(0).random((5, 3))
+        np.testing.assert_allclose(nnls(a, np.zeros(5)), np.zeros(3), atol=1e-12)
+
+    def test_output_nonnegative(self, rng):
+        for _ in range(20):
+            a = rng.normal(size=(8, 5))
+            b = rng.normal(size=8)
+            assert np.all(nnls(a, b) >= 0.0)
+
+    def test_matches_scipy_objective(self, rng):
+        for _ in range(30):
+            m = int(rng.integers(3, 25))
+            n = int(rng.integers(2, 15))
+            a = rng.random((m, n))
+            b = rng.random(m)
+            ours = nnls(a, b)
+            reference, _ = scipy_nnls(a, b)
+            obj_ours = np.sum((a @ ours - b) ** 2)
+            obj_ref = np.sum((a @ reference - b) ** 2)
+            assert obj_ours <= obj_ref + 1e-8
+
+    def test_wide_matrix(self, rng):
+        a = rng.random((3, 10))
+        b = rng.random(3)
+        x = nnls(a, b)
+        assert np.all(x >= 0)
+        reference, _ = scipy_nnls(a, b)
+        assert np.sum((a @ x - b) ** 2) <= np.sum((a @ reference - b) ** 2) + 1e-8
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            nnls(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            nnls(np.zeros((3, 2)), np.zeros(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 2**31 - 1))
+    def test_kkt_conditions(self, m, n, seed):
+        """At the solution: gradient <= 0 off-support, ~0 on support."""
+        gen = np.random.default_rng(seed)
+        a = gen.random((m, n))
+        b = gen.random(m)
+        x = nnls(a, b)
+        gradient = a.T @ (b - a @ x)
+        on_support = x > 1e-9
+        assert np.all(gradient[~on_support] <= 1e-7)
+        if on_support.any():
+            assert np.max(np.abs(gradient[on_support])) <= 1e-6

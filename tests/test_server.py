@@ -1,0 +1,131 @@
+"""Estimation service: programmatic API and the HTTP adapter."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import QuadHist
+from repro.data.io import range_to_dict
+from repro.geometry import Box
+from repro.server import EstimatorService, serve
+
+
+def _service(**kwargs):
+    return EstimatorService(lambda: QuadHist(tau=0.02), **kwargs)
+
+
+@pytest.fixture
+def labeled_feedback(power2d_box_workload):
+    train_q, train_s, test_q, test_s = power2d_box_workload
+    return list(zip(train_q, train_s)), list(zip(test_q, test_s))
+
+
+class TestServiceAPI:
+    def test_estimate_before_training_raises(self):
+        service = _service()
+        with pytest.raises(RuntimeError):
+            service.estimate(Box([0.0, 0.0], [0.5, 0.5]))
+
+    def test_feedback_then_retrain_then_estimate(self, labeled_feedback):
+        feedback, holdout = labeled_feedback
+        service = _service()
+        for query, label in feedback[:50]:
+            service.feedback(query, label)
+        info = service.retrain()
+        assert info["trained_on"] > 0
+        errors = [abs(service.estimate(q) - s) for q, s in holdout[:30]]
+        assert float(np.mean(errors)) < 0.1
+
+    def test_retrain_requires_min_feedback(self):
+        service = _service(min_feedback=10)
+        service.feedback(Box([0.0, 0.0], [0.5, 0.5]), 0.3)
+        with pytest.raises(RuntimeError):
+            service.retrain()
+
+    def test_auto_retrain(self, labeled_feedback):
+        feedback, _ = labeled_feedback
+        service = _service(retrain_every=25, min_feedback=20)
+        for query, label in feedback[:30]:
+            service.feedback(query, label)
+        assert service.status()["trained"]
+
+    def test_status_shape(self):
+        service = _service()
+        status = service.status()
+        assert status["trained"] is False
+        assert status["feedback_total"] == 0
+
+    def test_invalid_selectivity_rejected(self):
+        service = _service()
+        with pytest.raises(ValueError):
+            service.feedback(Box([0.0, 0.0], [0.5, 0.5]), 1.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            _service(retrain_every=0)
+        with pytest.raises(ValueError):
+            _service(min_feedback=1)
+        with pytest.raises(ValueError):
+            _service(drift_holdout=1.5)
+
+
+class TestHTTP:
+    @pytest.fixture
+    def server(self, labeled_feedback):
+        service = _service(min_feedback=20)
+        server = serve(service, port=0)
+        yield server
+        server.shutdown()
+
+    def _post(self, server, path, payload):
+        host, port = server.server_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def _get(self, server, path):
+        host, port = server.server_address
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as response:
+            return json.loads(response.read())
+
+    def test_full_http_lifecycle(self, server, labeled_feedback):
+        feedback, holdout = labeled_feedback
+        for query, label in feedback[:40]:
+            result = self._post(
+                server,
+                "/feedback",
+                {"query": range_to_dict(query), "selectivity": float(label)},
+            )
+            assert "pending" in result
+        trained = self._post(server, "/retrain", {})
+        assert trained["model_size"] >= 1
+        query, truth = holdout[0]
+        estimate = self._post(server, "/estimate", {"query": range_to_dict(query)})
+        assert 0.0 <= estimate["selectivity"] <= 1.0
+        status = self._get(server, "/status")
+        assert status["trained"] is True
+
+    def test_estimate_before_training_is_409(self, server, labeled_feedback):
+        feedback, _ = labeled_feedback
+        query, _ = feedback[0]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/estimate", {"query": range_to_dict(query)})
+        assert excinfo.value.code == 409
+
+    def test_malformed_request_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/estimate", {"query": {"type": "triangle"}})
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/nope")
+        assert excinfo.value.code == 404
