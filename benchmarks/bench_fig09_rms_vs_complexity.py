@@ -7,7 +7,6 @@ Also doubles as the τ-vs-hard-cap ablation called out in DESIGN.md: the
 model size here is controlled purely through τ.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import QuadHist

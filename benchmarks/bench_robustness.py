@@ -1,0 +1,128 @@
+"""Robustness: accuracy degradation vs. injected feedback corruption.
+
+The sanitization layer (``repro.robustness.sanitize``) exists so a dirty
+feedback stream degrades accuracy gracefully instead of poisoning or
+aborting training.  This bench corrupts a seeded fraction of the training
+workload with :class:`repro.robustness.ChaosMonkey` (NaN labels,
+out-of-range labels, degenerate ranges), fits QuadHist under the ``drop``
+and ``clamp`` policies, and scores on a *clean* test workload.
+
+Expected shape: under ``drop`` the RMS curve stays nearly flat (corrupted
+pairs are quarantined, the model just trains on slightly less data);
+``clamp`` pays a little extra for repairing out-of-range labels to the
+nearest bound.  The strict policy would refuse every corrupted workload
+outright.
+
+Alongside the usual text table, the sweep lands in
+``benchmarks/results/BENCH_robustness.json`` so the degradation curve is
+machine-readable for regression tracking.
+"""
+
+import json
+
+import pytest
+
+from repro.core import QuadHist
+from repro.data import WorkloadSpec
+from repro.eval import evaluate_estimator, make_workload
+from repro.eval.harness import Workload
+from repro.eval.reporting import format_table
+from repro.robustness import ChaosConfig, ChaosMonkey, chaos
+
+from benchmarks.conftest import RESULTS_DIR, record_table
+
+CORRUPTION_RATES = (0.0, 0.1, 0.2, 0.3)
+POLICIES = ("drop", "clamp")
+SPEC = WorkloadSpec(query_kind="box", center_kind="data")
+
+
+@pytest.fixture(scope="module")
+def corruption_sweep(power_2d, bench_rng):
+    train = make_workload(power_2d, 200, bench_rng, spec=SPEC)
+    test = make_workload(power_2d, 120, bench_rng, spec=SPEC)
+    rows = []
+    for rate in CORRUPTION_RATES:
+        monkey = ChaosMonkey(
+            ChaosConfig(feedback_corruption_rate=rate, seed=20220612)
+        )
+        dirty_q, dirty_s, corrupted = monkey.corrupt_workload(
+            train.queries, train.selectivities
+        )
+        dirty = Workload(dirty_q, dirty_s)
+        for policy in POLICIES:
+            result = evaluate_estimator(
+                f"quadhist/{policy}",
+                QuadHist(tau=0.005, max_leaves=4 * len(train)),
+                dirty,
+                test,
+                sanitize_policy=policy,
+            )
+            rows.append(
+                {
+                    "corruption": rate,
+                    "injected": len(corrupted),
+                    "policy": policy,
+                    "quarantined": result.quarantined,
+                    "buckets": result.model_size,
+                    "rms": round(result.rms, 5),
+                    "linf": round(result.linf, 5),
+                }
+            )
+    return rows
+
+
+def test_accuracy_vs_corruption_rate(corruption_sweep, table_bench):
+    table_bench(lambda: None)  # register with pytest-benchmark (--benchmark-only)
+    record_table(
+        "robustness_corruption_sweep",
+        format_table(
+            corruption_sweep,
+            title="Robustness: QuadHist RMS vs. injected corruption (Power 2D, clean test set)",
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_robustness.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "robustness_corruption_sweep",
+                "dataset": "power-2d",
+                "estimator": "quadhist",
+                "train_size": 200,
+                "test_size": 120,
+                "rows": corruption_sweep,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    clean_rms = {
+        row["policy"]: row["rms"]
+        for row in corruption_sweep
+        if row["corruption"] == 0.0
+    }
+    for row in corruption_sweep:
+        if row["policy"] == "drop":
+            # Quarantine is exact: every injected corruption is caught.
+            assert row["quarantined"] == row["injected"]
+            # Dropping dirty pairs keeps accuracy close to the clean fit.
+            assert row["rms"] <= clean_rms["drop"] + 0.05
+        # No policy lets corruption blow the model up.
+        assert row["rms"] < 0.5
+
+
+def test_solver_chaos_degrades_gracefully(power_2d, bench_rng, table_bench):
+    """Accuracy with the primary solver rung disabled: the ladder's pgd
+    rung should land within noise of the healthy fit."""
+    table_bench(lambda: None)
+    train = make_workload(power_2d, 150, bench_rng, spec=SPEC)
+    test = make_workload(power_2d, 100, bench_rng, spec=SPEC)
+
+    healthy = evaluate_estimator(
+        "healthy", QuadHist(tau=0.005), train, test
+    )
+    with chaos(ChaosConfig(solver_fail_rungs=("penalty",))):
+        degraded_est = QuadHist(tau=0.005)
+        degraded = evaluate_estimator("no-penalty-rung", degraded_est, train, test)
+    assert degraded_est.solve_report_.rung == "pgd"
+    assert degraded.rms <= healthy.rms + 0.02

@@ -7,7 +7,6 @@ finiteness / Lemma 2.7's construction), and the predicted training-size
 scaling per query class.
 """
 
-import numpy as np
 import pytest
 
 from repro.geometry import Ball, Box

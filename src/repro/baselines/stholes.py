@@ -41,7 +41,6 @@ import numpy as np
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Box, Range, unit_box
-from repro.geometry.volume import intersection_volume
 
 __all__ = ["STHoles"]
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Two subcommands cover the paper's workflow end to end:
+Three subcommands cover the paper's workflow end to end:
 
 ``generate``
     Build a synthetic dataset, draw a labeled query workload from it, and
@@ -9,7 +9,14 @@ Two subcommands cover the paper's workflow end to end:
 ``evaluate``
     Train one or more estimators on a workload (from a file, or generated
     on the fly) and print the evaluation table: model size, fit time,
-    RMS / L∞ errors and Q-error quantiles.
+    RMS / L∞ errors and Q-error quantiles.  ``--sanitize drop`` screens
+    dirty training pairs instead of aborting.
+
+``serve``
+    Run the fault-tolerant HTTP estimation sidecar
+    (:mod:`repro.server`) with the robustness knobs exposed: sanitize
+    policy, feedback-buffer capacity, circuit-breaker threshold/cooldown,
+    and retrain timeout.
 
 Examples
 --------
@@ -19,6 +26,8 @@ Examples
         --queries 200 --out train.json
     python -m repro.cli evaluate --dataset power --attrs 0,3 \\
         --train 200 --test 150 --methods quadhist,ptshist,quicksel
+    python -m repro.cli serve --method quadhist --port 8080 \\
+        --sanitize drop --retrain-every 50 --feedback-capacity 10000
 """
 
 from __future__ import annotations
@@ -29,8 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines import Isomer, MeanEstimator, QuickSel, UniformEstimator
-from repro.core import GaussianMixtureHist, PtsHist, QuadHist
+from repro.core.registry import estimator_factories
 from repro.data import (
     WorkloadSpec,
     load_dataset,
@@ -39,18 +47,9 @@ from repro.data import (
 )
 from repro.eval import evaluate_estimator, format_table, make_workload
 from repro.eval.harness import Workload
+from repro.robustness import SANITIZE_POLICIES, ReproError
 
 __all__ = ["main", "build_parser"]
-
-_METHODS = {
-    "quadhist": lambda n: QuadHist(tau=0.005, max_leaves=4 * n),
-    "ptshist": lambda n: PtsHist(size=4 * n, seed=0),
-    "gmm": lambda n: GaussianMixtureHist(components=4 * n, seed=0),
-    "isomer": lambda n: Isomer(max_buckets=10_000),
-    "quicksel": lambda n: QuickSel(),
-    "uniform": lambda n: UniformEstimator(),
-    "mean": lambda n: MeanEstimator(),
-}
 
 
 def _parse_attrs(text: str) -> list[int]:
@@ -103,7 +102,51 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument(
         "--methods",
         default="quadhist,ptshist,quicksel",
-        help="comma-separated subset of: " + ",".join(sorted(_METHODS)),
+        help="comma-separated subset of: " + ",".join(sorted(estimator_factories())),
+    )
+    ev.add_argument(
+        "--sanitize",
+        choices=list(SANITIZE_POLICIES),
+        default=None,
+        help="screen the training workload (drop/clamp dirty pairs, or "
+        "raise on the first); default: strict label validation only",
+    )
+
+    srv = sub.add_parser("serve", help="run the HTTP estimation sidecar")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080)
+    srv.add_argument(
+        "--method",
+        default="quadhist",
+        help="estimator to serve; one of: " + ",".join(sorted(estimator_factories())),
+    )
+    srv.add_argument(
+        "--expected-train",
+        type=int,
+        default=200,
+        help="training-set size the model is dimensioned for",
+    )
+    srv.add_argument("--retrain-every", type=int, default=None)
+    srv.add_argument("--min-feedback", type=int, default=20)
+    srv.add_argument(
+        "--sanitize",
+        choices=list(SANITIZE_POLICIES),
+        default="drop",
+        help="feedback sanitization policy (default: drop/quarantine)",
+    )
+    srv.add_argument(
+        "--feedback-capacity",
+        type=int,
+        default=None,
+        help="bound on buffered feedback pairs (default: unbounded)",
+    )
+    srv.add_argument("--breaker-threshold", type=int, default=3)
+    srv.add_argument("--breaker-cooldown", type=float, default=30.0)
+    srv.add_argument(
+        "--retrain-timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per retrain in seconds",
     )
     return parser
 
@@ -139,17 +182,26 @@ def _cmd_evaluate(args) -> int:
     else:
         test = make_workload(dataset, args.test, rng, spec=spec)
 
+    factories = estimator_factories()
     method_names = [m.strip() for m in args.methods.split(",") if m.strip()]
-    unknown = [m for m in method_names if m not in _METHODS]
+    unknown = [m for m in method_names if m not in factories]
     if unknown:
-        print(f"error: unknown method(s) {unknown}; choose from {sorted(_METHODS)}", file=sys.stderr)
+        print(
+            f"error: unknown method(s) {unknown}; choose from {sorted(factories)}",
+            file=sys.stderr,
+        )
         return 2
 
     rows = []
     for name in method_names:
-        estimator = _METHODS[name](len(train))
-        result = evaluate_estimator(name, estimator, train, test)
-        rows.append(result.row())
+        estimator = factories[name](len(train))
+        result = evaluate_estimator(
+            name, estimator, train, test, sanitize_policy=args.sanitize
+        )
+        row = result.row()
+        if args.sanitize is not None:
+            row["quarantined"] = result.quarantined
+        rows.append(row)
     print(
         format_table(
             rows,
@@ -162,11 +214,56 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import EstimatorService, serve
+
+    factories = estimator_factories()
+    if args.method not in factories:
+        print(
+            f"error: unknown method {args.method!r}; choose from {sorted(factories)}",
+            file=sys.stderr,
+        )
+        return 2
+    factory = factories[args.method]
+    service = EstimatorService(
+        lambda: factory(args.expected_train),
+        retrain_every=args.retrain_every,
+        min_feedback=args.min_feedback,
+        sanitize_policy=args.sanitize,
+        feedback_capacity=args.feedback_capacity,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        retrain_timeout=args.retrain_timeout,
+        seed=args.seed if hasattr(args, "seed") else 0,
+    )
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address
+    print(
+        f"serving {args.method} on http://{host}:{port} "
+        f"(sanitize={args.sanitize}, breaker k={args.breaker_threshold})"
+    )
+    try:
+        while True:
+            import time
+
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.shutdown()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    return _cmd_evaluate(args)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        return _cmd_evaluate(args)
+    except ReproError as exc:
+        print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,61 @@
+"""Shared weight-estimation entry point for the learners.
+
+QuadHist, PtsHist and ArrangementERM all end their fit with the same
+step — solve Eq. (8) on a design matrix — and all want the same
+robustness semantics: route through the fallback ladder so a
+non-converging solve degrades the model instead of aborting the fit, and
+keep a :class:`~repro.solvers.simplex_ls.SolveReport` for inspection.
+
+The L∞ objective (Section 4.6) has no ladder of its own: a failing LP
+falls back to the robust L2 ladder, which the report records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.linf import fit_simplex_weights_linf
+from repro.solvers.simplex_ls import (
+    SolveAttempt,
+    SolveReport,
+    fit_simplex_weights_robust,
+)
+
+__all__ = ["solve_weights"]
+
+
+def solve_weights(
+    design: np.ndarray,
+    selectivities: np.ndarray,
+    objective: str = "l2",
+    solver: str = "penalty",
+    deadline_seconds: float | None = None,
+) -> tuple[np.ndarray, SolveReport]:
+    """Fit simplex weights under ``objective`` with full fallback.
+
+    Returns ``(weights, report)``; never raises on numerical failure.
+    """
+    if objective == "linf":
+        try:
+            weights = fit_simplex_weights_linf(design, selectivities)
+            if np.all(np.isfinite(weights)) and weights.size:
+                report = SolveReport(requested="linf", rung="linf")
+                report.attempts.append(SolveAttempt(rung="linf", ok=True, seconds=0.0))
+                report.residual = float(
+                    np.max(np.abs(design @ weights - selectivities))
+                )
+                return weights, report
+            raise RuntimeError("linf solve returned non-finite weights")
+        except Exception as exc:
+            weights, report = fit_simplex_weights_robust(
+                design, selectivities, method=solver, deadline_seconds=deadline_seconds
+            )
+            report.requested = "linf"
+            report.fallback = True
+            report.attempts.insert(
+                0, SolveAttempt(rung="linf", ok=False, seconds=0.0, error=str(exc))
+            )
+            return weights, report
+    return fit_simplex_weights_robust(
+        design, selectivities, method=solver, deadline_seconds=deadline_seconds
+    )

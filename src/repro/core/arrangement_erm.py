@@ -26,7 +26,8 @@ from repro.distributions.histogram import HistogramDistribution
 from repro.geometry.arrangement import box_arrangement_cells, sign_vector_cells
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
-from repro.solvers.simplex_ls import fit_simplex_weights
+from repro.core._solve import solve_weights
+from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["ArrangementERM"]
 
@@ -69,6 +70,8 @@ class ArrangementERM(SelectivityEstimator):
         self.max_cells = int(max_cells)
         self.solver = solver
         self.domain = domain
+        #: How the last weight solve was produced (fallback ladder record).
+        self.solve_report_: SolveReport | None = None
         self._histogram: HistogramDistribution | None = None
         self._discrete: DiscreteDistribution | None = None
         self._cell_lows: np.ndarray | None = None
@@ -89,8 +92,8 @@ class ArrangementERM(SelectivityEstimator):
             self._cell_highs = np.stack([c.highs for c in cells])
             self._cell_volumes = np.prod(self._cell_highs - self._cell_lows, axis=1)
             design = np.stack([self._fraction_row(q) for q in training.queries])
-            weights = fit_simplex_weights(
-                design, training.selectivities, method=self.solver
+            weights, self.solve_report_ = solve_weights(
+                design, training.selectivities, solver=self.solver
             )
             self._weights = weights
             self._histogram = HistogramDistribution(cells, weights)
@@ -102,8 +105,8 @@ class ArrangementERM(SelectivityEstimator):
             design = np.stack(
                 [np.asarray(q.contains(points), dtype=float) for q in training.queries]
             )
-            weights = fit_simplex_weights(
-                design, training.selectivities, method=self.solver
+            weights, self.solve_report_ = solve_weights(
+                design, training.selectivities, solver=self.solver
             )
             self._discrete = DiscreteDistribution(points, weights)
 

@@ -23,12 +23,18 @@ import numpy as np
 
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Range
+from repro.robustness.errors import ModelUnavailableError
+from repro.robustness.sanitize import SanitizationReport
 
 __all__ = ["SelectivityEstimator", "NotFittedError"]
 
 
-class NotFittedError(RuntimeError):
-    """Raised when ``predict`` is called before ``fit``."""
+class NotFittedError(ModelUnavailableError):
+    """Raised when ``predict`` is called before ``fit``.
+
+    (A :class:`~repro.robustness.errors.ModelUnavailableError`, and — for
+    backward compatibility — still a ``RuntimeError``.)
+    """
 
 
 class SelectivityEstimator(abc.ABC):
@@ -36,15 +42,25 @@ class SelectivityEstimator(abc.ABC):
 
     def __init__(self):
         self._fitted = False
+        #: Quarantine outcome of the last ``fit`` (None without a policy).
+        self.sanitization_: SanitizationReport | None = None
 
     def fit(
-        self, queries: Sequence[Range], selectivities: Sequence[float]
+        self,
+        queries: Sequence[Range],
+        selectivities: Sequence[float],
+        policy: str | None = None,
     ) -> "SelectivityEstimator":
         """Learn a model from ``(query, selectivity)`` pairs.
 
+        ``policy`` ("raise" / "drop" / "clamp") runs training-set
+        sanitization first (see :class:`~repro.core.workload.TrainingSet`);
+        the resulting quarantine report lands on ``self.sanitization_``.
+
         Returns ``self`` for chaining.
         """
-        training = TrainingSet(queries, selectivities)
+        training = TrainingSet(queries, selectivities, policy=policy)
+        self.sanitization_ = training.sanitization
         self._fit(training)
         self._fitted = True
         return self
@@ -58,9 +74,19 @@ class SelectivityEstimator(abc.ABC):
         """Subclass hook: estimate the selectivity of one query."""
 
     def predict(self, query: Range) -> float:
-        """Estimated selectivity of ``query`` in ``[0, 1]``."""
+        """Estimated selectivity of ``query``, always in ``[0, 1]``.
+
+        The base class enforces the unit-interval invariant for every
+        learner and baseline: finite raw estimates are clamped, and a
+        non-finite raw estimate (a numerically broken model state) maps
+        to 0.5 — the maximum-uncertainty answer — rather than leaking NaN
+        into an optimizer's cost model.
+        """
         self._check_fitted()
-        return float(np.clip(self._predict_one(query), 0.0, 1.0))
+        raw = float(self._predict_one(query))
+        if not np.isfinite(raw):
+            return 0.5
+        return float(np.clip(raw, 0.0, 1.0))
 
     def predict_many(self, queries: Sequence[Range]) -> np.ndarray:
         """Estimated selectivities for a sequence of queries."""

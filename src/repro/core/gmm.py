@@ -31,7 +31,7 @@ from scipy.stats import norm, qmc
 
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
-from repro.geometry.ranges import Ball, Box, Halfspace, Range, unit_box
+from repro.geometry.ranges import Box, Halfspace, Range, unit_box
 from repro.geometry.sampling import rejection_sample, sample_in_box
 from repro.solvers.linf import fit_simplex_weights_linf
 from repro.solvers.simplex_ls import fit_simplex_weights

@@ -21,7 +21,7 @@ refinement) — the same argument as Lemma A.4.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 

@@ -24,8 +24,8 @@ from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.sampling import rejection_sample, sample_in_box
-from repro.solvers.linf import fit_simplex_weights_linf
-from repro.solvers.simplex_ls import fit_simplex_weights
+from repro.core._solve import solve_weights
+from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["PtsHist"]
 
@@ -72,6 +72,8 @@ class PtsHist(SelectivityEstimator):
         self.objective = objective
         self.solver = solver
         self.domain = domain
+        #: How the last weight solve was produced (fallback ladder record).
+        self.solve_report_: SolveReport | None = None
         self._distribution: DiscreteDistribution | None = None
 
     def _fit(self, training: TrainingSet) -> None:
@@ -83,12 +85,9 @@ class PtsHist(SelectivityEstimator):
         design = np.stack(
             [np.asarray(q.contains(points), dtype=float) for q in training.queries]
         )
-        if self.objective == "linf":
-            weights = fit_simplex_weights_linf(design, training.selectivities)
-        else:
-            weights = fit_simplex_weights(
-                design, training.selectivities, method=self.solver
-            )
+        weights, self.solve_report_ = solve_weights(
+            design, training.selectivities, objective=self.objective, solver=self.solver
+        )
         self._distribution = DiscreteDistribution(points, weights)
 
     def _design_buckets(

@@ -37,8 +37,8 @@ from repro.geometry.volume import (
     intersection_volume,
     range_volume,
 )
-from repro.solvers.linf import fit_simplex_weights_linf
-from repro.solvers.simplex_ls import fit_simplex_weights
+from repro.core._solve import solve_weights
+from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["QuadHist"]
 
@@ -115,6 +115,8 @@ class QuadHist(SelectivityEstimator):
         self.objective = objective
         self.solver = solver
         self.domain = domain
+        #: How the last weight solve was produced (fallback ladder record).
+        self.solve_report_: SolveReport | None = None
         self._root: _Node | None = None
         self._history: TrainingSet | None = None
         self._distribution: HistogramDistribution | None = None
@@ -209,12 +211,9 @@ class QuadHist(SelectivityEstimator):
         design = np.stack(
             [self._fraction_row(query) for query in training.queries]
         )
-        if self.objective == "linf":
-            weights = fit_simplex_weights_linf(design, training.selectivities)
-        else:
-            weights = fit_simplex_weights(
-                design, training.selectivities, method=self.solver
-            )
+        weights, self.solve_report_ = solve_weights(
+            design, training.selectivities, objective=self.objective, solver=self.solver
+        )
         self._weights = weights
         self._distribution = HistogramDistribution(list(buckets), weights)
 

@@ -1,0 +1,77 @@
+"""Estimator registry: one canonical name per learner/baseline.
+
+The CLI, the property-test suite, and the serving layer all need "every
+estimator we ship, by name, with sensible default hyper-parameters for a
+given training size".  Keeping that list in one place means a newly added
+estimator is automatically covered by the registry-wide invariant tests
+(``tests/core/test_estimator_properties.py``) and selectable from the
+command line.
+
+Factories take the training-set size ``n`` (several models peg their
+complexity to ``4 × n``, the paper's Section 4.1 convention) and return a
+fresh, unfitted estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.estimator import SelectivityEstimator
+
+__all__ = ["register_estimator", "estimator_factories", "make_estimator"]
+
+Factory = Callable[[int], SelectivityEstimator]
+
+_FACTORIES: Dict[str, Factory] = {}
+_DEFAULTS_LOADED = False
+
+
+def register_estimator(name: str, factory: Factory) -> Factory:
+    """Register ``factory`` under ``name`` (overwrites an existing entry)."""
+    _FACTORIES[name] = factory
+    return factory
+
+
+def _load_defaults() -> None:
+    # Imports are deferred so this module can live inside ``repro.core``
+    # without creating an import cycle with ``repro.baselines``.
+    global _DEFAULTS_LOADED
+    if _DEFAULTS_LOADED:
+        return
+    from repro.baselines import Isomer, MeanEstimator, QuickSel, UniformEstimator
+    from repro.core.gmm import GaussianMixtureHist
+    from repro.core.kdhist import KdHist
+    from repro.core.ptshist import PtsHist
+    from repro.core.quadhist import QuadHist
+
+    defaults: Dict[str, Factory] = {
+        "quadhist": lambda n: QuadHist(tau=0.005, max_leaves=4 * n),
+        "kdhist": lambda n: KdHist(tau=0.005, max_leaves=4 * n),
+        "ptshist": lambda n: PtsHist(size=4 * n, seed=0),
+        "gmm": lambda n: GaussianMixtureHist(components=4 * n, seed=0),
+        "isomer": lambda n: Isomer(max_buckets=10_000),
+        "quicksel": lambda n: QuickSel(),
+        "uniform": lambda n: UniformEstimator(),
+        "mean": lambda n: MeanEstimator(),
+    }
+    for name, factory in defaults.items():
+        _FACTORIES.setdefault(name, factory)
+    _DEFAULTS_LOADED = True
+
+
+def estimator_factories() -> Dict[str, Factory]:
+    """All registered factories, name → factory (defaults included)."""
+    _load_defaults()
+    return dict(_FACTORIES)
+
+
+def make_estimator(name: str, train_size: int = 200) -> SelectivityEstimator:
+    """Instantiate the named estimator sized for ``train_size`` samples."""
+    _load_defaults()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown estimator {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return factory(train_size)

@@ -3,8 +3,14 @@
 A training sample is a sequence ``z^n = (z_1, ..., z_n)`` with
 ``z_i = (R_i, s_i) ∈ R × [0, 1]`` (Section 2.1).  The labels need not come
 from any actual data distribution — the agnostic model allows noisy or even
-adversarial labels — so :class:`TrainingSet` only validates ranges and the
-``[0, 1]`` label domain.
+adversarial labels — so by default :class:`TrainingSet` only validates
+ranges and the ``[0, 1]`` label domain.
+
+Deployed feedback loops additionally produce *malformed* samples (NaN
+labels, degenerate ranges, contradictory duplicates).  Passing a
+``policy`` ("raise" / "drop" / "clamp") runs the full sanitizer of
+:mod:`repro.robustness.sanitize` and records the quarantine outcome on
+``TrainingSet.sanitization``.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.geometry.ranges import Range
+from repro.robustness.errors import DataValidationError
+from repro.robustness.sanitize import SanitizationReport, sanitize_training_data
 
 __all__ = ["LabeledQuery", "TrainingSet"]
 
@@ -30,33 +38,66 @@ class LabeledQuery:
         if not isinstance(self.query, Range):
             raise TypeError(f"query must be a Range, got {type(self.query).__name__}")
         if not 0.0 <= self.selectivity <= 1.0:
-            raise ValueError(f"selectivity must be in [0, 1], got {self.selectivity}")
+            raise DataValidationError(
+                f"selectivity must be in [0, 1], got {self.selectivity}"
+            )
 
 
 class TrainingSet:
-    """A finite sequence of labeled queries sharing one ambient dimension."""
+    """A finite sequence of labeled queries sharing one ambient dimension.
 
-    def __init__(self, queries: Sequence[Range], selectivities: Sequence[float]):
+    Parameters
+    ----------
+    queries, selectivities:
+        The labeled workload (parallel sequences).
+    policy:
+        ``None`` (default) keeps the historical strict behaviour: labels
+        must be finite and in ``[0, 1]`` (up to float noise) or
+        :class:`DataValidationError` is raised.  ``"raise"`` / ``"drop"``
+        / ``"clamp"`` run the full sanitizer first — screening NaN and
+        out-of-range labels, zero-volume/inverted ranges, and conflicting
+        duplicate labels — and expose its :class:`SanitizationReport` as
+        ``self.sanitization``.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Range],
+        selectivities: Sequence[float],
+        policy: str | None = None,
+    ):
+        self.sanitization: SanitizationReport | None = None
+        if policy is not None:
+            queries, selectivities, self.sanitization = sanitize_training_data(
+                queries, selectivities, policy=policy
+            )
         if len(queries) == 0:
-            raise ValueError("a training set needs at least one query")
+            raise DataValidationError("a training set needs at least one query")
         if len(queries) != len(selectivities):
-            raise ValueError(
+            raise DataValidationError(
                 f"{len(queries)} queries but {len(selectivities)} selectivities"
             )
         dims = {q.dim for q in queries}
         if len(dims) != 1:
-            raise ValueError(f"queries must share one dimension, got {sorted(dims)}")
+            raise DataValidationError(
+                f"queries must share one dimension, got {sorted(dims)}"
+            )
         labels = np.asarray(selectivities, dtype=float)
         if not np.all(np.isfinite(labels)):
-            raise ValueError("selectivities must be finite")
+            raise DataValidationError("selectivities must be finite")
         if np.any(labels < -1e-12) or np.any(labels > 1.0 + 1e-12):
-            raise ValueError("selectivities must lie in [0, 1]")
+            raise DataValidationError("selectivities must lie in [0, 1]")
         self.queries = list(queries)
         self.selectivities = np.clip(labels, 0.0, 1.0)
 
     @property
     def dim(self) -> int:
         return self.queries[0].dim
+
+    @property
+    def quarantined(self) -> int:
+        """Samples removed by sanitization (0 without a policy)."""
+        return self.sanitization.quarantined if self.sanitization else 0
 
     def __len__(self) -> int:
         return len(self.queries)

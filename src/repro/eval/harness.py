@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 import numpy as np
 
@@ -58,6 +57,7 @@ class ExperimentResult:
     rms: float
     linf: float
     q_quantiles: dict[float, float] = field(default_factory=dict)
+    quarantined: int = 0
 
     def row(self) -> dict[str, object]:
         """Flat dict for the reporting helpers."""
@@ -105,10 +105,17 @@ def evaluate_estimator(
     train: Workload,
     test: Workload,
     q_floor: float | None = None,
+    sanitize_policy: str | None = None,
 ) -> ExperimentResult:
-    """Fit on ``train``, score on ``test``, time both phases."""
+    """Fit on ``train``, score on ``test``, time both phases.
+
+    ``sanitize_policy`` (``"raise"`` / ``"drop"`` / ``"clamp"``) screens
+    the training workload first; the quarantine count lands on the
+    result's ``quarantined`` field.  The robustness benchmark uses this
+    to fit on deliberately corrupted feedback.
+    """
     t0 = time.perf_counter()
-    estimator.fit(train.queries, train.selectivities)
+    estimator.fit(train.queries, train.selectivities, policy=sanitize_policy)
     t1 = time.perf_counter()
     predictions = estimator.predict_many(test.queries)
     t2 = time.perf_counter()
@@ -122,4 +129,9 @@ def evaluate_estimator(
         rms=rms_error(predictions, test.selectivities),
         linf=linf_error(predictions, test.selectivities),
         q_quantiles=q_error_quantiles(predictions, test.selectivities, **kwargs),
+        quarantined=(
+            estimator.sanitization_.quarantined
+            if getattr(estimator, "sanitization_", None) is not None
+            else 0
+        ),
     )

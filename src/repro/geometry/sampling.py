@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.ranges import Ball, Box, Halfspace, Range, unit_box
+from repro.geometry.ranges import Box, Halfspace, Range, unit_box
 
 __all__ = [
     "sample_in_box",

@@ -1,0 +1,117 @@
+"""Circuit breaker for the retrain loop.
+
+The standard three-state pattern, specialised for "should we attempt a
+(re)train right now?":
+
+* **closed** — everything allowed; consecutive failures are counted.
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  all attempts are refused until ``cooldown_seconds`` have elapsed.
+* **half-open** — after the cooldown, exactly *one* probe attempt is
+  allowed; its success closes the breaker, its failure re-opens it (and
+  restarts the cooldown).
+
+The clock is injectable so tests can drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures; probe after
+    ``cooldown_seconds``.
+
+    Not thread-safe by itself — callers (``EstimatorService``) serialize
+    access under their own lock.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_seconds < 0:
+            raise ValueError(f"cooldown_seconds must be >= 0, got {cooldown_seconds}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker will allow a probe (0 otherwise)."""
+        if self._state != "open" or self._opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown_seconds - (self._clock() - self._opened_at))
+
+    def allow(self) -> bool:
+        """May an attempt start now?  Claims the probe slot in half-open."""
+        self._maybe_half_open()
+        if self._state == "closed":
+            return True
+        if self._state == "half_open" and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    # -- transitions -----------------------------------------------------
+
+    def record_success(self) -> None:
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        self._probe_in_flight = False
+        if self._state == "half_open" or self._consecutive_failures >= self.failure_threshold:
+            self._state = "open"
+            self._opened_at = self._clock()
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = "half_open"
+            self._probe_in_flight = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering for ``/status``."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_remaining": round(self.cooldown_remaining(), 3),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

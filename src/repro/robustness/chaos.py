@@ -1,0 +1,184 @@
+"""Deterministic fault injection for robustness testing.
+
+A robustness layer nobody can exercise is a robustness layer nobody can
+trust.  This module injects the three failure families the pipeline must
+survive, all seedable so every test run replays identically:
+
+* **solver failures** — the fallback ladder in
+  :func:`repro.solvers.simplex_ls.fit_simplex_weights_robust` consults
+  the active monkey before each rung and raises
+  :class:`SolverConvergenceError` when told to, forcing descent down the
+  ladder (the final ``uniform`` rung is exempt — it is the guarantee).
+* **fit failures / slow fits** — :class:`repro.server.EstimatorService`
+  consults the monkey inside its retrain path, so breaker trips and
+  training timeouts can be provoked on demand.
+* **corrupt feedback** — :meth:`ChaosMonkey.corrupt_workload` rewrites a
+  seeded fraction of a clean workload into NaN labels, out-of-range
+  labels, and degenerate ranges, for exercising the sanitization
+  policies end to end.
+
+Usage::
+
+    from repro.robustness import ChaosConfig, chaos
+
+    with chaos(ChaosConfig(solver_fail_rungs=("penalty", "pgd"))):
+        model.fit(queries, labels)          # lands on the lstsq rung
+    assert model.solve_report_.rung == "lstsq-project"
+
+Production code never imports anything *from* here except the two hook
+checks, which are no-ops when no monkey is installed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ChaosConfig", "ChaosMonkey", "chaos", "install", "uninstall", "active"]
+
+
+@dataclass
+class ChaosConfig:
+    """What to break, and how often."""
+
+    #: Rungs of the solver ladder that always fail (e.g. ``("penalty",)``).
+    solver_fail_rungs: tuple[str, ...] = ()
+    #: Probability that any interceptable rung attempt fails.
+    solver_failure_rate: float = 0.0
+    #: Fail the next N service-level fits unconditionally, then recover.
+    fit_fail_next: int = 0
+    #: Probability that any service-level fit fails.
+    fit_failure_rate: float = 0.0
+    #: Wall-clock delay injected into every service-level fit (seconds).
+    fit_delay_seconds: float = 0.0
+    #: Fraction of a workload rewritten by :meth:`ChaosMonkey.corrupt_workload`.
+    feedback_corruption_rate: float = 0.0
+    #: Corruption kinds cycled through: ``nan`` / ``out_of_range`` / ``degenerate``.
+    corruption_kinds: tuple[str, ...] = ("nan", "out_of_range", "degenerate")
+    #: Seed for every random draw this monkey makes.
+    seed: int = 0
+
+    def __post_init__(self):
+        for rate in (self.solver_failure_rate, self.fit_failure_rate,
+                     self.feedback_corruption_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rates must be in [0, 1], got {rate}")
+        unknown = set(self.corruption_kinds) - {"nan", "out_of_range", "degenerate"}
+        if unknown:
+            raise ValueError(f"unknown corruption kinds {sorted(unknown)}")
+
+
+@dataclass
+class ChaosMonkey:
+    """Seeded executor of a :class:`ChaosConfig`; tracks what it injected."""
+
+    config: ChaosConfig = field(default_factory=ChaosConfig)
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.config.seed)
+        self._fit_failures_remaining = int(self.config.fit_fail_next)
+        self.injected: dict[str, int] = {"solver": 0, "fit": 0, "delay": 0, "corrupt": 0}
+
+    # -- hooks consulted by production code ------------------------------
+
+    def should_fail_solver(self, rung: str) -> bool:
+        hit = rung in self.config.solver_fail_rungs or (
+            self.config.solver_failure_rate > 0.0
+            and self._rng.random() < self.config.solver_failure_rate
+        )
+        if hit:
+            self.injected["solver"] += 1
+        return hit
+
+    def should_fail_fit(self) -> bool:
+        if self._fit_failures_remaining > 0:
+            self._fit_failures_remaining -= 1
+            self.injected["fit"] += 1
+            return True
+        if self.config.fit_failure_rate > 0.0 and self._rng.random() < self.config.fit_failure_rate:
+            self.injected["fit"] += 1
+            return True
+        return False
+
+    def delay_fit(self) -> None:
+        if self.config.fit_delay_seconds > 0.0:
+            self.injected["delay"] += 1
+            time.sleep(self.config.fit_delay_seconds)
+
+    # -- workload corruption (used directly by tests / benchmarks) -------
+
+    def corrupt_workload(self, queries, selectivities):
+        """Return ``(queries, labels, corrupted_indices)`` with a seeded
+        fraction of the pairs rewritten into dirty samples."""
+        from repro.geometry.ranges import Box  # local: keep module import-light
+
+        queries = list(queries)
+        labels = [float(s) for s in selectivities]
+        n = len(queries)
+        count = int(round(self.config.feedback_corruption_rate * n))
+        if count == 0:
+            return queries, np.asarray(labels), []
+        indices = self._rng.choice(n, size=count, replace=False)
+        kinds = self.config.corruption_kinds
+        for rank, i in enumerate(sorted(int(j) for j in indices)):
+            kind = kinds[rank % len(kinds)]
+            if kind == "nan":
+                labels[i] = float("nan")
+            elif kind == "out_of_range":
+                labels[i] = float(self._rng.uniform(1.5, 25.0))
+            else:  # degenerate: collapse the range to a zero-volume box
+                dim = queries[i].dim
+                anchor = self._rng.random(dim)
+                queries[i] = Box(anchor, anchor)
+            self.injected["corrupt"] += 1
+        return queries, np.asarray(labels), [int(j) for j in sorted(indices)]
+
+
+# ---------------------------------------------------------------------------
+# Module-level hook registry
+# ---------------------------------------------------------------------------
+
+_lock = threading.Lock()
+_active: ChaosMonkey | None = None
+
+
+def install(monkey: ChaosMonkey) -> ChaosMonkey:
+    """Install ``monkey`` as the process-wide fault injector."""
+    global _active
+    with _lock:
+        _active = monkey
+    return monkey
+
+
+def uninstall() -> None:
+    global _active
+    with _lock:
+        _active = None
+
+
+def active() -> ChaosMonkey | None:
+    """The currently installed monkey, or None (the production default)."""
+    return _active
+
+
+@contextlib.contextmanager
+def chaos(config_or_monkey: ChaosConfig | ChaosMonkey):
+    """Context manager installing a monkey for the block's duration."""
+    monkey = (
+        config_or_monkey
+        if isinstance(config_or_monkey, ChaosMonkey)
+        else ChaosMonkey(config_or_monkey)
+    )
+    previous = active()
+    install(monkey)
+    try:
+        yield monkey
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)

@@ -1,0 +1,219 @@
+"""Training-set sanitization: raise / drop / clamp policies + quarantine.
+
+The agnostic learning model (Section 2.1) tolerates *noisy* labels, but a
+deployed feedback loop also produces *malformed* samples the theory says
+nothing about: NaN selectivities, labels outside ``[0, 1]``, zero-volume
+or inverted ranges, and the same query reported twice with contradictory
+labels.  :func:`sanitize_training_data` screens a workload for all of
+these and applies one of three policies:
+
+``"raise"``
+    Reject the whole workload with :class:`DataValidationError` on the
+    first anomaly (strict mode — what you want in offline experiments,
+    where dirty data means a bug upstream).
+``"drop"``
+    Quarantine every offending sample and fit on the rest.  The default
+    for the serving path: one bad feedback pair must not take retraining
+    offline.
+``"clamp"``
+    Repair what is repairable (clip finite out-of-range labels into
+    ``[0, 1]``, replace a conflicting duplicate group by one median-label
+    representative) and quarantine only the unrepairable (NaN labels,
+    degenerate ranges, non-range objects).
+
+Every call returns a :class:`SanitizationReport` with the exact quarantine
+count and a per-reason breakdown, so callers can surface the numbers
+(``/status`` does) instead of silently training on less data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.ranges import Ball, Box, Halfspace, Range
+from repro.robustness.errors import DataValidationError
+
+__all__ = ["SANITIZE_POLICIES", "SanitizationReport", "sanitize_training_data"]
+
+SANITIZE_POLICIES = ("raise", "drop", "clamp")
+
+#: Labels may exceed [0, 1] by this much and still count as float noise
+#: (clipped silently under every policy, matching TrainingSet's historical
+#: tolerance).
+_LABEL_SLACK = 1e-12
+
+
+@dataclass
+class SanitizationReport:
+    """Outcome of one sanitization pass."""
+
+    policy: str
+    total: int = 0
+    kept: int = 0
+    quarantined: int = 0
+    clamped: int = 0
+    reasons: dict[str, int] = field(default_factory=dict)
+
+    def count(self, reason: str) -> None:
+        self.quarantined += 1
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (surfaced by the server's ``/status``)."""
+        return {
+            "policy": self.policy,
+            "total": self.total,
+            "kept": self.kept,
+            "quarantined": self.quarantined,
+            "clamped": self.clamped,
+            "reasons": dict(self.reasons),
+        }
+
+    def merge(self, other: "SanitizationReport") -> None:
+        """Accumulate another pass into this one (for running totals)."""
+        self.total += other.total
+        self.kept += other.kept
+        self.quarantined += other.quarantined
+        self.clamped += other.clamped
+        for reason, n in other.reasons.items():
+            self.reasons[reason] = self.reasons.get(reason, 0) + n
+
+
+def _range_key(query: Range) -> tuple | None:
+    """Hashable identity for duplicate detection; None when unsupported."""
+    if isinstance(query, Box):
+        return ("box", query.lows.round(12).tobytes(), query.highs.round(12).tobytes())
+    if isinstance(query, Halfspace):
+        return ("halfspace", query.normal.round(12).tobytes(), round(query.offset, 12))
+    if isinstance(query, Ball):
+        return ("ball", query.ball_center.round(12).tobytes(), round(query.radius, 12))
+    return None
+
+
+def _degenerate_reason(query: Range) -> str | None:
+    """Why ``query`` carries no usable density information, or None."""
+    if isinstance(query, Box):
+        if np.any(query.highs - query.lows <= 0.0):
+            return "degenerate_range"
+        return None
+    if isinstance(query, Ball):
+        return "degenerate_range" if query.radius <= 0.0 else None
+    # Halfspaces and general ranges are unbounded / opaque; treat a
+    # zero-volume *clipped* bounding box as degenerate.
+    try:
+        bbox = query.bounding_box()
+    except Exception:
+        return "invalid_range"
+    return "degenerate_range" if bbox.volume() <= 0.0 else None
+
+
+def sanitize_training_data(
+    queries: Sequence,
+    selectivities: Sequence[float],
+    policy: str = "raise",
+    duplicate_tolerance: float = 0.05,
+) -> tuple[list[Range], np.ndarray, SanitizationReport]:
+    """Screen a labeled workload; returns ``(queries, labels, report)``.
+
+    Parameters
+    ----------
+    queries, selectivities:
+        The raw workload (parallel sequences).
+    policy:
+        ``"raise"`` / ``"drop"`` / ``"clamp"`` — see the module docstring.
+    duplicate_tolerance:
+        Two labels for an *identical* range conflict when they differ by
+        more than this (absolute).  Agreeing duplicates are kept: repeated
+        consistent feedback is legitimate sample weight.
+
+    Raises
+    ------
+    DataValidationError
+        Under ``"raise"`` on the first anomaly; under any policy when the
+        input is structurally unusable (length mismatch, or every sample
+        quarantined).
+    """
+    if policy not in SANITIZE_POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {SANITIZE_POLICIES}")
+    if len(queries) != len(selectivities):
+        raise DataValidationError(
+            f"{len(queries)} queries but {len(selectivities)} selectivities"
+        )
+    report = SanitizationReport(policy=policy, total=len(queries))
+
+    def reject(index: int, reason: str, detail: str) -> None:
+        if policy == "raise":
+            raise DataValidationError(f"sample {index}: {detail}")
+        report.count(reason)
+
+    labels = [float(s) if isinstance(s, (int, float, np.floating, np.integer)) else np.nan
+              for s in selectivities]
+
+    kept_queries: list[Range] = []
+    kept_labels: list[float] = []
+    kept_keys: list[tuple | None] = []
+    for i, (query, label) in enumerate(zip(queries, labels)):
+        if not isinstance(query, Range):
+            reject(i, "not_a_range", f"query must be a Range, got {type(query).__name__}")
+            continue
+        if not np.isfinite(label):
+            reject(i, "nan_label", f"selectivity must be finite, got {label}")
+            continue
+        if label < -_LABEL_SLACK or label > 1.0 + _LABEL_SLACK:
+            if policy == "clamp":
+                report.clamped += 1
+                label = min(max(label, 0.0), 1.0)
+            else:
+                reject(i, "out_of_range_label", f"selectivity must be in [0, 1], got {label}")
+                continue
+        degenerate = _degenerate_reason(query)
+        if degenerate is not None:
+            reject(i, degenerate, f"query has no interior (zero-volume or inverted): {query!r}")
+            continue
+        kept_queries.append(query)
+        kept_labels.append(min(max(label, 0.0), 1.0))
+        kept_keys.append(_range_key(query))
+
+    # -- conflicting duplicate labels -----------------------------------
+    groups: dict[tuple, list[int]] = {}
+    for j, key in enumerate(kept_keys):
+        if key is not None:
+            groups.setdefault(key, []).append(j)
+    discard: set[int] = set()
+    for key, members in groups.items():
+        if len(members) < 2:
+            continue
+        member_labels = [kept_labels[j] for j in members]
+        if max(member_labels) - min(member_labels) <= duplicate_tolerance:
+            continue
+        if policy == "raise":
+            raise DataValidationError(
+                f"conflicting duplicate labels for identical query: {member_labels}"
+            )
+        if policy == "drop":
+            for j in members:
+                discard.add(j)
+                report.count("conflicting_duplicate")
+        else:  # clamp: keep one representative carrying the median label
+            survivor = members[0]
+            kept_labels[survivor] = float(np.median(member_labels))
+            report.clamped += 1
+            for j in members[1:]:
+                discard.add(j)
+                report.count("conflicting_duplicate")
+    if discard:
+        kept_queries = [q for j, q in enumerate(kept_queries) if j not in discard]
+        kept_labels = [s for j, s in enumerate(kept_labels) if j not in discard]
+
+    report.kept = len(kept_queries)
+    if report.total > 0 and report.kept == 0:
+        error = DataValidationError(
+            f"all {report.total} samples quarantined "
+            f"(reasons: {report.reasons}); nothing left to fit"
+        )
+        error.report = report  # callers surface the quarantine breakdown
+        raise error
+    return kept_queries, np.asarray(kept_labels, dtype=float), report

@@ -1,4 +1,4 @@
-"""A selectivity-estimation service (stdlib HTTP, no extra dependencies).
+"""A fault-tolerant selectivity-estimation service (stdlib HTTP only).
 
 The deployment shape for a query-driven estimator: a database's optimizer
 asks a sidecar service for estimates, and streams back true selectivities
@@ -6,14 +6,35 @@ observed during execution as feedback.  The service accumulates feedback,
 retrains on demand (or automatically every ``retrain_every`` feedbacks),
 and tracks workload drift with :class:`repro.eval.drift.DriftDetector`.
 
+Because the feedback loop runs unattended, every failure mode degrades
+instead of crashing (see ``docs/robustness.md``):
+
+* **Last-good-model serving** — a failed retrain never touches the
+  currently served model; each successful retrain atomically installs a
+  new *generation*.
+* **Circuit breaker** — after ``breaker_threshold`` consecutive retrain
+  failures the breaker opens and retraining is suspended for
+  ``breaker_cooldown`` seconds, then probed half-open.  Estimates keep
+  flowing from the last good generation throughout.
+* **Input sanitization** — feedback is screened under a configurable
+  policy (``raise`` / ``drop`` / ``clamp``); quarantine counts are
+  surfaced, not swallowed.
+* **Bounded feedback buffer** — a recency ring plus reservoir-sampled
+  history (:class:`repro.robustness.FeedbackBuffer`), so memory is
+  bounded over month-long runs.
+
 Endpoints (JSON in/out; ranges use the tagged encoding of
 :mod:`repro.data.io`):
 
 * ``POST /estimate``  ``{"query": {...}}`` → ``{"selectivity": 0.42}``
 * ``POST /feedback``  ``{"query": {...}, "selectivity": 0.37}`` →
-  ``{"pending": 12, "drift": false}``
-* ``POST /retrain``   → ``{"trained_on": 200, "model_size": 800}``
-* ``GET  /status``    → model / feedback / drift summary
+  ``{"accepted": true, "pending": 12, "drift": false}``
+* ``POST /retrain``   → ``{"trained_on": 200, "model_size": 800, ...}``
+* ``GET  /status``    → model / generation / breaker / quarantine summary
+
+Errors come back as structured JSON bodies ``{"error": ..., "type": ...}``
+with the status from the :mod:`repro.robustness.errors` taxonomy — never
+a traceback page or a hung connection.
 
 Programmatic use goes through :class:`EstimatorService` directly; the HTTP
 layer (:func:`serve`) is a thin adapter over it.
@@ -23,6 +44,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
@@ -30,6 +52,21 @@ import numpy as np
 from repro.core.estimator import SelectivityEstimator
 from repro.data.io import range_from_dict
 from repro.eval.drift import DriftDetector
+from repro.geometry.ranges import Range
+from repro.robustness import CircuitBreaker, FeedbackBuffer
+from repro.robustness.chaos import active as _active_chaos
+from repro.robustness.errors import (
+    DataValidationError,
+    ModelUnavailableError,
+    ReproError,
+    SolverConvergenceError,
+    TrainingTimeoutError,
+)
+from repro.robustness.sanitize import (
+    SANITIZE_POLICIES,
+    SanitizationReport,
+    sanitize_training_data,
+)
 
 __all__ = ["EstimatorService", "serve"]
 
@@ -44,12 +81,28 @@ class EstimatorService:
         every (re)train so state never leaks between generations.
     retrain_every:
         Automatically retrain after this many new feedbacks (None = only
-        on explicit ``retrain()``).
+        on explicit ``retrain()``).  Auto-retrain failures are absorbed
+        by the circuit breaker; they never propagate to ``feedback()``.
     min_feedback:
         Minimum accumulated feedback before the first training.
     drift_holdout:
         Fraction of feedback (most recent) held out to baseline the drift
         detector after each retrain.
+    sanitize_policy:
+        ``"raise"`` (default, strict — invalid feedback raises
+        :class:`DataValidationError`), ``"drop"`` (quarantine and keep
+        serving) or ``"clamp"`` (repair what is repairable, quarantine
+        the rest).
+    feedback_capacity:
+        Bound on retained feedback pairs (None = unbounded).  See
+        :class:`repro.robustness.FeedbackBuffer`.
+    breaker_threshold / breaker_cooldown:
+        Consecutive retrain failures that open the circuit breaker, and
+        the open-state cooldown in seconds before a half-open probe.
+    retrain_timeout:
+        Wall-clock budget for one retrain in seconds (None = unlimited);
+        exceeding it counts as a retrain failure
+        (:class:`TrainingTimeoutError`).
     """
 
     def __init__(
@@ -58,6 +111,13 @@ class EstimatorService:
         retrain_every: int | None = None,
         min_feedback: int = 20,
         drift_holdout: float = 0.25,
+        sanitize_policy: str = "raise",
+        feedback_capacity: int | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        retrain_timeout: float | None = None,
+        seed: int = 0,
+        _clock=time.monotonic,
     ):
         if retrain_every is not None and retrain_every < 1:
             raise ValueError(f"retrain_every must be >= 1, got {retrain_every}")
@@ -65,93 +125,234 @@ class EstimatorService:
             raise ValueError(f"min_feedback must be >= 2, got {min_feedback}")
         if not 0.0 < drift_holdout < 1.0:
             raise ValueError(f"drift_holdout must be in (0, 1), got {drift_holdout}")
+        if sanitize_policy not in SANITIZE_POLICIES:
+            raise ValueError(
+                f"sanitize_policy must be one of {SANITIZE_POLICIES}, got {sanitize_policy!r}"
+            )
+        if retrain_timeout is not None and retrain_timeout <= 0:
+            raise ValueError(f"retrain_timeout must be positive, got {retrain_timeout}")
         self._factory = estimator_factory
         self.retrain_every = retrain_every
         self.min_feedback = int(min_feedback)
         self.drift_holdout = float(drift_holdout)
+        self.sanitize_policy = sanitize_policy
+        self.retrain_timeout = retrain_timeout
         self._lock = threading.Lock()
+        self._retrain_lock = threading.Lock()
+        self._buffer = FeedbackBuffer(capacity=feedback_capacity, seed=seed)
+        self._breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown,
+            clock=_clock,
+        )
         self._model: SelectivityEstimator | None = None
-        self._queries: list = []
-        self._labels: list[float] = []
+        self._generation = 0
         self._since_train = 0
         self._trained_on = 0
         self._detector: DriftDetector | None = None
         self._drift_flag = False
+        self._quarantine = SanitizationReport(policy=sanitize_policy)
+        self._last_error: str | None = None
+        self._last_retrain_seconds: float | None = None
 
     # -- programmatic API ------------------------------------------------
 
     def estimate(self, query) -> float:
-        """Estimated selectivity; raises RuntimeError before first train."""
+        """Estimated selectivity from the last good model generation.
+
+        Raises :class:`ModelUnavailableError` only before the *first*
+        successful training — once a generation exists, estimates keep
+        flowing regardless of later retrain failures.
+        """
         with self._lock:
             if self._model is None:
-                raise RuntimeError(
+                raise ModelUnavailableError(
                     f"no model yet: need >= {self.min_feedback} feedbacks, "
-                    f"have {len(self._queries)}"
+                    f"have {len(self._buffer)}"
                 )
             return self._model.predict(query)
 
     def feedback(self, query, selectivity: float) -> dict:
-        """Record one observed (query, true selectivity) pair."""
-        if not 0.0 <= selectivity <= 1.0:
-            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        """Record one observed (query, true selectivity) pair.
+
+        Under the ``drop``/``clamp`` policies an invalid pair is
+        quarantined (``accepted: False``) instead of raising.
+        """
+        accepted, query, selectivity = self._screen_pair(query, selectivity)
+        auto = False
         with self._lock:
-            if self._model is not None and self._detector is not None:
-                estimate = self._model.predict(query)
-                if self._detector.update(estimate, selectivity):
-                    self._drift_flag = True
-            self._queries.append(query)
-            self._labels.append(float(selectivity))
-            self._since_train += 1
-            auto = (
-                self.retrain_every is not None
-                and self._since_train >= self.retrain_every
-                and len(self._queries) >= self.min_feedback
-            )
+            if accepted:
+                if self._model is not None and self._detector is not None:
+                    estimate = self._model.predict(query)
+                    if self._detector.update(estimate, selectivity):
+                        self._drift_flag = True
+                self._buffer.append(query, selectivity)
+                self._since_train += 1
+                auto = (
+                    self.retrain_every is not None
+                    and self._since_train >= self.retrain_every
+                    and len(self._buffer) >= self.min_feedback
+                )
         if auto:
-            self.retrain()
+            self._auto_retrain()
         with self._lock:
-            return {"pending": self._since_train, "drift": self._drift_flag}
+            return {
+                "accepted": accepted,
+                "pending": self._since_train,
+                "drift": self._drift_flag,
+                "quarantined_total": self._quarantine.quarantined,
+            }
 
     def retrain(self) -> dict:
-        """Fit a fresh model on all accumulated feedback."""
+        """Fit a fresh model generation on the buffered feedback.
+
+        Atomic with respect to serving: the new model and drift baseline
+        are built completely off to the side and swapped in under the
+        lock only on success.  A failure leaves the previous generation
+        serving, records a breaker failure, and re-raises.
+
+        Raises
+        ------
+        ModelUnavailableError
+            Not enough feedback, or the circuit breaker is open.
+        """
         with self._lock:
-            if len(self._queries) < self.min_feedback:
-                raise RuntimeError(
+            queries, labels = self._buffer.snapshot()
+            if len(queries) < self.min_feedback:
+                raise ModelUnavailableError(
                     f"need >= {self.min_feedback} feedbacks to train, "
-                    f"have {len(self._queries)}"
+                    f"have {len(queries)}"
                 )
-            queries = list(self._queries)
-            labels = np.asarray(self._labels)
-        model = self._factory()
-        holdout = max(2, int(len(queries) * self.drift_holdout))
-        train_q, hold_q = queries[:-holdout] or queries, queries[-holdout:]
-        train_s, hold_s = (
-            labels[:-holdout] if len(queries) > holdout else labels,
-            labels[-holdout:],
-        )
-        model.fit(train_q, train_s)
-        baseline = (model.predict_many(hold_q) - hold_s) ** 2
+            if not self._breaker.allow():
+                raise ModelUnavailableError(
+                    "retraining suspended: circuit breaker open after "
+                    f"{self._breaker.consecutive_failures} consecutive failures "
+                    f"(retry in {self._breaker.cooldown_remaining():.1f}s)"
+                )
+        with self._retrain_lock:
+            try:
+                built = self._train_generation(queries, labels)
+            except Exception as exc:
+                with self._lock:
+                    self._breaker.record_failure()
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                raise
+        model, trained_on, detector, retrain_quarantined, elapsed = built
         with self._lock:
+            self._breaker.record_success()
             self._model = model
-            self._trained_on = len(train_q)
+            self._generation += 1
+            self._trained_on = trained_on
             self._since_train = 0
             self._drift_flag = False
-            self._detector = DriftDetector(baseline) if baseline.size >= 2 else None
-            return {"trained_on": self._trained_on, "model_size": model.model_size}
+            self._detector = detector
+            self._last_error = None
+            self._last_retrain_seconds = elapsed
+            return {
+                "trained_on": self._trained_on,
+                "model_size": model.model_size,
+                "generation": self._generation,
+                "quarantined": retrain_quarantined,
+                "seconds": round(elapsed, 4),
+            }
 
     def status(self) -> dict:
         with self._lock:
             return {
                 "trained": self._model is not None,
                 "model_size": self._model.model_size if self._model else 0,
+                "generation": self._generation,
                 "trained_on": self._trained_on,
-                "feedback_total": len(self._queries),
+                "feedback_total": self._buffer.total_seen,
                 "feedback_pending": self._since_train,
+                "buffer": self._buffer.to_dict(),
+                "breaker": self._breaker.to_dict(),
+                "quarantine": self._quarantine.to_dict(),
+                "sanitize_policy": self.sanitize_policy,
+                "last_error": self._last_error,
+                "last_retrain_seconds": self._last_retrain_seconds,
                 "drift": self._drift_flag,
                 "drift_statistic": (
                     round(self._detector.statistic, 3) if self._detector else None
                 ),
             }
+
+    # -- internals -------------------------------------------------------
+
+    def _screen_pair(self, query, selectivity):
+        """Validate one feedback pair under the service policy.
+
+        Returns ``(accepted, query, selectivity)``; raises under the
+        strict (``raise``) policy.  The strict policy intentionally keeps
+        the historical checks only (label finite and in [0, 1]) so
+        pre-robustness callers see identical behaviour.
+        """
+        if self.sanitize_policy == "raise":
+            if not isinstance(query, Range):
+                raise DataValidationError(
+                    f"query must be a Range, got {type(query).__name__}"
+                )
+            selectivity = float(selectivity)
+            if not 0.0 <= selectivity <= 1.0:
+                raise DataValidationError(
+                    f"selectivity must be in [0, 1], got {selectivity}"
+                )
+            return True, query, selectivity
+        try:
+            cleaned_q, cleaned_s, report = sanitize_training_data(
+                [query], [selectivity], policy=self.sanitize_policy
+            )
+        except DataValidationError as exc:
+            report = getattr(exc, "report", None)
+            with self._lock:
+                if report is not None:
+                    self._quarantine.merge(report)
+                else:
+                    self._quarantine.count("invalid_pair")
+                    self._quarantine.total += 1
+            return False, query, selectivity
+        with self._lock:
+            self._quarantine.merge(report)
+        return True, cleaned_q[0], float(cleaned_s[0])
+
+    def _train_generation(self, queries, labels):
+        """Build a complete (model, detector) pair outside the state lock."""
+        start = time.monotonic()
+        monkey = _active_chaos()
+        if monkey is not None:
+            monkey.delay_fit()
+            if monkey.should_fail_fit():
+                raise SolverConvergenceError("chaos: injected retrain failure")
+        labels = np.asarray(labels, dtype=float)
+        holdout = max(2, int(len(queries) * self.drift_holdout))
+        train_q, hold_q = queries[:-holdout] or queries, queries[-holdout:]
+        train_s = labels[:-holdout] if len(queries) > holdout else labels
+        hold_s = labels[-holdout:]
+        model = self._factory()
+        policy = None if self.sanitize_policy == "raise" else self.sanitize_policy
+        model.fit(train_q, train_s, policy=policy)
+        retrain_quarantined = (
+            model.sanitization_.quarantined if model.sanitization_ is not None else 0
+        )
+        elapsed = time.monotonic() - start
+        if self.retrain_timeout is not None and elapsed > self.retrain_timeout:
+            raise TrainingTimeoutError(
+                f"retrain took {elapsed:.2f}s, budget {self.retrain_timeout:.2f}s"
+            )
+        baseline = (model.predict_many(hold_q) - hold_s) ** 2
+        detector = DriftDetector(baseline) if baseline.size >= 2 else None
+        return model, len(train_q), detector, retrain_quarantined, elapsed
+
+    def _auto_retrain(self) -> None:
+        """Opportunistic retrain from the feedback path: never raises.
+
+        Failures are recorded in the breaker / ``last_error`` and the
+        previous generation keeps serving.
+        """
+        try:
+            self.retrain()
+        except Exception:
+            pass  # recorded by retrain(); feedback ingestion must not fail
 
 
 # ---------------------------------------------------------------------------
@@ -173,17 +374,50 @@ def _make_handler(service: EstimatorService):
             self.wfile.write(body)
 
         def _read_json(self) -> dict:
-            length = int(self.headers.get("Content-Length", 0))
-            return json.loads(self.rfile.read(length) or b"{}")
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except (TypeError, ValueError) as exc:
+                raise DataValidationError(f"bad Content-Length header: {exc}") from exc
+            raw = self.rfile.read(length) or b"{}"
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise DataValidationError(f"malformed JSON body: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise DataValidationError(
+                    f"request body must be a JSON object, got {type(payload).__name__}"
+                )
+            return payload
+
+        def _guarded(self, handler) -> None:
+            """Run ``handler``; render any failure as structured JSON."""
+            try:
+                handler()
+            except ReproError as exc:
+                self._reply(exc.http_status, exc.to_dict())
+            except (KeyError, TypeError, ValueError) as exc:
+                self._reply(400, {"error": str(exc), "type": type(exc).__name__})
+            except RuntimeError as exc:
+                self._reply(409, {"error": str(exc), "type": type(exc).__name__})
+            except Exception as exc:  # never a traceback page / hung socket
+                self._reply(
+                    500, {"error": "internal server error", "type": type(exc).__name__}
+                )
 
         def do_GET(self):
-            if self.path == "/status":
-                self._reply(200, service.status())
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+            def handle():
+                if self.path == "/status":
+                    self._reply(200, service.status())
+                else:
+                    self._reply(
+                        404,
+                        {"error": f"unknown path {self.path}", "type": "NotFound"},
+                    )
+
+            self._guarded(handle)
 
         def do_POST(self):
-            try:
+            def handle():
                 if self.path == "/estimate":
                     data = self._read_json()
                     query = range_from_dict(data["query"])
@@ -196,11 +430,12 @@ def _make_handler(service: EstimatorService):
                 elif self.path == "/retrain":
                     self._reply(200, service.retrain())
                 else:
-                    self._reply(404, {"error": f"unknown path {self.path}"})
-            except (KeyError, ValueError, TypeError) as exc:
-                self._reply(400, {"error": str(exc)})
-            except RuntimeError as exc:
-                self._reply(409, {"error": str(exc)})
+                    self._reply(
+                        404,
+                        {"error": f"unknown path {self.path}", "type": "NotFound"},
+                    )
+
+            self._guarded(handle)
 
     return Handler
 

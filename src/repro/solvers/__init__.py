@@ -17,13 +17,22 @@ ISOMER baseline.
 """
 
 from repro.solvers.nnls import nnls
-from repro.solvers.simplex_ls import fit_simplex_weights, project_to_simplex
+from repro.solvers.simplex_ls import (
+    SolveAttempt,
+    SolveReport,
+    fit_simplex_weights,
+    fit_simplex_weights_robust,
+    project_to_simplex,
+)
 from repro.solvers.linf import fit_simplex_weights_linf
 from repro.solvers.maxent import fit_maxent_weights
 
 __all__ = [
     "nnls",
     "fit_simplex_weights",
+    "fit_simplex_weights_robust",
+    "SolveAttempt",
+    "SolveReport",
     "project_to_simplex",
     "fit_simplex_weights_linf",
     "fit_maxent_weights",

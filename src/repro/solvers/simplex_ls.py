@@ -24,15 +24,38 @@ Three interchangeable methods solve
 
 All methods return a valid probability vector; ``w <= 1`` is implied by
 ``w >= 0`` and the sum constraint.
+
+For serving paths that must never fail, :func:`fit_simplex_weights_robust`
+wraps the single-method solvers in a **fallback ladder**
+
+.. code-block:: text
+
+    requested method  →  pgd  →  lstsq-project  →  uniform
+
+with per-attempt deadlines, retry-with-backoff for transient numerical
+failures, and a :class:`SolveReport` recording which rung produced the
+answer.  The final rung (the uniform distribution) cannot fail, so the
+robust entry point always returns a valid simplex vector.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from repro.robustness.chaos import active as _active_chaos
+from repro.robustness.errors import DataValidationError, SolverConvergenceError
 from repro.solvers.nnls import nnls as _own_nnls
 
-__all__ = ["project_to_simplex", "fit_simplex_weights"]
+__all__ = [
+    "project_to_simplex",
+    "fit_simplex_weights",
+    "fit_simplex_weights_robust",
+    "SolveAttempt",
+    "SolveReport",
+]
 
 _METHODS = ("penalty", "penalty-own", "pgd", "active-set", "scipy-nnls")
 
@@ -133,14 +156,14 @@ def fit_simplex_weights(
     a = np.asarray(a, dtype=float)
     s = np.asarray(s, dtype=float)
     if a.ndim != 2:
-        raise ValueError(f"a must be 2-D, got shape {a.shape}")
+        raise DataValidationError(f"a must be 2-D, got shape {a.shape}")
     if s.shape != (a.shape[0],):
-        raise ValueError(f"s must have shape ({a.shape[0]},), got {s.shape}")
+        raise DataValidationError(f"s must have shape ({a.shape[0]},), got {s.shape}")
     if method not in _METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {_METHODS}")
     n = a.shape[1]
     if n == 0:
-        raise ValueError("at least one bucket is required")
+        raise DataValidationError("at least one bucket is required")
     if n == 1:
         return np.ones(1)
 
@@ -154,3 +177,189 @@ def fit_simplex_weights(
     # "active-set": penalty warm start polished by the exact method.
     start = _penalty_solution(a, s, penalty, use_scipy=True)
     return _fista(a, s, start, max_iter // 2, tol)
+
+
+# ---------------------------------------------------------------------------
+# Fallback ladder (robust entry point)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SolveAttempt:
+    """One rung attempt inside the fallback ladder."""
+
+    rung: str
+    ok: bool
+    seconds: float
+    error: str | None = None
+
+
+@dataclass
+class SolveReport:
+    """How a robust solve was actually produced."""
+
+    requested: str
+    rung: str = ""
+    fallback: bool = False
+    deadline_exceeded: bool = False
+    inputs_cleaned: bool = False
+    residual: float = float("nan")
+    seconds: float = 0.0
+    attempts: list[SolveAttempt] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "rung": self.rung,
+            "fallback": self.fallback,
+            "deadline_exceeded": self.deadline_exceeded,
+            "inputs_cleaned": self.inputs_cleaned,
+            "residual": None if np.isnan(self.residual) else round(self.residual, 6),
+            "seconds": round(self.seconds, 4),
+            "attempts": [
+                {"rung": a.rung, "ok": a.ok, "seconds": round(a.seconds, 4), "error": a.error}
+                for a in self.attempts
+            ],
+        }
+
+
+def _validate_simplex(w: np.ndarray, n: int, tol: float = 1e-6) -> np.ndarray:
+    """Check ``w`` is a usable probability vector; normalise float noise."""
+    w = np.asarray(w, dtype=float)
+    if w.shape != (n,):
+        raise SolverConvergenceError(f"solver returned shape {w.shape}, expected ({n},)")
+    if not np.all(np.isfinite(w)):
+        raise SolverConvergenceError("solver returned non-finite weights")
+    if np.any(w < -tol):
+        raise SolverConvergenceError(f"solver returned negative weights (min {w.min():.3g})")
+    total = float(w.sum())
+    if not (1.0 - 1e-3) <= total <= (1.0 + 1e-3):
+        raise SolverConvergenceError(f"solver weights sum to {total:.6g}, expected 1")
+    w = np.maximum(w, 0.0)
+    return w / w.sum()
+
+
+#: Exception types treated as *transient* (retried with backoff) rather
+#: than structural.  Anything else aborts the rung immediately.
+_TRANSIENT = (SolverConvergenceError, np.linalg.LinAlgError, FloatingPointError, RuntimeError)
+
+
+def _run_rung(rung: str, a: np.ndarray, s: np.ndarray, penalty: float,
+              max_iter: int, tol: float) -> np.ndarray:
+    n = a.shape[1]
+    monkey = _active_chaos()
+    if rung != "uniform" and monkey is not None and monkey.should_fail_solver(rung):
+        raise SolverConvergenceError(f"chaos: injected failure in rung {rung!r}")
+    if rung == "lstsq-project":
+        solution, *_ = np.linalg.lstsq(a, s, rcond=None)
+        return project_to_simplex(solution)
+    if rung == "uniform":
+        return np.full(n, 1.0 / n)
+    return fit_simplex_weights(a, s, method=rung, penalty=penalty,
+                               max_iter=max_iter, tol=tol)
+
+
+def fit_simplex_weights_robust(
+    a: np.ndarray,
+    s: np.ndarray,
+    method: str = "penalty",
+    penalty: float = 1e4,
+    max_iter: int = 2000,
+    tol: float = 1e-10,
+    deadline_seconds: float | None = None,
+    retries: int = 1,
+    backoff_seconds: float = 0.02,
+) -> tuple[np.ndarray, SolveReport]:
+    """Solve Eq. (8) with the fallback ladder; never raises on solver
+    failure.
+
+    The ladder is ``method → pgd → lstsq-project → uniform`` (duplicates
+    removed, order kept).  Each rung is validated with
+    :func:`_validate_simplex`; a failing rung is retried ``retries``
+    times with exponential backoff (transient numerical failures only)
+    before the ladder descends.  ``deadline_seconds`` bounds the *total*
+    solve: once spent, remaining non-trivial rungs are skipped and the
+    uniform rung answers.
+
+    Returns
+    -------
+    ``(weights, report)`` — a valid probability vector plus the
+    :class:`SolveReport` describing how it was obtained.
+
+    Raises
+    ------
+    DataValidationError
+        Only for structurally unusable inputs (wrong shapes / no
+        buckets) — never for numerical failure.
+    """
+    a = np.asarray(a, dtype=float)
+    s = np.asarray(s, dtype=float)
+    if a.ndim != 2:
+        raise DataValidationError(f"a must be 2-D, got shape {a.shape}")
+    if s.shape != (a.shape[0],):
+        raise DataValidationError(f"s must have shape ({a.shape[0]},), got {s.shape}")
+    n = a.shape[1]
+    if n == 0:
+        raise DataValidationError("at least one bucket is required")
+
+    report = SolveReport(requested=method)
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(s))):
+        # Non-finite inputs would poison every least-squares rung; clean
+        # them rather than fail (sanitization upstream should normally
+        # prevent this — the report records that it did not).
+        a = np.nan_to_num(a, nan=0.0, posinf=1.0, neginf=0.0)
+        s = np.clip(np.nan_to_num(s, nan=0.0, posinf=1.0, neginf=0.0), 0.0, 1.0)
+        report.inputs_cleaned = True
+
+    ladder = []
+    for rung in (method, "pgd", "lstsq-project", "uniform"):
+        if rung not in ladder:
+            ladder.append(rung)
+
+    start = time.monotonic()
+    weights: np.ndarray | None = None
+    for rung in ladder:
+        elapsed = time.monotonic() - start
+        if (
+            deadline_seconds is not None
+            and elapsed >= deadline_seconds
+            and rung != "uniform"
+        ):
+            report.deadline_exceeded = True
+            report.attempts.append(
+                SolveAttempt(rung=rung, ok=False, seconds=0.0, error="deadline exceeded")
+            )
+            continue
+        max_tries = 1 + max(0, retries) if rung not in ("uniform", "lstsq-project") else 1
+        for attempt_index in range(max_tries):
+            t0 = time.monotonic()
+            try:
+                candidate = _run_rung(rung, a, s, penalty, max_iter, tol)
+                weights = _validate_simplex(candidate, n)
+                report.attempts.append(
+                    SolveAttempt(rung=rung, ok=True, seconds=time.monotonic() - t0)
+                )
+                break
+            except _TRANSIENT as exc:
+                report.attempts.append(
+                    SolveAttempt(
+                        rung=rung, ok=False, seconds=time.monotonic() - t0, error=str(exc)
+                    )
+                )
+                out_of_time = (
+                    deadline_seconds is not None
+                    and time.monotonic() - start >= deadline_seconds
+                )
+                if attempt_index + 1 < max_tries and not out_of_time:
+                    time.sleep(backoff_seconds * (2.0**attempt_index))
+        if weights is not None:
+            report.rung = rung
+            break
+
+    if weights is None:  # unreachable: the uniform rung cannot fail
+        weights = np.full(n, 1.0 / n)
+        report.rung = "uniform"
+    report.fallback = report.rung != method
+    report.seconds = time.monotonic() - start
+    report.residual = float(np.sqrt(np.mean((a @ weights - s) ** 2))) if a.size else 0.0
+    return weights, report

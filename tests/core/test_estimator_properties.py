@@ -12,6 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import PtsHist, QuadHist
+from repro.core.registry import estimator_factories
 from repro.geometry import Box, unit_box
 
 
@@ -91,3 +92,28 @@ class TestPtsHistProperties:
         inner = Box([0.25, 0.25], [0.55, 0.55])
         outer = Box([0.1, 0.1], [0.9, 0.9])
         assert est.predict(inner) <= est.predict(outer) + 1e-9
+
+
+class TestRegistryWidePredictionBounds:
+    """Every registered estimator returns a selectivity in [0, 1] for any
+    workload — the base-class clamp makes this an unconditional invariant,
+    and registration alone is enough to be covered here."""
+
+    @pytest.mark.parametrize("name", sorted(estimator_factories()))
+    @settings(max_examples=5, deadline=None)
+    @given(box_workloads())
+    def test_predictions_always_in_unit_interval(self, name, workload):
+        queries, labels = workload
+        est = estimator_factories()[name](len(queries))
+        est.fit(queries, labels)
+        probes = [
+            Box([0.3, 0.3], [0.6, 0.6]),
+            Box([0.01, 0.01], [0.99, 0.99]),
+            Box([0.5, 0.5], [0.500001, 0.500001]),
+            unit_box(2),
+            *queries[:3],
+        ]
+        for probe in probes:
+            prediction = est.predict(probe)
+            assert np.isfinite(prediction)
+            assert 0.0 <= prediction <= 1.0

@@ -1,6 +1,5 @@
 """Selectivity-stratified error analysis."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import MeanEstimator

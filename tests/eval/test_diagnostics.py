@@ -11,7 +11,6 @@ from repro.eval import (
     monotonicity_violations,
     nested_box_chain,
 )
-from repro.geometry import unit_box
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,6 @@
 """Experiment harness."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import MeanEstimator
 from repro.core import QuadHist

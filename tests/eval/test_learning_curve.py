@@ -1,6 +1,5 @@
 """Learning curves and empirical sample complexity."""
 
-import numpy as np
 import pytest
 
 from repro.core import QuadHist

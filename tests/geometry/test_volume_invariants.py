@@ -1,6 +1,5 @@
 """Cross-cutting volume invariants (complement, additivity, containment)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Loss functions and empirical risk (Section 2.1)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """γ-fat-shattering of selectivity classes (Lemmas 2.6 / 2.7)."""
 
-import numpy as np
 import pytest
 
 from repro.geometry import Ball, Box

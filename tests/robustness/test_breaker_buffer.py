@@ -1,0 +1,171 @@
+"""Unit tests for the circuit breaker and the bounded feedback buffer."""
+
+import numpy as np
+import pytest
+
+from repro.robustness import CircuitBreaker, FeedbackBuffer
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+        assert breaker.consecutive_failures == 2
+
+    def test_success_resets_failure_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_opens_at_threshold_and_refuses(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=30.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.allow() is False
+        assert breaker.cooldown_remaining() == pytest.approx(30.0)
+        clock.advance(12.0)
+        assert breaker.cooldown_remaining() == pytest.approx(18.0)
+
+    def test_half_open_allows_exactly_one_probe(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.allow() is False
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow() is True  # the probe slot
+        assert breaker.allow() is False  # claimed: no second concurrent probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow() is True
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.cooldown_remaining() == pytest.approx(10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1.0)
+
+    def test_to_dict(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        d = breaker.to_dict()
+        assert d == {
+            "state": "closed",
+            "consecutive_failures": 1,
+            "failure_threshold": 2,
+            "cooldown_remaining": 0.0,
+        }
+
+
+class TestFeedbackBuffer:
+    def test_unbounded_by_default(self):
+        buffer = FeedbackBuffer()
+        for i in range(500):
+            buffer.append(f"q{i}", 0.5)
+        assert len(buffer) == 500
+        assert buffer.dropped == 0
+        assert buffer.downsampled is False
+
+    def test_capacity_is_a_hard_bound(self):
+        buffer = FeedbackBuffer(capacity=20)
+        for i in range(200):
+            buffer.append(f"q{i}", i / 200)
+        assert len(buffer) <= 20
+        assert buffer.total_seen == 200
+        assert buffer.dropped == 200 - len(buffer)
+        assert buffer.downsampled is True
+
+    def test_recency_ring_keeps_newest_exactly(self):
+        buffer = FeedbackBuffer(capacity=10, recent_fraction=0.5)
+        for i in range(50):
+            buffer.append(f"q{i}", 0.1)
+        queries, _ = buffer.snapshot()
+        # The last ring_cap=5 arrivals are present verbatim, in order.
+        assert queries[-5:] == ["q45", "q46", "q47", "q48", "q49"]
+
+    def test_reservoir_samples_evicted_history(self):
+        buffer = FeedbackBuffer(capacity=10, recent_fraction=0.5, seed=0)
+        for i in range(100):
+            buffer.append(i, 0.1)
+        queries, _ = buffer.snapshot()
+        history = queries[:-5]
+        assert len(history) == 5  # reservoir portion is full
+        assert all(q < 95 for q in history)  # drawn from evictions only
+
+    def test_snapshot_is_deterministic_for_a_seed(self):
+        def run(seed):
+            buffer = FeedbackBuffer(capacity=16, seed=seed)
+            for i in range(300):
+                buffer.append(i, i / 300)
+            return buffer.snapshot()
+
+        q1, s1 = run(7)
+        q2, s2 = run(7)
+        q3, _ = run(8)
+        assert q1 == q2
+        np.testing.assert_array_equal(s1, s2)
+        assert q1 != q3  # different seed, different reservoir
+
+    def test_pure_ring_when_recent_fraction_one(self):
+        buffer = FeedbackBuffer(capacity=8, recent_fraction=1.0)
+        for i in range(30):
+            buffer.append(i, 0.2)
+        queries, _ = buffer.snapshot()
+        assert queries == list(range(22, 30))
+        assert buffer.dropped == 22
+
+    def test_extend_and_labels_dtype(self):
+        buffer = FeedbackBuffer()
+        buffer.extend([("a", 0.1), ("b", 0.9)])
+        queries, labels = buffer.snapshot()
+        assert queries == ["a", "b"]
+        assert labels.dtype == float
+        np.testing.assert_allclose(labels, [0.1, 0.9])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackBuffer(capacity=1)
+        with pytest.raises(ValueError):
+            FeedbackBuffer(recent_fraction=0.0)
+        with pytest.raises(ValueError):
+            FeedbackBuffer(recent_fraction=1.5)
+
+    def test_to_dict(self):
+        buffer = FeedbackBuffer(capacity=4)
+        for i in range(10):
+            buffer.append(i, 0.3)
+        d = buffer.to_dict()
+        assert d["capacity"] == 4
+        assert d["total_seen"] == 10
+        assert d["size"] == len(buffer)
+        assert d["downsampled"] is True

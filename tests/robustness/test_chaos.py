@@ -1,0 +1,135 @@
+"""The fault-injection harness itself: config validation, determinism,
+and the install/uninstall hook registry."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.robustness import ChaosConfig, ChaosMonkey, chaos
+from repro.robustness.chaos import active, install, uninstall
+
+
+def _workload(rng, n=40):
+    queries, labels = [], []
+    for _ in range(n):
+        center = rng.random(2) * 0.6 + 0.2
+        q = Box(center - 0.1, center + 0.1)
+        queries.append(q)
+        labels.append(float(np.clip(q.volume() * 4, 0, 1)))
+    return queries, labels
+
+
+class TestConfigValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(solver_failure_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(fit_failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosConfig(feedback_corruption_rate=2.0)
+
+    def test_unknown_corruption_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(corruption_kinds=("nan", "gremlins"))
+
+
+class TestMonkeyHooks:
+    def test_fit_fail_next_counts_down(self):
+        monkey = ChaosMonkey(ChaosConfig(fit_fail_next=2))
+        assert monkey.should_fail_fit() is True
+        assert monkey.should_fail_fit() is True
+        assert monkey.should_fail_fit() is False
+        assert monkey.injected["fit"] == 2
+
+    def test_solver_rung_targeting(self):
+        monkey = ChaosMonkey(ChaosConfig(solver_fail_rungs=("penalty", "pgd")))
+        assert monkey.should_fail_solver("penalty") is True
+        assert monkey.should_fail_solver("pgd") is True
+        assert monkey.should_fail_solver("lstsq-project") is False
+        assert monkey.injected["solver"] == 2
+
+    def test_healthy_monkey_is_a_noop(self):
+        monkey = ChaosMonkey(ChaosConfig())
+        assert monkey.should_fail_solver("penalty") is False
+        assert monkey.should_fail_fit() is False
+        monkey.delay_fit()  # no configured delay: returns immediately
+        assert monkey.injected == {"solver": 0, "fit": 0, "delay": 0, "corrupt": 0}
+
+
+class TestCorruptWorkload:
+    def test_corruption_count_matches_rate(self, rng):
+        queries, labels = _workload(rng, n=40)
+        monkey = ChaosMonkey(ChaosConfig(feedback_corruption_rate=0.25, seed=1))
+        dirty_q, dirty_s, corrupted = monkey.corrupt_workload(queries, labels)
+        assert len(corrupted) == 10  # 25% of 40
+        assert len(dirty_q) == 40 and len(dirty_s) == 40
+        assert monkey.injected["corrupt"] == 10
+
+    def test_same_seed_replays_identically(self, rng):
+        queries, labels = _workload(rng, n=30)
+        run1 = ChaosMonkey(
+            ChaosConfig(feedback_corruption_rate=0.2, seed=5)
+        ).corrupt_workload(queries, labels)
+        run2 = ChaosMonkey(
+            ChaosConfig(feedback_corruption_rate=0.2, seed=5)
+        ).corrupt_workload(queries, labels)
+        assert run1[2] == run2[2]
+        np.testing.assert_array_equal(
+            np.asarray(run1[1]), np.asarray(run2[1])
+        )
+
+    def test_corruptions_are_actually_dirty(self, rng):
+        queries, labels = _workload(rng, n=30)
+        monkey = ChaosMonkey(
+            ChaosConfig(feedback_corruption_rate=0.3, seed=2)
+        )
+        dirty_q, dirty_s, corrupted = monkey.corrupt_workload(queries, labels)
+        for i in corrupted:
+            nan = not np.isfinite(dirty_s[i])
+            out_of_range = np.isfinite(dirty_s[i]) and dirty_s[i] > 1.0
+            degenerate = (
+                isinstance(dirty_q[i], Box)
+                and np.any(dirty_q[i].highs - dirty_q[i].lows <= 0)
+            )
+            assert nan or out_of_range or degenerate
+        # Untouched pairs stay clean.
+        untouched = set(range(30)) - set(corrupted)
+        for i in untouched:
+            assert 0.0 <= dirty_s[i] <= 1.0
+
+    def test_zero_rate_leaves_workload_alone(self, rng):
+        queries, labels = _workload(rng, n=10)
+        monkey = ChaosMonkey(ChaosConfig())
+        dirty_q, dirty_s, corrupted = monkey.corrupt_workload(queries, labels)
+        assert corrupted == []
+        assert dirty_q == queries
+        np.testing.assert_array_equal(dirty_s, labels)
+
+
+class TestHookRegistry:
+    def test_no_monkey_by_default(self):
+        assert active() is None
+
+    def test_install_uninstall(self):
+        monkey = ChaosMonkey(ChaosConfig())
+        install(monkey)
+        try:
+            assert active() is monkey
+        finally:
+            uninstall()
+        assert active() is None
+
+    def test_context_manager_restores_previous(self):
+        outer = ChaosMonkey(ChaosConfig(seed=1))
+        with chaos(outer):
+            assert active() is outer
+            with chaos(ChaosConfig(seed=2)) as inner:
+                assert active() is inner
+            assert active() is outer  # nesting restores, not clears
+        assert active() is None
+
+    def test_context_manager_uninstalls_on_error(self):
+        with pytest.raises(RuntimeError):
+            with chaos(ChaosConfig()):
+                raise RuntimeError("boom")
+        assert active() is None

@@ -1,0 +1,128 @@
+"""Solver fallback ladder: every rung is exercised and always yields a
+valid simplex vector (acceptance criterion a)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PtsHist, QuadHist
+from repro.geometry import Box
+from repro.robustness import ChaosConfig, chaos
+from repro.robustness.errors import DataValidationError
+from repro.solvers import fit_simplex_weights_robust
+
+
+@pytest.fixture
+def system(rng):
+    a = rng.random((30, 12))
+    s = np.clip(rng.random(30) * 0.6, 0.0, 1.0)
+    return a, s
+
+
+def _assert_valid_simplex(w, n):
+    assert w.shape == (n,)
+    assert np.all(np.isfinite(w))
+    assert np.all(w >= 0.0)
+    assert np.sum(w) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestLadderRungs:
+    def test_primary_rung_wins_when_healthy(self, system):
+        a, s = system
+        w, report = fit_simplex_weights_robust(a, s)
+        _assert_valid_simplex(w, a.shape[1])
+        assert report.rung == "penalty"
+        assert report.fallback is False
+
+    def test_pgd_rung(self, system):
+        a, s = system
+        with chaos(ChaosConfig(solver_fail_rungs=("penalty",))):
+            w, report = fit_simplex_weights_robust(a, s)
+        _assert_valid_simplex(w, a.shape[1])
+        assert report.rung == "pgd"
+        assert report.fallback is True
+
+    def test_lstsq_project_rung(self, system):
+        a, s = system
+        with chaos(ChaosConfig(solver_fail_rungs=("penalty", "pgd"))):
+            w, report = fit_simplex_weights_robust(a, s)
+        _assert_valid_simplex(w, a.shape[1])
+        assert report.rung == "lstsq-project"
+
+    def test_uniform_rung_is_unconditional(self, system):
+        a, s = system
+        with chaos(ChaosConfig(solver_fail_rungs=("penalty", "pgd", "lstsq-project"))):
+            w, report = fit_simplex_weights_robust(a, s)
+        _assert_valid_simplex(w, a.shape[1])
+        assert report.rung == "uniform"
+        np.testing.assert_allclose(w, np.full(a.shape[1], 1.0 / a.shape[1]))
+
+    def test_report_records_failed_attempts(self, system):
+        a, s = system
+        with chaos(ChaosConfig(solver_fail_rungs=("penalty",))):
+            _, report = fit_simplex_weights_robust(a, s, retries=1)
+        failed = [x for x in report.attempts if not x.ok]
+        assert len(failed) == 2  # primary attempt + one retry
+        assert all(x.rung == "penalty" for x in failed)
+        assert "chaos" in failed[0].error
+
+    def test_deadline_skips_to_uniform(self, system):
+        a, s = system
+        w, report = fit_simplex_weights_robust(a, s, deadline_seconds=0.0)
+        _assert_valid_simplex(w, a.shape[1])
+        assert report.rung == "uniform"
+        assert report.deadline_exceeded is True
+
+    def test_nonfinite_inputs_are_cleaned_not_fatal(self, system):
+        a, s = system
+        a = a.copy()
+        a[0, 0] = np.nan
+        a[1, 1] = np.inf
+        w, report = fit_simplex_weights_robust(a, s)
+        _assert_valid_simplex(w, a.shape[1])
+        assert report.inputs_cleaned is True
+
+    def test_structural_errors_still_raise(self):
+        with pytest.raises(DataValidationError):
+            fit_simplex_weights_robust(np.zeros((3, 0)), np.zeros(3))
+        with pytest.raises(DataValidationError):
+            fit_simplex_weights_robust(np.zeros((3, 2)), np.zeros(5))
+
+    def test_report_serialises(self, system):
+        a, s = system
+        _, report = fit_simplex_weights_robust(a, s)
+        d = report.to_dict()
+        assert d["rung"] == "penalty"
+        assert isinstance(d["attempts"], list)
+
+
+class TestLearnersSurviveSolverFailure:
+    """Fitting still returns a valid model when the primary solver fails."""
+
+    @pytest.fixture
+    def workload(self, rng):
+        queries = []
+        for _ in range(20):
+            center = rng.random(2) * 0.6 + 0.2
+            queries.append(Box(center - 0.1, center + 0.1))
+        labels = np.clip([q.volume() * 3 for q in queries], 0, 1)
+        return queries, labels
+
+    @pytest.mark.parametrize("fail", [("penalty",), ("penalty", "pgd", "lstsq-project")])
+    def test_quadhist(self, workload, fail):
+        queries, labels = workload
+        with chaos(ChaosConfig(solver_fail_rungs=fail)):
+            model = QuadHist(tau=0.05).fit(queries, labels)
+        weights = model.distribution.weights
+        assert np.all(weights >= -1e-12)
+        assert np.sum(weights) == pytest.approx(1.0, abs=1e-8)
+        assert model.solve_report_.fallback is True
+        assert 0.0 <= model.predict(Box([0.2, 0.2], [0.7, 0.7])) <= 1.0
+
+    def test_ptshist(self, workload):
+        queries, labels = workload
+        with chaos(ChaosConfig(solver_fail_rungs=("penalty", "pgd"))):
+            model = PtsHist(size=40, seed=0).fit(queries, labels)
+        assert model.solve_report_.rung == "lstsq-project"
+        weights = model.distribution.weights
+        assert np.all(weights >= -1e-12)
+        assert np.sum(weights) == pytest.approx(1.0, abs=1e-8)

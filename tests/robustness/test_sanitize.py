@@ -1,0 +1,137 @@
+"""Training-set sanitization policies and quarantine accounting
+(acceptance criterion c: ≥10% corrupted pairs fit under ``drop`` with the
+exact quarantine count reported)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadHist, TrainingSet
+from repro.geometry import Ball, Box
+from repro.robustness import ChaosConfig, ChaosMonkey, sanitize_training_data
+from repro.robustness.errors import DataValidationError
+
+
+def _clean_workload(rng, n=50):
+    queries, labels = [], []
+    for _ in range(n):
+        center = rng.random(2) * 0.6 + 0.2
+        q = Box(center - 0.1, center + 0.1)
+        queries.append(q)
+        labels.append(float(np.clip(q.volume() * 4, 0, 1)))
+    return queries, labels
+
+
+class TestPolicies:
+    def test_raise_policy_rejects_first_anomaly(self, rng):
+        queries, labels = _clean_workload(rng)
+        labels[3] = float("nan")
+        with pytest.raises(DataValidationError):
+            sanitize_training_data(queries, labels, policy="raise")
+
+    def test_drop_policy_quarantines_each_kind(self, rng):
+        queries, labels = _clean_workload(rng, n=40)
+        labels[0] = float("nan")
+        labels[1] = float("inf")
+        labels[2] = 1.7
+        labels[3] = -0.4
+        queries[4] = Box([0.5, 0.5], [0.5, 0.9])  # zero-volume side
+        queries[5] = Ball([0.5, 0.5], 0.0)  # degenerate ball
+        q2, l2, report = sanitize_training_data(queries, labels, policy="drop")
+        assert len(q2) == 34
+        assert report.quarantined == 6
+        assert report.reasons == {
+            "nan_label": 2,
+            "out_of_range_label": 2,
+            "degenerate_range": 2,
+        }
+        assert np.all((l2 >= 0) & (l2 <= 1))
+
+    def test_clamp_policy_repairs_out_of_range(self, rng):
+        queries, labels = _clean_workload(rng, n=10)
+        labels[0] = 1.8
+        labels[1] = -0.3
+        labels[2] = float("nan")  # unrepairable even under clamp
+        q2, l2, report = sanitize_training_data(queries, labels, policy="clamp")
+        assert len(q2) == 9
+        assert report.clamped == 2
+        assert report.quarantined == 1
+        assert l2[0] == 1.0 and l2[1] == 0.0
+
+    def test_conflicting_duplicates_drop(self, rng):
+        queries, labels = _clean_workload(rng, n=5)
+        queries.append(queries[0])
+        labels.append(min(1.0, labels[0] + 0.5))  # contradicts pair 0
+        q2, _, report = sanitize_training_data(queries, labels, policy="drop")
+        assert report.reasons.get("conflicting_duplicate") == 2
+        assert len(q2) == 4
+
+    def test_conflicting_duplicates_clamp_keeps_median(self, rng):
+        queries, _ = _clean_workload(rng, n=3)
+        qs = [queries[0]] * 3 + queries[1:]
+        labels = [0.1, 0.5, 0.9, 0.2, 0.2]
+        q2, l2, report = sanitize_training_data(qs, labels, policy="clamp")
+        assert len(q2) == 3
+        assert 0.5 in l2  # median survives
+        assert report.reasons.get("conflicting_duplicate") == 2
+
+    def test_agreeing_duplicates_kept(self, rng):
+        queries, labels = _clean_workload(rng, n=5)
+        queries.append(queries[0])
+        labels.append(labels[0] + 0.01)
+        q2, _, report = sanitize_training_data(queries, labels, policy="drop")
+        assert len(q2) == 6
+        assert report.quarantined == 0
+
+    def test_non_range_objects_quarantined(self, rng):
+        queries, labels = _clean_workload(rng, n=3)
+        queries.append("not a range")
+        labels.append(0.5)
+        q2, _, report = sanitize_training_data(queries, labels, policy="drop")
+        assert report.reasons == {"not_a_range": 1}
+        assert len(q2) == 3
+
+    def test_all_quarantined_raises_with_report(self):
+        with pytest.raises(DataValidationError) as excinfo:
+            sanitize_training_data([Box([0.1], [0.1])], [0.5], policy="drop")
+        assert excinfo.value.report.quarantined == 1
+
+    def test_unknown_policy_rejected(self, rng):
+        queries, labels = _clean_workload(rng, n=3)
+        with pytest.raises(ValueError):
+            sanitize_training_data(queries, labels, policy="ignore")
+
+
+class TestAcceptanceTenPercentCorruption:
+    """A ≥10% corrupted training set fits under ``drop`` and reports the
+    exact quarantine count."""
+
+    def test_fit_with_drop_policy(self, rng):
+        queries, labels = _clean_workload(rng, n=60)
+        monkey = ChaosMonkey(
+            ChaosConfig(feedback_corruption_rate=0.15, seed=7)
+        )
+        dirty_q, dirty_s, corrupted = monkey.corrupt_workload(queries, labels)
+        assert len(corrupted) == 9  # 15% of 60
+
+        model = QuadHist(tau=0.05).fit(dirty_q, dirty_s, policy="drop")
+        report = model.sanitization_
+        assert report.quarantined == len(corrupted)
+        assert report.kept == 60 - len(corrupted)
+        # The model is still a valid distribution and predicts sanely.
+        weights = model.distribution.weights
+        assert np.sum(weights) == pytest.approx(1.0, abs=1e-8)
+        assert 0.0 <= model.predict(Box([0.2, 0.2], [0.8, 0.8])) <= 1.0
+
+    def test_training_set_surfaces_quarantine(self, rng):
+        queries, labels = _clean_workload(rng, n=30)
+        monkey = ChaosMonkey(ChaosConfig(feedback_corruption_rate=0.2, seed=3))
+        dirty_q, dirty_s, corrupted = monkey.corrupt_workload(queries, labels)
+        ts = TrainingSet(dirty_q, dirty_s, policy="drop")
+        assert ts.quarantined == len(corrupted)
+        assert len(ts) == 30 - len(corrupted)
+
+    def test_strict_fit_still_raises_on_dirty_data(self, rng):
+        queries, labels = _clean_workload(rng, n=30)
+        labels[0] = float("nan")
+        with pytest.raises(DataValidationError):
+            QuadHist(tau=0.05).fit(queries, labels)  # legacy strict default

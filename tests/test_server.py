@@ -119,6 +119,9 @@ class TestHTTP:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._post(server, "/estimate", {"query": range_to_dict(query)})
         assert excinfo.value.code == 409
+        body = json.loads(excinfo.value.read())
+        assert body["type"] == "ModelUnavailableError"
+        assert "error" in body
 
     def test_malformed_request_is_400(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -129,3 +132,96 @@ class TestHTTP:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._get(server, "/nope")
         assert excinfo.value.code == 404
+
+
+class TestHTTPErrorPaths:
+    """Every failure is a structured JSON body with the right status —
+    never a hung connection or an HTML traceback page."""
+
+    @pytest.fixture
+    def server(self):
+        service = _service(min_feedback=20)
+        server = serve(service, port=0)
+        yield server
+        server.shutdown()
+
+    def _post_raw(self, server, path, body: bytes):
+        host, port = server.server_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+
+    def _error_body(self, excinfo) -> dict:
+        body = json.loads(excinfo.value.read())
+        assert set(body) >= {"error", "type"}
+        assert excinfo.value.headers["Content-Type"] == "application/json"
+        return body
+
+    def test_malformed_json_body_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_raw(server, "/estimate", b"{not json!")
+        assert excinfo.value.code == 400
+        body = self._error_body(excinfo)
+        assert body["type"] == "DataValidationError"
+        assert "malformed JSON" in body["error"]
+
+    def test_non_object_json_body_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_raw(server, "/feedback", b"[1, 2, 3]")
+        assert excinfo.value.code == 400
+        assert self._error_body(excinfo)["type"] == "DataValidationError"
+
+    def test_missing_query_key_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_raw(server, "/estimate", b"{}")
+        assert excinfo.value.code == 400
+        self._error_body(excinfo)
+
+    def test_out_of_range_feedback_is_400(self, server):
+        query = range_to_dict(Box([0.1, 0.1], [0.5, 0.5]))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_raw(
+                server,
+                "/feedback",
+                json.dumps({"query": query, "selectivity": 1.5}).encode(),
+            )
+        assert excinfo.value.code == 400
+        body = self._error_body(excinfo)
+        assert body["type"] == "DataValidationError"
+        assert "[0, 1]" in body["error"]
+
+    def test_non_numeric_feedback_is_400(self, server):
+        query = range_to_dict(Box([0.1, 0.1], [0.5, 0.5]))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_raw(
+                server,
+                "/feedback",
+                json.dumps({"query": query, "selectivity": "lots"}).encode(),
+            )
+        assert excinfo.value.code == 400
+        self._error_body(excinfo)
+
+    def test_unknown_post_path_is_404_json(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_raw(server, "/train", b"{}")
+        assert excinfo.value.code == 404
+        assert self._error_body(excinfo)["type"] == "NotFound"
+
+    def test_retrain_without_feedback_is_409(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_raw(server, "/retrain", b"{}")
+        assert excinfo.value.code == 409
+        assert self._error_body(excinfo)["type"] == "ModelUnavailableError"
+
+    def test_status_reports_robustness_fields(self, server):
+        host, port = server.server_address
+        with urllib.request.urlopen(f"http://{host}:{port}/status") as response:
+            status = json.loads(response.read())
+        assert set(status) >= {"generation", "breaker", "buffer", "quarantine"}
+        assert status["breaker"]["state"] == "closed"
+        assert status["generation"] == 0
