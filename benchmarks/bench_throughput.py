@@ -1,0 +1,159 @@
+"""Throughput: the fused batch prediction path vs. the scalar loop.
+
+The batch geometry kernels (:mod:`repro.geometry.batch`) exist so that
+predicting a whole workload costs a handful of cache-blocked NumPy
+contractions instead of one Python round-trip per query.  This bench pins
+that down end to end on the paper's main configuration — a ~1k-bucket
+QuadHist over Power 2-D — and records:
+
+* ``fit`` wall time (the batch design matrix is also on this path),
+* ``predict`` throughput for the scalar loop vs. ``predict_many``,
+* the max absolute batch-vs-scalar deviation (must be fp noise),
+* ``label_queries`` (ground-truth oracle) batch vs. per-query timings.
+
+Results land in ``benchmarks/results/BENCH_throughput.json``.  Unlike the
+accuracy benches this is a standalone script, so CI can run it without the
+pytest-benchmark harness::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke  # CI-sized
+
+``--smoke`` shrinks every axis (rows, buckets, workload) to keep the job
+under a few seconds; the JSON notes which mode produced it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.quadhist import QuadHist
+from repro.data.selectivity import label_queries, true_selectivity
+from repro.data.synthetic import power_like
+from repro.data.workloads import WorkloadSpec, generate_workload
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FULL = {
+    "mode": "full",
+    "rows": 25_000,
+    "train_queries": 400,
+    "eval_queries": 5_000,
+    "tau": 0.0004,
+    "max_leaves": 1024,
+}
+SMOKE = {
+    "mode": "smoke",
+    "rows": 4_000,
+    "train_queries": 100,
+    "eval_queries": 500,
+    "tau": 0.004,
+    "max_leaves": 256,
+}
+
+
+def _best_of(repeats: int, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(config: dict) -> dict:
+    rng = np.random.default_rng(20220612)
+    data = power_like(rows=config["rows"], seed=7).project([0, 3])
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    train = generate_workload(config["train_queries"], data.dim, rng, spec=spec, dataset=data)
+    queries = generate_workload(config["eval_queries"], data.dim, rng, spec=spec, dataset=data)
+
+    labels_start = time.perf_counter()
+    labels = label_queries(data, train)
+    t_label_train = time.perf_counter() - labels_start
+
+    est = QuadHist(tau=config["tau"], max_leaves=config["max_leaves"])
+    fit_start = time.perf_counter()
+    est.fit(train, labels)
+    t_fit = time.perf_counter() - fit_start
+
+    batch = est.predict_many(queries)  # warm-up: touches every code path once
+    t_batch = _best_of(3, lambda: est.predict_many(queries))
+
+    scalar_start = time.perf_counter()
+    scalar = np.array([est.predict(q) for q in queries])
+    t_scalar = time.perf_counter() - scalar_start
+
+    # Ground-truth oracle: batched labeling vs. one containment pass per query.
+    t_label_batch = _best_of(2, lambda: label_queries(data, queries))
+    loop_start = time.perf_counter()
+    loop_labels = np.array([true_selectivity(data, q) for q in queries])
+    t_label_loop = time.perf_counter() - loop_start
+    label_diff = float(np.max(np.abs(label_queries(data, queries) - loop_labels)))
+
+    n = len(queries)
+    return {
+        "config": config,
+        "buckets": est.model_size,
+        "fit_seconds": round(t_fit, 4),
+        "label_train_seconds": round(t_label_train, 4),
+        "predict": {
+            "queries": n,
+            "batch_seconds": round(t_batch, 4),
+            "scalar_seconds": round(t_scalar, 4),
+            "batch_queries_per_second": round(n / t_batch, 1),
+            "scalar_queries_per_second": round(n / t_scalar, 1),
+            "speedup": round(t_scalar / t_batch, 2),
+            "max_abs_diff": float(np.max(np.abs(batch - scalar))),
+        },
+        "label_queries": {
+            "queries": n,
+            "batch_seconds": round(t_label_batch, 4),
+            "loop_seconds": round(t_label_loop, 4),
+            "speedup": round(t_label_loop / t_label_batch, 2),
+            "max_abs_diff": label_diff,
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_throughput.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    result = run(SMOKE if args.smoke else FULL)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    predict = result["predict"]
+    print(f"buckets: {result['buckets']}  fit: {result['fit_seconds']}s")
+    print(
+        f"predict_many: {predict['batch_seconds']}s "
+        f"({predict['batch_queries_per_second']:.0f} q/s)  "
+        f"scalar loop: {predict['scalar_seconds']}s "
+        f"({predict['scalar_queries_per_second']:.0f} q/s)  "
+        f"speedup: {predict['speedup']}x  "
+        f"max_abs_diff: {predict['max_abs_diff']:.2e}"
+    )
+    label = result["label_queries"]
+    print(
+        f"label_queries: {label['batch_seconds']}s batch vs "
+        f"{label['loop_seconds']}s loop  speedup: {label['speedup']}x"
+    )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

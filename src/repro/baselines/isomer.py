@@ -23,11 +23,14 @@ accurate but slow; ``max_buckets`` bounds the blow-up.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
+from repro.geometry.batch import coverage_dot, coverage_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
 from repro.solvers.maxent import fit_maxent_weights
@@ -76,7 +79,9 @@ class Isomer(SelectivityEstimator):
         self._bucket_lows = np.stack([b.lows for b in buckets])
         self._bucket_highs = np.stack([b.highs for b in buckets])
         self._bucket_volumes = np.prod(self._bucket_highs - self._bucket_lows, axis=1)
-        design = np.stack([self._fraction_row(q) for q in training.queries])
+        design = coverage_matrix(
+            training.queries, self._bucket_lows, self._bucket_highs, self._bucket_volumes
+        )
         weights = fit_maxent_weights(design, training.selectivities, slack=self.slack)
         self._weights = weights
         self._distribution = HistogramDistribution(buckets, weights)
@@ -111,6 +116,11 @@ class Isomer(SelectivityEstimator):
 
     def _predict_one(self, query: Range) -> float:
         return float(self._fraction_row(query) @ self._weights)
+
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        return coverage_dot(
+            queries, self._bucket_lows, self._bucket_highs, self._bucket_volumes, self._weights
+        )
 
     @property
     def model_size(self) -> int:

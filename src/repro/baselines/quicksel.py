@@ -27,10 +27,13 @@ the original for consistent feedback.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
+from repro.geometry.batch import coverage_dot, intersection_volume_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
 
@@ -82,7 +85,7 @@ class QuickSel(SelectivityEstimator):
         self._kernel_volumes = np.prod(self._kernel_highs - self._kernel_lows, axis=1)
 
         variance = self._variance_matrix()
-        design = np.stack([self._coverage_row(q) for q in training.queries])
+        design = self._coverage_matrix(training.queries)
         self._weights = self._solve_qp(variance, design, training.selectivities)
 
     def _variance_matrix(self) -> np.ndarray:
@@ -102,6 +105,11 @@ class QuickSel(SelectivityEstimator):
         """``Vol(G_j ∩ R) / Vol(G_j)`` for all kernels."""
         overlaps = batch_intersection_volumes(self._kernel_lows, self._kernel_highs, query)
         return np.clip(overlaps / self._kernel_volumes, 0.0, 1.0)
+
+    def _coverage_matrix(self, queries: Sequence[Range]) -> np.ndarray:
+        """``Vol(G_j ∩ R_i) / Vol(G_j)`` for a whole workload at once."""
+        overlaps = intersection_volume_matrix(queries, self._kernel_lows, self._kernel_highs)
+        return np.clip(overlaps / self._kernel_volumes[None, :], 0.0, 1.0)
 
     def _solve_qp(self, variance: np.ndarray, design: np.ndarray, s: np.ndarray) -> np.ndarray:
         """Penalised equality-constrained QP via its KKT linear system.
@@ -128,6 +136,14 @@ class QuickSel(SelectivityEstimator):
     def _predict_one(self, query: Range) -> float:
         # Raw mixture estimate; the public predict() clips to [0, 1].
         return float(self._coverage_row(query) @ self._weights)
+
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        # Raw mixture estimates; predict_many applies the [0, 1] clip.
+        # (All kernels have positive volume, so coverage_dot's zero-volume
+        # guard never fires and the result matches _coverage_row exactly.)
+        return coverage_dot(
+            queries, self._kernel_lows, self._kernel_highs, self._kernel_volumes, self._weights
+        )
 
     def raw_predict(self, query: Range) -> float:
         """Unclipped estimate — may be negative or exceed 1 (by design)."""

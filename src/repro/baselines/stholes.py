@@ -36,6 +36,8 @@ this weakness of STHoles's online updates.)
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.estimator import SelectivityEstimator
@@ -262,7 +264,7 @@ class STHoles(SelectivityEstimator):
         self._box_lows = np.stack([b.box.lows for b in self._buckets])
         self._box_highs = np.stack([b.box.highs for b in self._buckets])
         self._region_volumes = np.array([b.region_volume() for b in self._buckets])
-        design = np.stack([self._region_fraction_row(q) for q in training.queries])
+        design = self._region_fraction_matrix(training.queries)
         self._weights = fit_simplex_weights(design, training.selectivities)
 
     def _region_fraction_row(self, query: Range) -> np.ndarray:
@@ -282,8 +284,32 @@ class STHoles(SelectivityEstimator):
             )
         return np.clip(fractions, 0.0, 1.0)
 
+    def _region_fraction_matrix(self, queries: Sequence[Range]) -> np.ndarray:
+        """Per-region coverage fractions for a whole workload at once.
+
+        Child columns are subtracted in the same order as the scalar row
+        loop so the two paths agree to floating-point identity.
+        """
+        from repro.geometry.batch import intersection_volume_matrix
+
+        box_overlaps = intersection_volume_matrix(queries, self._box_lows, self._box_highs)
+        region_overlaps = box_overlaps.copy()
+        for i, children in enumerate(self._child_index):
+            for c in children:
+                region_overlaps[:, i] -= box_overlaps[:, c]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(
+                self._region_volumes[None, :] > _MIN_VOLUME,
+                region_overlaps / np.maximum(self._region_volumes[None, :], _MIN_VOLUME),
+                0.0,
+            )
+        return np.clip(fractions, 0.0, 1.0)
+
     def _predict_one(self, query: Range) -> float:
         return float(self._region_fraction_row(query) @ self._weights)
+
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        return self._region_fraction_matrix(queries) @ self._weights
 
     @property
     def model_size(self) -> int:

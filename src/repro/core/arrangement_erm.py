@@ -17,6 +17,8 @@ Two modes:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.estimator import SelectivityEstimator
@@ -24,6 +26,7 @@ from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import HistogramDistribution
 from repro.geometry.arrangement import box_arrangement_cells, sign_vector_cells
+from repro.geometry.batch import containment_matrix, coverage_dot, coverage_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
 from repro.core._solve import solve_weights
@@ -91,7 +94,9 @@ class ArrangementERM(SelectivityEstimator):
             self._cell_lows = np.stack([c.lows for c in cells])
             self._cell_highs = np.stack([c.highs for c in cells])
             self._cell_volumes = np.prod(self._cell_highs - self._cell_lows, axis=1)
-            design = np.stack([self._fraction_row(q) for q in training.queries])
+            design = coverage_matrix(
+                training.queries, self._cell_lows, self._cell_highs, self._cell_volumes
+            )
             weights, self.solve_report_ = solve_weights(
                 design, training.selectivities, solver=self.solver
             )
@@ -102,9 +107,7 @@ class ArrangementERM(SelectivityEstimator):
             points = sign_vector_cells(
                 list(training.queries), rng, domain=domain, samples=self.samples
             )
-            design = np.stack(
-                [np.asarray(q.contains(points), dtype=float) for q in training.queries]
-            )
+            design = containment_matrix(training.queries, points)
             weights, self.solve_report_ = solve_weights(
                 design, training.selectivities, solver=self.solver
             )
@@ -120,6 +123,13 @@ class ArrangementERM(SelectivityEstimator):
         if self.mode == "histogram":
             return float(self._fraction_row(query) @ self._weights)
         return self._discrete.selectivity(query)
+
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        if self.mode == "histogram":
+            return coverage_dot(
+                queries, self._cell_lows, self._cell_highs, self._cell_volumes, self._weights
+            )
+        return self._discrete.selectivity_many(queries)
 
     @property
     def model_size(self) -> int:

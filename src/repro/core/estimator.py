@@ -73,6 +73,17 @@ class SelectivityEstimator(abc.ABC):
     def _predict_one(self, query: Range) -> float:
         """Subclass hook: estimate the selectivity of one query."""
 
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray | None:
+        """Subclass hook: raw estimates for a whole workload at once.
+
+        Returning ``None`` (the default) makes :meth:`predict_many` fall
+        back to the per-query scalar loop.  Implementations return the
+        *raw* (unclamped) estimates; the base class applies the same
+        NaN→0.5 / [0, 1]-clamp semantics as :meth:`predict` in one
+        vectorised pass, so batch and scalar predictions agree exactly.
+        """
+        return None
+
     def predict(self, query: Range) -> float:
         """Estimated selectivity of ``query``, always in ``[0, 1]``.
 
@@ -89,9 +100,28 @@ class SelectivityEstimator(abc.ABC):
         return float(np.clip(raw, 0.0, 1.0))
 
     def predict_many(self, queries: Sequence[Range]) -> np.ndarray:
-        """Estimated selectivities for a sequence of queries."""
+        """Estimated selectivities for a sequence of queries.
+
+        Runs the estimator's vectorised batch path when it provides one
+        (:meth:`_predict_batch`), falling back to the scalar loop
+        otherwise.  Either way the per-query semantics of
+        :meth:`predict` hold: finite raw estimates are clamped to
+        ``[0, 1]`` and non-finite ones map to 0.5.
+        """
         self._check_fitted()
-        return np.array([self.predict(q) for q in queries])
+        queries = list(queries)
+        if not queries:
+            return np.zeros(0)
+        raw = self._predict_batch(queries)
+        if raw is None:
+            return np.array([self.predict(q) for q in queries])
+        raw = np.asarray(raw, dtype=float)
+        if raw.shape != (len(queries),):
+            raise ValueError(
+                f"_predict_batch returned shape {raw.shape}, expected ({len(queries)},)"
+            )
+        with np.errstate(invalid="ignore"):
+            return np.where(np.isfinite(raw), np.clip(raw, 0.0, 1.0), 0.5)
 
     @property
     @abc.abstractmethod

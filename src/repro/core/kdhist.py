@@ -21,13 +21,14 @@ refinement) — the same argument as Lemma A.4.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
+from repro.geometry.batch import coverage_dot, coverage_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import (
     batch_intersection_volumes,
@@ -130,7 +131,9 @@ class KdHist(SelectivityEstimator):
         self._leaf_lows = np.stack([leaf.box.lows for leaf in leaves])
         self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
         self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
-        design = np.stack([self._fraction_row(q) for q in training.queries])
+        design = coverage_matrix(
+            training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
+        )
         if self.objective == "linf":
             weights = fit_simplex_weights_linf(design, training.selectivities)
         else:
@@ -164,6 +167,11 @@ class KdHist(SelectivityEstimator):
 
     def _predict_one(self, query: Range) -> float:
         return float(self._fraction_row(query) @ self._weights)
+
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        return coverage_dot(
+            queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes, self._weights
+        )
 
     @property
     def model_size(self) -> int:

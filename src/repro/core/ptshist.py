@@ -17,11 +17,14 @@ squares (Eq. 8) on the 0/1 membership design matrix (Eq. 7).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
+from repro.geometry.batch import containment_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.sampling import rejection_sample, sample_in_box
 from repro.core._solve import solve_weights
@@ -82,9 +85,7 @@ class PtsHist(SelectivityEstimator):
             raise ValueError("domain dimension does not match the training queries")
         rng = np.random.default_rng(self.seed)
         points = self._design_buckets(training, domain, rng)
-        design = np.stack(
-            [np.asarray(q.contains(points), dtype=float) for q in training.queries]
-        )
+        design = containment_matrix(training.queries, points)
         weights, self.solve_report_ = solve_weights(
             design, training.selectivities, objective=self.objective, solver=self.solver
         )
@@ -123,6 +124,9 @@ class PtsHist(SelectivityEstimator):
 
     def _predict_one(self, query: Range) -> float:
         return self._distribution.selectivity(query)
+
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        return self._distribution.selectivity_many(queries)
 
     @property
     def model_size(self) -> int:

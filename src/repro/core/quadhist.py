@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
+from repro.geometry.batch import coverage_dot, coverage_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import (
     batch_intersection_volumes,
@@ -208,8 +209,8 @@ class QuadHist(SelectivityEstimator):
     # ------------------------------------------------------------------
 
     def _estimate_weights(self, training: TrainingSet, buckets: Sequence[Box]) -> None:
-        design = np.stack(
-            [self._fraction_row(query) for query in training.queries]
+        design = coverage_matrix(
+            training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
         )
         weights, self.solve_report_ = solve_weights(
             design, training.selectivities, objective=self.objective, solver=self.solver
@@ -230,6 +231,11 @@ class QuadHist(SelectivityEstimator):
 
     def _predict_one(self, query: Range) -> float:
         return float(self._fraction_row(query) @ self._weights)
+
+    def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        return coverage_dot(
+            queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes, self._weights
+        )
 
     @property
     def model_size(self) -> int:

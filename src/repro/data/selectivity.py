@@ -12,6 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.datasets import Dataset
+from repro.geometry.batch import CHUNK_ELEMENTS, containment_matrix
 from repro.geometry.ranges import Range
 
 __all__ = ["true_selectivity", "label_queries"]
@@ -26,5 +27,25 @@ def true_selectivity(dataset: Dataset, query: Range) -> float:
 
 
 def label_queries(dataset: Dataset, queries: Sequence[Range]) -> np.ndarray:
-    """Exact selectivities for a whole workload (vectorised per query)."""
-    return np.array([true_selectivity(dataset, q) for q in queries])
+    """Exact selectivities for a whole workload, batched over both axes.
+
+    Queries are grouped by range type and evaluated against all rows in one
+    membership matrix per chunk (boxes, halfspaces and balls hit the batch
+    kernels of :mod:`repro.geometry.batch`; other types fall back to their
+    own vectorised ``contains``).  Chunking keeps peak memory bounded by
+    ``CHUNK_ELEMENTS`` float64 elements regardless of workload size.
+    """
+    queries = list(queries)
+    for query in queries:
+        if query.dim != dataset.dim:
+            raise ValueError(f"query dim {query.dim} != dataset dim {dataset.dim}")
+    if not queries:
+        return np.zeros(0)
+    rows = dataset.rows
+    n_rows, dim = rows.shape
+    out = np.empty(len(queries))
+    step = max(1, CHUNK_ELEMENTS // max(1, n_rows * dim))
+    for start in range(0, len(queries), step):
+        chunk = queries[start : start + step]
+        out[start : start + step] = containment_matrix(chunk, rows).mean(axis=1)
+    return out

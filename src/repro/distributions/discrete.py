@@ -8,8 +8,11 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.geometry.batch import containment_matrix
 from repro.geometry.ranges import Range
 
 __all__ = ["DiscreteDistribution"]
@@ -52,9 +55,18 @@ class DiscreteDistribution:
         inside = np.asarray(range_.contains(self.points))
         return float(np.clip(self.weights[inside].sum(), 0.0, 1.0))
 
+    def selectivity_many(self, ranges: Sequence[Range]) -> np.ndarray:
+        """``s_D(R_i)`` for a whole workload via one batch membership matrix."""
+        matrix = containment_matrix(ranges, self.points)
+        return np.clip(matrix @ self.weights, 0.0, 1.0)
+
     def membership_row(self, range_: Range) -> np.ndarray:
         """Indicator vector ``1(B_j in R)`` — one design-matrix row."""
         return np.asarray(range_.contains(self.points), dtype=float)
+
+    def membership_matrix(self, ranges: Sequence[Range]) -> np.ndarray:
+        """Indicator matrix ``1(B_j in R_i)`` — the Eq. (7) design matrix."""
+        return containment_matrix(ranges, self.points)
 
     def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``count`` points (with replacement) from the support."""

@@ -12,9 +12,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.geometry.batch import (
+    CHUNK_ELEMENTS,
+    containment_matrix,
+    coverage_matrix,
+)
 from repro.geometry.ranges import Box, Range
 from repro.geometry.sampling import sample_in_box
-from repro.geometry.volume import intersection_volume
+from repro.geometry.volume import batch_intersection_volumes
 
 __all__ = ["HistogramDistribution"]
 
@@ -51,6 +56,8 @@ class HistogramDistribution:
             raise ValueError(f"weights must sum to 1 (got {total}); normalise first")
         self.buckets = list(buckets)
         self.weights = weight_arr / total
+        self._lows = np.stack([b.lows for b in self.buckets])
+        self._highs = np.stack([b.highs for b in self.buckets])
         self._volumes = np.array([b.volume() for b in self.buckets])
         degenerate = self._volumes <= 0.0
         if np.any(self.weights[degenerate] > 1e-12):
@@ -66,37 +73,49 @@ class HistogramDistribution:
         return len(self.buckets)
 
     def selectivity(self, range_: Range) -> float:
-        """``s_D(R)`` per Eq. (6)."""
-        total = 0.0
-        for bucket, weight, volume in zip(self.buckets, self.weights, self._volumes):
-            if weight <= 0.0 or volume <= 0.0:
-                continue
-            overlap = intersection_volume(bucket, range_)
-            if overlap > 0.0:
-                total += weight * overlap / volume
+        """``s_D(R)`` per Eq. (6), in one vectorised kernel call."""
+        overlaps = batch_intersection_volumes(self._lows, self._highs, range_)
+        active = (self.weights > 0.0) & (self._volumes > 0.0)
+        total = float(
+            np.sum(self.weights[active] * overlaps[active] / self._volumes[active])
+        )
         return float(min(1.0, max(0.0, total)))
+
+    def selectivity_many(self, ranges: Sequence[Range]) -> np.ndarray:
+        """``s_D(R_i)`` for a whole workload via one coverage matrix."""
+        fractions = coverage_matrix(ranges, self._lows, self._highs, self._volumes)
+        return np.clip(fractions @ self.weights, 0.0, 1.0)
 
     def intersection_fractions(self, range_: Range) -> np.ndarray:
         """Per-bucket ``Vol(B_i ∩ R)/Vol(B_i)`` — one design-matrix row."""
-        fractions = np.zeros(self.size)
-        for i, (bucket, volume) in enumerate(zip(self.buckets, self._volumes)):
-            if volume <= 0.0:
-                continue
-            fractions[i] = intersection_volume(bucket, range_) / volume
+        overlaps = batch_intersection_volumes(self._lows, self._highs, range_)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(self._volumes > 0.0, overlaps / self._volumes, 0.0)
         return np.clip(fractions, 0.0, 1.0)
 
     def density(self, points: np.ndarray) -> np.ndarray:
-        """Probability density at the given points (0 outside all buckets)."""
+        """Probability density at the given points (0 outside all buckets).
+
+        Vectorised over both points and buckets.  Buckets are disjoint up to
+        shared faces; on a shared face the *last* containing bucket wins,
+        matching the historical scalar loop (later buckets overwrote).
+        """
         pts = np.asarray(points, dtype=float)
         single = pts.ndim == 1
         if single:
             pts = pts[None, :]
+        active = np.flatnonzero((self.weights > 0.0) & (self._volumes > 0.0))
         values = np.zeros(pts.shape[0])
-        for bucket, weight, volume in zip(self.buckets, self.weights, self._volumes):
-            if weight <= 0.0 or volume <= 0.0:
-                continue
-            inside = np.asarray(bucket.contains(pts))
-            values[inside] = weight / volume  # buckets are disjoint
+        if active.size:
+            densities = self.weights[active] / self._volumes[active]
+            boxes = [self.buckets[int(i)] for i in active]
+            step = max(1, CHUNK_ELEMENTS // max(1, active.size))
+            for start in range(0, pts.shape[0], step):
+                chunk = pts[start : start + step]
+                inside = containment_matrix(boxes, chunk)  # (m_active, n_chunk)
+                hit = inside.any(axis=0)
+                last = inside.shape[0] - 1 - np.argmax(inside[::-1], axis=0)
+                values[start : start + step] = np.where(hit, densities[last], 0.0)
         return float(values[0]) if single else values
 
     def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
@@ -111,12 +130,28 @@ class HistogramDistribution:
         return points
 
     def validate(self) -> None:
-        """Check the disjointness contract (O(m^2); for tests/debugging)."""
-        for i, a in enumerate(self.buckets):
-            for b in self.buckets[i + 1 :]:
-                inter = a.intersect(b)
-                if inter is not None and inter.volume() > 1e-12:
-                    raise ValueError(f"buckets overlap: {a} and {b}")
+        """Check the disjointness contract via broadcast pairwise overlaps.
+
+        Still O(m^2) work, but one chunked NumPy broadcast instead of a
+        Python double loop; memory stays bounded by ``CHUNK_ELEMENTS``.
+        """
+        m, d = self._lows.shape
+        step = max(1, CHUNK_ELEMENTS // max(1, m * d))
+        for start in range(0, m, step):
+            stop = min(m, start + step)
+            pair_lows = np.maximum(self._lows[start:stop, None, :], self._lows[None, :, :])
+            pair_highs = np.minimum(
+                self._highs[start:stop, None, :], self._highs[None, :, :]
+            )
+            overlap = np.prod(np.maximum(pair_highs - pair_lows, 0.0), axis=2)
+            # Only pairs (i, j) with j > i matter; mask the rest out.
+            cols = np.arange(m)[None, :]
+            rows = np.arange(start, stop)[:, None]
+            overlap[cols <= rows] = 0.0
+            if np.any(overlap > 1e-12):
+                i, j = np.unravel_index(int(np.argmax(overlap)), overlap.shape)
+                a, b = self.buckets[start + int(i)], self.buckets[int(j)]
+                raise ValueError(f"buckets overlap: {a} and {b}")
 
     def __repr__(self) -> str:
         return f"HistogramDistribution(size={self.size}, dim={self.dim})"

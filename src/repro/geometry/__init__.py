@@ -37,6 +37,15 @@ from repro.geometry.arrangement import (
     box_arrangement_cells,
     sign_vector_cells,
 )
+from repro.geometry.batch import (
+    box_ball_volume_matrix,
+    box_box_volume_matrix,
+    box_halfspace_volume_matrix,
+    boxes_to_arrays,
+    containment_matrix,
+    coverage_matrix,
+    intersection_volume_matrix,
+)
 
 __all__ = [
     "Ball",
@@ -59,4 +68,11 @@ __all__ = [
     "smallest_bounding_box",
     "box_arrangement_cells",
     "sign_vector_cells",
+    "boxes_to_arrays",
+    "box_box_volume_matrix",
+    "box_halfspace_volume_matrix",
+    "box_ball_volume_matrix",
+    "intersection_volume_matrix",
+    "coverage_matrix",
+    "containment_matrix",
 ]

@@ -1,0 +1,531 @@
+"""Batch geometry kernels: full ``(n_queries × n_buckets)`` volume matrices.
+
+Every hot path in the reproduction — the Eq. (8) design matrix, histogram
+prediction, and ground-truth labeling — reduces to ``Vol(B_j ∩ R_i)`` over
+*all* (bucket, query) pairs.  :mod:`repro.geometry.volume` vectorises one
+query against many boxes; this module vectorises over *both* axes so an
+entire workload is evaluated in a handful of NumPy broadcasts:
+
+* :func:`box_box_volume_matrix` — exact interval-overlap products, any d;
+* :func:`box_halfspace_volume_matrix` — the ``2^d`` inclusion–exclusion
+  identity evaluated for every (box, halfspace) pair at once;
+* :func:`box_ball_volume_matrix` — exact circular-segment areas for
+  d ≤ 2, chunked quasi-Monte-Carlo above (same fixed Sobol point set as
+  the scalar path, so results stay deterministic and identical);
+* :func:`intersection_volume_matrix` — mixed-workload dispatcher that
+  groups queries by range type and stitches the kernel outputs back into
+  workload order;
+* :func:`coverage_matrix` — the design matrix ``Vol(B_j ∩ R_i)/Vol(B_j)``
+  clipped to [0, 1];
+* :func:`containment_matrix` — batch membership ``1(p_k ∈ R_i)`` for the
+  point-support models and the labeling oracle.
+
+Each kernel mirrors the scalar kernel's arithmetic operation-for-operation,
+so a matrix row agrees with :func:`repro.geometry.volume
+.batch_intersection_volumes` to floating-point noise — the registry-wide
+equivalence property test (``tests/core/test_batch_predict.py``) pins this
+down to 1e-12.
+
+Peak memory is bounded: kernels materialising an ``(n, m, ·)`` temporary
+process queries in chunks of at most :data:`CHUNK_ELEMENTS` float64
+elements (~32 MB per temporary by default).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.ranges import _EPS, Ball, Box, Halfspace, Range
+from repro.geometry.volume import (
+    QMC_POINTS,
+    _disc_quadrant_area_vec,
+    _qmc_unit_points,
+    _unit_square_halfspace_fraction,
+    batch_intersection_volumes,
+)
+
+__all__ = [
+    "CHUNK_ELEMENTS",
+    "boxes_to_arrays",
+    "box_box_volume_matrix",
+    "box_halfspace_volume_matrix",
+    "box_ball_volume_matrix",
+    "intersection_volume_matrix",
+    "coverage_matrix",
+    "coverage_dot",
+    "containment_matrix",
+]
+
+#: Upper bound (in float64 elements) on the largest temporary a kernel may
+#: materialise at once; bigger workloads are processed in query chunks.
+#: 2^22 elements ≈ 32 MB per temporary.
+CHUNK_ELEMENTS = 1 << 22
+
+#: Chunk size (in float64 elements) for the fused prediction path: small
+#: enough that a chunk's intermediates stay cache-resident, so the kernels
+#: run at cache bandwidth instead of DRAM bandwidth.  2^17 elements ≈ 1 MB.
+CACHE_ELEMENTS = 1 << 17
+
+
+def _query_chunks(n: int, per_query_elements: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` ranges keeping temporaries under budget."""
+    step = max(1, CHUNK_ELEMENTS // max(1, int(per_query_elements)))
+    for start in range(0, n, step):
+        yield start, min(start + step, n)
+
+
+def boxes_to_arrays(boxes: Sequence[Box]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack boxes into ``(n, d)`` low/high coordinate arrays."""
+    if len(boxes) == 0:
+        raise ValueError("at least one box is required")
+    lows = np.stack([b.lows for b in boxes])
+    highs = np.stack([b.highs for b in boxes])
+    return lows, highs
+
+
+# ---------------------------------------------------------------------------
+# Pairwise kernels
+# ---------------------------------------------------------------------------
+
+
+def box_box_volume_matrix(
+    q_lows: np.ndarray, q_highs: np.ndarray, b_lows: np.ndarray, b_highs: np.ndarray
+) -> np.ndarray:
+    """Exact ``Vol(B_j ∩ Q_i)`` for all pairs of axis-aligned boxes.
+
+    Queries are rows: the result has shape ``(n_queries, n_boxes)``.
+    """
+    q_lows = np.asarray(q_lows, dtype=float)
+    q_highs = np.asarray(q_highs, dtype=float)
+    b_lows = np.asarray(b_lows, dtype=float)
+    b_highs = np.asarray(b_highs, dtype=float)
+    n, d = q_lows.shape
+    m = b_lows.shape[0]
+    out = np.empty((n, m))
+    # One (chunk, m) outer broadcast per dimension: 2-D contiguous inner
+    # loops vectorise far better than an (n, m, d) temporary whose tiny
+    # innermost axis defeats SIMD.  Widths multiply in dimension order, so
+    # the product matches the scalar kernel's prod() bit-for-bit.
+    for start, stop in _query_chunks(n, m * d):
+        volumes = out[start:stop]
+        scratch = np.empty((stop - start, m))
+        for k in range(d):
+            lo = np.maximum.outer(q_lows[start:stop, k], b_lows[:, k])
+            hi = np.minimum.outer(q_highs[start:stop, k], b_highs[:, k], out=scratch)
+            np.subtract(hi, lo, out=hi)
+            np.maximum(hi, 0.0, out=hi)
+            if k == 0:
+                volumes[...] = hi
+            else:
+                np.multiply(volumes, hi, out=volumes)
+    return out
+
+
+def box_halfspace_volume_matrix(
+    normals: np.ndarray, offsets: np.ndarray, b_lows: np.ndarray, b_highs: np.ndarray
+) -> np.ndarray:
+    """Exact ``Vol(B_j ∩ {a_i.x >= b_i})`` for all (box, halfspace) pairs.
+
+    The ``2^d`` inclusion–exclusion identity of
+    :func:`repro.geometry.volume.box_halfspace_intersection_volume` is
+    evaluated with one extra broadcast axis over queries:
+    ``O(n · m · 2^d · d)`` work with no Python loop over either axis.
+    """
+    normals = np.asarray(normals, dtype=float)
+    offsets = np.asarray(offsets, dtype=float)
+    b_lows = np.asarray(b_lows, dtype=float)
+    b_highs = np.asarray(b_highs, dtype=float)
+    n = normals.shape[0]
+    m = b_lows.shape[0]
+    widths = b_highs - b_lows
+    box_volumes = np.prod(widths, axis=1)
+    thresholds_all = offsets[:, None] - normals @ b_lows.T  # (n, m)
+    # Mirror the per-query kernel: dimensions with a (near-)zero normal
+    # component are projected out exactly (the inclusion–exclusion identity
+    # is ill-conditioned in tiny coefficients).  The active pattern depends
+    # only on the query, so queries are grouped by pattern and each group
+    # runs the broadcast kernel in its reduced dimension.
+    scales = np.maximum(1.0, np.max(np.abs(normals), axis=1))
+    active = np.abs(normals) > 1e-15 * scales[:, None]  # (n, d)
+    out = np.empty((n, m))
+    patterns, inverse = np.unique(active, axis=0, return_inverse=True)
+    for p_idx in range(patterns.shape[0]):
+        q_idx = np.flatnonzero(inverse == p_idx)
+        mask = patterns[p_idx]
+        a_dim = int(mask.sum())
+        if a_dim == 0:
+            out[q_idx] = np.where(
+                thresholds_all[q_idx] <= 0.0, box_volumes[None, :], 0.0
+            )
+            continue
+        out[q_idx] = _halfspace_group_matrix(
+            normals[np.ix_(q_idx, np.flatnonzero(mask))],
+            thresholds_all[q_idx],
+            widths[:, mask],
+            box_volumes,
+        )
+    return out
+
+
+def _halfspace_group_matrix(
+    act_normals: np.ndarray,
+    thresholds: np.ndarray,
+    act_widths: np.ndarray,
+    box_volumes: np.ndarray,
+) -> np.ndarray:
+    """Inclusion–exclusion over one group of same-active-pattern halfspaces.
+
+    ``act_normals`` is ``(g, a)`` (active dimensions only), ``thresholds``
+    ``(g, m)``, ``act_widths`` ``(m, a)``; returns ``(g, m)`` volumes.
+    """
+    g, a_dim = act_normals.shape
+    m = act_widths.shape[0]
+    masks = np.arange(1 << a_dim, dtype=np.int64)
+    bits = ((masks[:, None] >> np.arange(a_dim)) & 1).astype(float)  # (2^a, a)
+    signs = np.where((np.sum(bits, axis=1) % 2) == 0, 1.0, -1.0)
+    factorial = math.factorial(a_dim)
+    out = np.empty((g, m))
+    for start, stop in _query_chunks(g, m * (1 << a_dim)):
+        coeffs = act_normals[start:stop, None, :] * act_widths[None, :, :]  # (c, m, a)
+        th = thresholds[start:stop]
+        negative = coeffs < 0
+        th = th - np.sum(np.where(negative, coeffs, 0.0), axis=2)
+        coeffs = np.abs(coeffs)
+        if a_dim == 2:
+            # Cancellation-free closed form, bitwise-identical to the
+            # scalar kernel's 2-D branch.
+            fraction_below = _unit_square_halfspace_fraction(
+                coeffs[..., 0], coeffs[..., 1], th
+            )
+            out[start:stop] = np.maximum(
+                box_volumes[None, :] * (1.0 - fraction_below), 0.0
+            )
+            continue
+        # Residual zeros only come from zero-width boxes (volume factor 0).
+        eps = 1e-12 * np.maximum(1.0, np.max(coeffs, axis=2, keepdims=True))
+        coeffs = np.maximum(coeffs, eps)
+        dots = coeffs @ bits.T  # (c, m, 2^a)
+        terms = np.maximum(0.0, th[..., None] - dots) ** a_dim
+        raw = terms @ signs  # (c, m)
+        denom = factorial * np.prod(coeffs, axis=2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction_below = np.where(denom > 0, raw / denom, 0.0)
+        fraction_below = np.clip(fraction_below, 0.0, 1.0)
+        totals = np.sum(coeffs, axis=2)
+        fraction_below = np.where(th <= 0.0, 0.0, fraction_below)
+        fraction_below = np.where(th >= totals, 1.0, fraction_below)
+        out[start:stop] = np.maximum(box_volumes[None, :] * (1.0 - fraction_below), 0.0)
+    return out
+
+
+def box_ball_volume_matrix(
+    centers: np.ndarray, radii: np.ndarray, b_lows: np.ndarray, b_highs: np.ndarray
+) -> np.ndarray:
+    """``Vol(B_j ∩ ball_i)`` for all pairs: exact for d ≤ 2, chunked QMC above."""
+    centers = np.asarray(centers, dtype=float)
+    radii = np.asarray(radii, dtype=float)
+    b_lows = np.asarray(b_lows, dtype=float)
+    b_highs = np.asarray(b_highs, dtype=float)
+    d = centers.shape[1]
+    if d == 1:
+        lo = np.maximum(b_lows[None, :, 0], (centers[:, 0] - radii)[:, None])
+        hi = np.minimum(b_highs[None, :, 0], (centers[:, 0] + radii)[:, None])
+        return np.maximum(hi - lo, 0.0)
+    if d == 2:
+        n = centers.shape[0]
+        m = b_lows.shape[0]
+        out = np.empty((n, m))
+        # ~6 (c, m) temporaries per quadrant call; chunk accordingly.
+        for start, stop in _query_chunks(n, 8 * m):
+            cx = centers[start:stop, 0][:, None]
+            cy = centers[start:stop, 1][:, None]
+            r = radii[start:stop][:, None]
+            x0 = b_lows[None, :, 0] - cx
+            y0 = b_lows[None, :, 1] - cy
+            x1 = b_highs[None, :, 0] - cx
+            y1 = b_highs[None, :, 1] - cy
+            area = (
+                _disc_quadrant_area_vec(x1, y1, r)
+                - _disc_quadrant_area_vec(x0, y1, r)
+                - _disc_quadrant_area_vec(x1, y0, r)
+                + _disc_quadrant_area_vec(x0, y0, r)
+            )
+            out[start:stop] = np.maximum(area, 0.0)
+        return out
+    n = centers.shape[0]
+    m = b_lows.shape[0]
+    out = np.empty((n, m))
+    # The QMC path materialises several (c, m, d) temporaries up front.
+    for start, stop in _query_chunks(n, m * d):
+        out[start:stop] = _box_ball_qmc_matrix(
+            centers[start:stop], radii[start:stop], b_lows, b_highs
+        )
+    return out
+
+
+def _box_ball_qmc_matrix(
+    centers: np.ndarray, radii: np.ndarray, b_lows: np.ndarray, b_highs: np.ndarray
+) -> np.ndarray:
+    """Quasi-MC ball kernel for d > 2, mirroring the scalar decision tree.
+
+    Per pair: empty-overlap rejection, full-containment shortcut, otherwise
+    the fixed Sobol point set scaled into the *clipped* box — identical
+    points and arithmetic to
+    :func:`repro.geometry.volume.box_ball_intersection_volume`, evaluated
+    for all surviving pairs in memory-bounded chunks.
+    """
+    n, d = centers.shape
+    m = b_lows.shape[0]
+    box_volumes = np.prod(b_highs - b_lows, axis=1)
+    ball_lows = centers - radii[:, None]
+    ball_highs = centers + radii[:, None]
+    clip_lows = np.maximum(b_lows[None, :, :], ball_lows[:, None, :])  # (n, m, d)
+    clip_highs = np.minimum(b_highs[None, :, :], ball_highs[:, None, :])
+    empty = np.any(clip_lows > clip_highs, axis=2)
+    corners = np.maximum(
+        np.abs(b_lows[None, :, :] - centers[:, None, :]),
+        np.abs(b_highs[None, :, :] - centers[:, None, :]),
+    )
+    contained = np.sum(corners**2, axis=2) <= (radii[:, None] ** 2 + 1e-15)
+    out = np.where(~empty & contained, box_volumes[None, :], 0.0)
+
+    pending_q, pending_b = np.nonzero(~empty & ~contained)
+    if pending_q.size == 0:
+        return out
+    unit = _qmc_unit_points(d, QMC_POINTS)  # the scalar path's point set
+    points = unit.shape[0]
+    step = max(1, CHUNK_ELEMENTS // (points * d))
+    for start in range(0, pending_q.size, step):
+        qi = pending_q[start : start + step]
+        bi = pending_b[start : start + step]
+        lows = clip_lows[qi, bi]  # (c, d)
+        widths = clip_highs[qi, bi] - lows
+        clip_volumes = np.prod(widths, axis=1)
+        scaled = lows[:, None, :] + unit[None, :, :] * widths[:, None, :]  # (c, P, d)
+        sq_dist = np.sum((scaled - centers[qi][:, None, :]) ** 2, axis=2)
+        inside = sq_dist <= (radii[qi, None] ** 2 + _EPS)
+        out[qi, bi] = clip_volumes * np.mean(inside, axis=1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Mixed-workload dispatch
+# ---------------------------------------------------------------------------
+
+
+def _group_by_kind(queries: Sequence[Range]):
+    """Partition query indices by range type (boxes / halfspaces / balls / other)."""
+    boxes: list[int] = []
+    halfspaces: list[int] = []
+    balls: list[int] = []
+    other: list[int] = []
+    for i, query in enumerate(queries):
+        if isinstance(query, Box):
+            boxes.append(i)
+        elif isinstance(query, Halfspace):
+            halfspaces.append(i)
+        elif isinstance(query, Ball):
+            balls.append(i)
+        else:
+            other.append(i)
+    return boxes, halfspaces, balls, other
+
+
+def intersection_volume_matrix(
+    queries: Sequence[Range], b_lows: np.ndarray, b_highs: np.ndarray
+) -> np.ndarray:
+    """``Vol(B_j ∩ R_i)`` for a mixed workload against one bucket set.
+
+    Queries are grouped by range type, each group runs through its batch
+    kernel, and rows are stitched back into workload order.  Range types
+    without a batch kernel (unions, semi-algebraic sets) fall back to the
+    per-query vectorised path, so any workload is accepted.
+    """
+    queries = list(queries)
+    b_lows = np.asarray(b_lows, dtype=float)
+    b_highs = np.asarray(b_highs, dtype=float)
+    n = len(queries)
+    m = b_lows.shape[0]
+    out = np.empty((n, m))
+    boxes, halfspaces, balls, other = _group_by_kind(queries)
+    if boxes:
+        q_lows, q_highs = boxes_to_arrays([queries[i] for i in boxes])
+        out[boxes] = box_box_volume_matrix(q_lows, q_highs, b_lows, b_highs)
+    if halfspaces:
+        normals = np.stack([queries[i].normal for i in halfspaces])
+        offsets = np.array([queries[i].offset for i in halfspaces])
+        out[halfspaces] = box_halfspace_volume_matrix(normals, offsets, b_lows, b_highs)
+    if balls:
+        centers = np.stack([queries[i].ball_center for i in balls])
+        radii = np.array([queries[i].radius for i in balls])
+        out[balls] = box_ball_volume_matrix(centers, radii, b_lows, b_highs)
+    for i in other:
+        out[i] = batch_intersection_volumes(b_lows, b_highs, queries[i])
+    return out
+
+
+def coverage_matrix(
+    queries: Sequence[Range],
+    b_lows: np.ndarray,
+    b_highs: np.ndarray,
+    b_volumes: np.ndarray | None = None,
+) -> np.ndarray:
+    """Design matrix ``Vol(B_j ∩ R_i)/Vol(B_j)`` clipped to [0, 1].
+
+    This is Eq. (8)'s coefficient matrix for a whole workload in one call;
+    zero-volume buckets contribute 0 (they can carry no density).
+    """
+    b_lows = np.asarray(b_lows, dtype=float)
+    b_highs = np.asarray(b_highs, dtype=float)
+    if b_volumes is None:
+        b_volumes = np.prod(b_highs - b_lows, axis=1)
+    else:
+        b_volumes = np.asarray(b_volumes, dtype=float)
+    overlaps = intersection_volume_matrix(queries, b_lows, b_highs)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fractions = np.where(b_volumes[None, :] > 0, overlaps / b_volumes[None, :], 0.0)
+    return np.clip(fractions, 0.0, 1.0)
+
+
+def coverage_dot(
+    queries: Sequence[Range],
+    b_lows: np.ndarray,
+    b_highs: np.ndarray,
+    b_volumes: np.ndarray | None,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Fused prediction kernel: ``coverage_matrix(...) @ weights`` without
+    materialising the full matrix.
+
+    Histogram prediction reduces a coverage *row* to one number, so the
+    ``(n, m)`` matrix is pure intermediate state.  Computing it in
+    cache-sized query blocks (``CACHE_ELEMENTS``) keeps every temporary
+    resident in cache — the dominant cost of the matrix path is DRAM
+    traffic, not arithmetic.  All-box workloads (the common case) take a
+    fused fast path: the bucket normalisation folds into the weights once
+    (a box overlap never exceeds the bucket volume, by monotonicity of
+    floating-point min/sub/mul, so the matrix path's divide + clip is a
+    per-entry no-op) and the reduction becomes a single einsum
+    contraction per block.
+    """
+    queries = list(queries)
+    b_lows = np.asarray(b_lows, dtype=float)
+    b_highs = np.asarray(b_highs, dtype=float)
+    if b_volumes is None:
+        b_volumes = np.prod(b_highs - b_lows, axis=1)
+    else:
+        b_volumes = np.asarray(b_volumes, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    n = len(queries)
+    m = b_lows.shape[0]
+    out = np.empty(n)
+    if n and all(isinstance(q, Box) for q in queries):
+        return _box_coverage_dot(queries, b_lows, b_highs, b_volumes, weights, out)
+    zero = b_volumes <= 0
+    any_zero = bool(zero.any())
+    step = max(1, CACHE_ELEMENTS // max(1, m))
+    for start in range(0, n, step):
+        stop = min(n, start + step)
+        overlaps = intersection_volume_matrix(queries[start:stop], b_lows, b_highs)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.divide(overlaps, b_volumes[None, :], out=overlaps)
+        if any_zero:
+            overlaps[:, zero] = 0.0
+        np.clip(overlaps, 0.0, 1.0, out=overlaps)
+        out[start:stop] = overlaps @ weights
+    return out
+
+
+def _box_coverage_dot(
+    queries: Sequence[Box],
+    b_lows: np.ndarray,
+    b_highs: np.ndarray,
+    b_volumes: np.ndarray,
+    weights: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """All-box fused coverage dot: per-dimension widths + one contraction.
+
+    Uses small L1/L2-resident blocks (a quarter of ``CACHE_ELEMENTS`` per
+    buffer), preallocated buffers reused across blocks, and contiguous
+    per-dimension coordinate rows — strided column reads defeat SIMD in
+    the broadcast kernels.
+    """
+    q_lows, q_highs = boxes_to_arrays(queries)
+    n, d = q_lows.shape
+    m = b_lows.shape[0]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scaled = np.where(b_volumes > 0.0, weights / b_volumes, 0.0)
+    ql = np.ascontiguousarray(q_lows.T)
+    qh = np.ascontiguousarray(q_highs.T)
+    bl = np.ascontiguousarray(b_lows.T)
+    bh = np.ascontiguousarray(b_highs.T)
+    step = int(max(8, min(n, CACHE_ELEMENTS // (4 * max(1, m)))))
+    acc_buf = np.empty((step, m))
+    cur_buf = np.empty((step, m))
+    lo_buf = np.empty((step, m))
+    for start in range(0, n, step):
+        stop = min(n, start + step)
+        c = stop - start
+        acc = acc_buf[:c]
+        cur = cur_buf[:c]
+        lo = lo_buf[:c]
+        for k in range(d):
+            dest = acc if k == 0 else cur
+            np.maximum.outer(ql[k][start:stop], bl[k], out=lo)
+            np.minimum.outer(qh[k][start:stop], bh[k], out=dest)
+            np.subtract(dest, lo, out=dest)
+            np.maximum(dest, 0.0, out=dest)
+            if 0 < k < d - 1:
+                np.multiply(acc, cur, out=acc)
+        if d == 1:
+            out[start:stop] = acc @ scaled
+        else:
+            out[start:stop] = np.einsum("ij,ij,j->i", acc, cur, scaled)
+    return out
+
+
+def containment_matrix(queries: Sequence[Range], points: np.ndarray) -> np.ndarray:
+    """Batch membership ``1(p_k ∈ R_i)`` as an ``(n, p)`` float matrix.
+
+    Boxes, halfspaces and balls are evaluated with the same comparisons as
+    their ``contains`` methods (including the ``±1e-12`` closure epsilon),
+    broadcast over all queries at once; other range types fall back to
+    their own vectorised ``contains``.
+    """
+    queries = list(queries)
+    pts = np.asarray(points, dtype=float)
+    n = len(queries)
+    p, d = pts.shape
+    out = np.empty((n, p))
+    boxes, halfspaces, balls, other = _group_by_kind(queries)
+    if boxes:
+        q_lows, q_highs = boxes_to_arrays([queries[i] for i in boxes])
+        idx = np.asarray(boxes)
+        for start, stop in _query_chunks(len(boxes), p * d):
+            inside = np.ones((stop - start, p), dtype=bool)
+            for k in range(d):
+                coords = pts[None, :, k]
+                inside &= coords >= q_lows[start:stop, k, None] - _EPS
+                inside &= coords <= q_highs[start:stop, k, None] + _EPS
+            out[idx[start:stop]] = inside
+    if halfspaces:
+        normals = np.stack([queries[i].normal for i in halfspaces])
+        offsets = np.array([queries[i].offset for i in halfspaces])
+        out[halfspaces] = (pts @ normals.T >= offsets[None, :] - _EPS).T
+    if balls:
+        centers = np.stack([queries[i].ball_center for i in balls])
+        radii = np.array([queries[i].radius for i in balls])
+        idx = np.asarray(balls)
+        for start, stop in _query_chunks(len(balls), p * d):
+            sq_dist = np.zeros((stop - start, p))
+            for k in range(d):
+                diff = pts[None, :, k] - centers[start:stop, k, None]
+                sq_dist += diff * diff
+            out[idx[start:stop]] = sq_dist <= (radii[start:stop, None] ** 2 + _EPS)
+    for i in other:
+        out[i] = np.asarray(queries[i].contains(pts), dtype=float)
+    return out

@@ -69,6 +69,31 @@ def box_box_intersection_volume(box: Box, other: Box) -> float:
     return float(np.prod(widths))
 
 
+def _unit_square_halfspace_fraction(c1, c2, t):
+    """Fraction of the unit square with ``c1*y1 + c2*y2 <= t``, elementwise.
+
+    Closed-form trapezoid geometry instead of inclusion–exclusion: the 2-D
+    I–E identity divides a catastrophically cancelled sum by ``c1*c2`` and
+    loses ``~eps * max(c)/min(c)`` of accuracy when the coefficients are
+    orders of magnitude apart; every branch here is cancellation-free.
+    Assumes ``c1, c2 >= 0``; accepts scalars or broadcastable arrays.
+    The batch halfspace kernels evaluate the same arithmetic, so scalar and
+    matrix results agree bitwise.
+    """
+    lo = np.minimum(c1, c2)
+    hi = np.maximum(c1, c2)
+    total = lo + hi
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denom = 2.0 * lo * hi
+        tri_lo = np.where(denom > 0, t * t / denom, 0.0)
+        rem = total - t
+        tri_hi = 1.0 - np.where(denom > 0, rem * rem / denom, 0.0)
+        mid = np.where(hi > 0, (t - 0.5 * lo) / hi, 0.0)
+    frac = np.where(t <= lo, tri_lo, np.where(t <= hi, mid, tri_hi))
+    frac = np.where(t <= 0.0, 0.0, np.where(t >= total, 1.0, frac))
+    return np.clip(frac, 0.0, 1.0)
+
+
 def _unit_cube_halfspace_fraction(coeffs: np.ndarray, threshold: float) -> float:
     """Fraction of the unit cube with ``coeffs . y <= threshold``.
 
@@ -88,6 +113,14 @@ def _unit_cube_halfspace_fraction(coeffs: np.ndarray, threshold: float) -> float
         return 0.0
     if threshold >= total:
         return 1.0
+    if d == 2:
+        # The 2-D case has a cancellation-free closed form; use it so tiny
+        # coefficient ratios stay exact (the I–E identity below does not).
+        return float(
+            _unit_square_halfspace_fraction(
+                float(coeffs[0]), float(coeffs[1]), threshold
+            )
+        )
     # Enumerate cube vertices via bit masks; vectorised over all 2^d masks.
     masks = np.arange(1 << d, dtype=np.int64)
     bits = (masks[:, None] >> np.arange(d)) & 1  # (2^d, d)
@@ -285,25 +318,40 @@ def batch_box_halfspace_volumes(
     m, d = lows.shape
     widths = highs - lows
     box_volumes = np.prod(widths, axis=1)
-    coeffs = halfspace.normal[None, :] * widths  # (m, d)
-    thresholds = halfspace.offset - lows @ halfspace.normal  # (m,)
+    normal = halfspace.normal
+    thresholds = halfspace.offset - lows @ normal  # (m,)
+    # Dimensions with a (near-)zero normal component are unconstrained for
+    # *every* box: project them out exactly, as the scalar kernel does.
+    # The inclusion–exclusion identity is catastrophically ill-conditioned
+    # in a coefficient that is tiny relative to the others, so an epsilon
+    # guard there costs ~1e-5 of accuracy; exact projection costs nothing.
+    active = np.abs(normal) > 1e-15 * max(1.0, float(np.max(np.abs(normal), initial=0.0)))
+    a_dim = int(active.sum())
+    if a_dim == 0:
+        return np.where(thresholds <= 0.0, box_volumes, 0.0)
+    coeffs = normal[active][None, :] * widths[:, active]  # (m, a_dim)
     negative = coeffs < 0
     thresholds = thresholds - np.sum(np.where(negative, coeffs, 0.0), axis=1)
     coeffs = np.abs(coeffs)
-    # Zero coefficients leave a dimension unconstrained; rescale them to 1
-    # and remember the effective dimension per box is unchanged because a
-    # coefficient of exactly 0 contributes max(0, t - 0)^d terms in pairs
-    # that cancel.  To keep the vectorised formula exact we instead add a
-    # negligible epsilon — the formula is continuous in the coefficients.
+    if a_dim == 2:
+        # Cancellation-free closed form, bitwise-identical to the scalar
+        # kernel's 2-D branch (tiny coefficient ratios stay exact).
+        fraction_below = _unit_square_halfspace_fraction(
+            coeffs[:, 0], coeffs[:, 1], thresholds
+        )
+        return np.maximum(box_volumes * (1.0 - fraction_below), 0.0)
+    # Residual zero coefficients only come from zero-width boxes, whose
+    # volume factor forces the result to 0 anyway; the epsilon guard just
+    # keeps the arithmetic finite.
     eps = 1e-12 * np.maximum(1.0, np.max(coeffs, axis=1, keepdims=True))
     coeffs = np.maximum(coeffs, eps)
-    masks = np.arange(1 << d, dtype=np.int64)
-    bits = ((masks[:, None] >> np.arange(d)) & 1).astype(float)  # (2^d, d)
-    signs = np.where((np.sum(bits, axis=1) % 2) == 0, 1.0, -1.0)  # (2^d,)
-    dots = coeffs @ bits.T  # (m, 2^d)
-    terms = np.maximum(0.0, thresholds[:, None] - dots) ** d
+    masks = np.arange(1 << a_dim, dtype=np.int64)
+    bits = ((masks[:, None] >> np.arange(a_dim)) & 1).astype(float)  # (2^a, a)
+    signs = np.where((np.sum(bits, axis=1) % 2) == 0, 1.0, -1.0)  # (2^a,)
+    dots = coeffs @ bits.T  # (m, 2^a)
+    terms = np.maximum(0.0, thresholds[:, None] - dots) ** a_dim
     raw = terms @ signs  # (m,)
-    denom = math.factorial(d) * np.prod(coeffs, axis=1)
+    denom = math.factorial(a_dim) * np.prod(coeffs, axis=1)
     with np.errstate(divide="ignore", invalid="ignore"):
         fraction_below = np.where(denom > 0, raw / denom, 0.0)
     fraction_below = np.clip(fraction_below, 0.0, 1.0)
@@ -313,23 +361,26 @@ def batch_box_halfspace_volumes(
     return np.maximum(box_volumes * (1.0 - fraction_below), 0.0)
 
 
-def _disc_quadrant_area_vec(x: np.ndarray, y: np.ndarray, radius: float) -> np.ndarray:
-    """Vectorised :func:`_disc_quadrant_area` over coordinate arrays."""
-    r = float(radius)
-    x = np.asarray(x, dtype=float)
-    y = np.asarray(y, dtype=float)
-    if r <= 0.0:
-        return np.zeros(np.broadcast(x, y).shape)
+def _disc_quadrant_area_vec(x: np.ndarray, y: np.ndarray, radius) -> np.ndarray:
+    """Vectorised :func:`_disc_quadrant_area` over coordinate arrays.
+
+    ``radius`` may be a scalar or any array broadcastable against ``x`` and
+    ``y`` (the batch kernels pass one radius per query row).
+    """
+    x, y, r = np.broadcast_arrays(
+        np.asarray(x, dtype=float), np.asarray(y, dtype=float), np.asarray(radius, dtype=float)
+    )
+    r_safe = np.where(r > 0.0, r, 1.0)
     xc = np.minimum(x, r)
 
     def g_anti(t: np.ndarray) -> np.ndarray:
         t = np.clip(t, -r, r)
-        return 0.5 * (t * np.sqrt(np.maximum(r * r - t * t, 0.0)) + r * r * np.arcsin(t / r))
+        return 0.5 * (t * np.sqrt(np.maximum(r * r - t * t, 0.0)) + r * r * np.arcsin(t / r_safe))
 
     def g_int(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.where(b > a, g_anti(b) - g_anti(a), 0.0)
 
-    a = np.full_like(xc, -r)
+    a = -r
     b = xc
     # Branch 1: y >= r -> full vertical extent.
     full = 2.0 * g_int(a, b)
@@ -347,7 +398,7 @@ def _disc_quadrant_area_vec(x: np.ndarray, y: np.ndarray, radius: float) -> np.n
     neg_area = np.where(has_band, y_clip * (hi - lo) + g_int(lo, hi), 0.0)
     partial = np.where(y_clip >= 0.0, pos_area, neg_area)
     area = np.where(y >= r, full, partial)
-    dead = (x <= -r) | (y <= -r)
+    dead = (x <= -r) | (y <= -r) | (r <= 0.0)
     return np.where(dead, 0.0, np.maximum(area, 0.0))
 
 

@@ -27,6 +27,10 @@ Endpoints (JSON in/out; ranges use the tagged encoding of
 :mod:`repro.data.io`):
 
 * ``POST /estimate``  ``{"query": {...}}`` → ``{"selectivity": 0.42}``
+* ``POST /predict``   ``{"queries": [{...}, ...]}`` →
+  ``{"selectivities": [0.42, ...], "count": 2}`` — the batch path: one
+  vectorised ``predict_many`` call for all cache misses, results cached
+  in a generation-keyed LRU so repeated optimizer probes are free.
 * ``POST /feedback``  ``{"query": {...}, "selectivity": 0.37}`` →
   ``{"accepted": true, "pending": 12, "drift": false}``
 * ``POST /retrain``   → ``{"trained_on": 200, "model_size": 800, ...}``
@@ -45,12 +49,13 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro.core.estimator import SelectivityEstimator
-from repro.data.io import range_from_dict
+from repro.data.io import range_from_dict, range_to_dict
 from repro.eval.drift import DriftDetector
 from repro.geometry.ranges import Range
 from repro.robustness import CircuitBreaker, FeedbackBuffer
@@ -103,6 +108,12 @@ class EstimatorService:
         Wall-clock budget for one retrain in seconds (None = unlimited);
         exceeding it counts as a retrain failure
         (:class:`TrainingTimeoutError`).
+    prediction_cache_size:
+        Capacity of the generation-keyed LRU cache fronting the batch
+        prediction path (0 disables caching).  Entries are keyed by
+        (model generation, canonical query JSON), so a retrain implicitly
+        invalidates everything — the cache is also cleared eagerly on each
+        successful retrain to free memory.
     """
 
     def __init__(
@@ -116,6 +127,7 @@ class EstimatorService:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
         retrain_timeout: float | None = None,
+        prediction_cache_size: int = 4096,
         seed: int = 0,
         _clock=time.monotonic,
     ):
@@ -131,6 +143,10 @@ class EstimatorService:
             )
         if retrain_timeout is not None and retrain_timeout <= 0:
             raise ValueError(f"retrain_timeout must be positive, got {retrain_timeout}")
+        if prediction_cache_size < 0:
+            raise ValueError(
+                f"prediction_cache_size must be >= 0, got {prediction_cache_size}"
+            )
         self._factory = estimator_factory
         self.retrain_every = retrain_every
         self.min_feedback = int(min_feedback)
@@ -154,6 +170,10 @@ class EstimatorService:
         self._quarantine = SanitizationReport(policy=sanitize_policy)
         self._last_error: str | None = None
         self._last_retrain_seconds: float | None = None
+        self._cache_capacity = int(prediction_cache_size)
+        self._prediction_cache: OrderedDict[tuple[int, str], float] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- programmatic API ------------------------------------------------
 
@@ -171,6 +191,56 @@ class EstimatorService:
                     f"have {len(self._buffer)}"
                 )
             return self._model.predict(query)
+
+    def estimate_many(self, queries) -> list[float]:
+        """Batch estimates from the last good generation, LRU-cached.
+
+        Cache lookups happen under the state lock; the vectorised
+        ``predict_many`` call for the misses runs *outside* it (fitted
+        models are immutable — retrains swap in a whole new object), so a
+        large batch never blocks feedback ingestion or retraining.
+        """
+        queries = list(queries)
+        with self._lock:
+            if self._model is None:
+                raise ModelUnavailableError(
+                    f"no model yet: need >= {self.min_feedback} feedbacks, "
+                    f"have {len(self._buffer)}"
+                )
+            model = self._model
+            generation = self._generation
+            keys = [self._cache_key(generation, q) for q in queries]
+            results: list[float | None] = [None] * len(queries)
+            misses: list[int] = []
+            for i, key in enumerate(keys):
+                cached = self._prediction_cache.get(key) if key is not None else None
+                if cached is not None:
+                    self._prediction_cache.move_to_end(key)
+                    self._cache_hits += 1
+                    results[i] = cached
+                else:
+                    self._cache_misses += 1
+                    misses.append(i)
+        if misses:
+            predicted = model.predict_many([queries[i] for i in misses])
+            with self._lock:
+                for i, value in zip(misses, predicted):
+                    results[i] = float(value)
+                    key = keys[i]
+                    if key is not None and self._cache_capacity > 0:
+                        self._prediction_cache[key] = float(value)
+                        self._prediction_cache.move_to_end(key)
+                        while len(self._prediction_cache) > self._cache_capacity:
+                            self._prediction_cache.popitem(last=False)
+        return results
+
+    @staticmethod
+    def _cache_key(generation: int, query) -> tuple[int, str] | None:
+        """Canonical cache key; None (uncacheable) for unserialisable ranges."""
+        try:
+            return generation, json.dumps(range_to_dict(query), sort_keys=True)
+        except (TypeError, ValueError, KeyError):
+            return None
 
     def feedback(self, query, selectivity: float) -> dict:
         """Record one observed (query, true selectivity) pair.
@@ -241,6 +311,7 @@ class EstimatorService:
         with self._lock:
             self._breaker.record_success()
             self._model = model
+            self._prediction_cache.clear()  # old generation's entries are dead
             self._generation += 1
             self._trained_on = trained_on
             self._since_train = 0
@@ -271,6 +342,12 @@ class EstimatorService:
                 "sanitize_policy": self.sanitize_policy,
                 "last_error": self._last_error,
                 "last_retrain_seconds": self._last_retrain_seconds,
+                "prediction_cache": {
+                    "size": len(self._prediction_cache),
+                    "capacity": self._cache_capacity,
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                },
                 "drift": self._drift_flag,
                 "drift_statistic": (
                     round(self._detector.statistic, 3) if self._detector else None
@@ -422,6 +499,18 @@ def _make_handler(service: EstimatorService):
                     data = self._read_json()
                     query = range_from_dict(data["query"])
                     self._reply(200, {"selectivity": service.estimate(query)})
+                elif self.path == "/predict":
+                    data = self._read_json()
+                    encoded = data["queries"]
+                    if not isinstance(encoded, list):
+                        raise DataValidationError(
+                            f"'queries' must be a list, got {type(encoded).__name__}"
+                        )
+                    queries = [range_from_dict(item) for item in encoded]
+                    estimates = service.estimate_many(queries)
+                    self._reply(
+                        200, {"selectivities": estimates, "count": len(estimates)}
+                    )
                 elif self.path == "/feedback":
                     data = self._read_json()
                     query = range_from_dict(data["query"])

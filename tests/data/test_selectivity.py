@@ -58,3 +58,37 @@ class TestLabelQueries:
         ]
         labels = label_queries(grid_dataset, queries)
         assert np.all(labels >= 0.0) and np.all(labels <= 1.0)
+
+
+class TestLabelQueriesBatching:
+    """The chunked containment-matrix path is a pure optimisation."""
+
+    def test_mixed_workload_matches_loop(self, grid_dataset):
+        queries = [
+            Box([0.1, 0.1], [0.7, 0.6]),
+            Halfspace([1.0, -1.0], 0.0),
+            Ball([0.45, 0.45], 0.25),
+            Box([0.5, 0.0], [0.5, 1.0]),  # zero-width
+            Halfspace([0.0, 1.0], 0.35),
+        ]
+        labels = label_queries(grid_dataset, queries)
+        singles = np.array([true_selectivity(grid_dataset, q) for q in queries])
+        np.testing.assert_array_equal(labels, singles)
+
+    def test_chunked_equals_unchunked(self, grid_dataset, monkeypatch):
+        import repro.data.selectivity as selectivity_mod
+
+        queries = [Box([0.05 * i, 0.0], [0.05 * i + 0.3, 0.8]) for i in range(12)]
+        baseline = label_queries(grid_dataset, queries)
+        # Budget of 64 elements => a handful of queries per containment pass.
+        monkeypatch.setattr(selectivity_mod, "CHUNK_ELEMENTS", 64)
+        np.testing.assert_array_equal(label_queries(grid_dataset, queries), baseline)
+
+    def test_empty_workload(self, grid_dataset):
+        labels = label_queries(grid_dataset, [])
+        assert labels.shape == (0,)
+
+    def test_dimension_mismatch_rejected_up_front(self, grid_dataset):
+        queries = [Box([0.0, 0.0], [1.0, 1.0]), Box([0.0], [1.0])]
+        with pytest.raises(ValueError):
+            label_queries(grid_dataset, queries)

@@ -127,3 +127,49 @@ class TestDensityAndSampling:
         q = Box([0.0, 0.0], [0.5, 1.0])
         empirical = float(np.mean(q.contains(pts)))
         assert empirical == pytest.approx(hist.selectivity(q), abs=0.02)
+
+
+class TestVectorizedPaths:
+    """selectivity_many / vectorised density are pure optimisations."""
+
+    def test_selectivity_many_matches_scalar_loop(self, quadrants):
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        ranges = [
+            Box([0.1, 0.1], [0.8, 0.4]),
+            Halfspace([1.0, 1.0], 1.0),
+            Ball([0.5, 0.5], 0.4),
+            unit_box(2),
+            Box([0.25, 0.25], [0.25, 0.75]),  # zero-width
+        ]
+        many = hist.selectivity_many(ranges)
+        singles = np.array([hist.selectivity(r) for r in ranges])
+        np.testing.assert_allclose(many, singles, atol=1e-12, rtol=0)
+
+    def test_selectivity_many_empty(self, quadrants):
+        hist = HistogramDistribution(quadrants, [0.25] * 4)
+        assert hist.selectivity_many([]).shape == (0,)
+
+    def test_density_vectorised_matches_per_point(self, rng, quadrants):
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        pts = rng.random((200, 2))
+        batch = hist.density(pts)
+        singles = np.array([hist.density(p) for p in pts])
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_density_shared_face_last_bucket_wins(self, quadrants):
+        # (0.5, 0.5) lies on the closure of all four quadrants; the
+        # vectorised path must keep the scalar loop's last-wins rule.
+        hist = HistogramDistribution(quadrants, [0.4, 0.3, 0.2, 0.1])
+        expected = 0.1 / quadrants[3].volume()
+        assert hist.density(np.array([0.5, 0.5])) == pytest.approx(expected)
+        assert hist.density(np.array([[0.5, 0.5]]))[0] == pytest.approx(expected)
+
+    def test_validate_names_the_offending_pair(self):
+        buckets = [
+            Box([0.0, 0.0], [0.3, 1.0]),
+            Box([0.3, 0.0], [0.6, 1.0]),
+            Box([0.5, 0.0], [1.0, 1.0]),
+        ]
+        hist = HistogramDistribution(buckets, [0.3, 0.3, 0.4])
+        with pytest.raises(ValueError, match="buckets overlap"):
+            hist.validate()

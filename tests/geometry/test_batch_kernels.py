@@ -1,0 +1,214 @@
+"""Batch volume-matrix kernels agree with the per-query kernels.
+
+Every matrix row must reproduce :func:`repro.geometry.volume
+.batch_intersection_volumes` (one query × many boxes) to floating-point
+noise, for every query class, under any chunking configuration.
+"""
+
+import numpy as np
+import pytest
+
+import repro.geometry.batch as batch
+from repro.geometry import Ball, Box, Halfspace, unit_box
+from repro.geometry.batch import (
+    box_ball_volume_matrix,
+    box_box_volume_matrix,
+    box_halfspace_volume_matrix,
+    boxes_to_arrays,
+    containment_matrix,
+    coverage_dot,
+    coverage_matrix,
+    intersection_volume_matrix,
+)
+from repro.geometry.volume import (
+    batch_intersection_volumes,
+    box_halfspace_intersection_volume,
+)
+
+
+def _random_buckets(rng, m, d):
+    lows = rng.random((m, d)) * 0.85
+    highs = lows + rng.random((m, d)) * 0.15 + 1e-3
+    return lows, highs
+
+
+def _assert_rows_match(queries, b_lows, b_highs, matrix, atol=1e-12):
+    for i, query in enumerate(queries):
+        expected = batch_intersection_volumes(b_lows, b_highs, query)
+        np.testing.assert_allclose(matrix[i], expected, atol=atol, rtol=0)
+
+
+class TestBoxKernel:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_matches_scalar_rows(self, rng, d):
+        b_lows, b_highs = _random_buckets(rng, 40, d)
+        queries = [
+            Box(lo, lo + w)
+            for lo, w in zip(rng.random((25, d)) * 0.7, rng.random((25, d)) * 0.3)
+        ]
+        q_lows, q_highs = boxes_to_arrays(queries)
+        matrix = box_box_volume_matrix(q_lows, q_highs, b_lows, b_highs)
+        _assert_rows_match(queries, b_lows, b_highs, matrix, atol=0)
+
+    def test_disjoint_pairs_are_zero(self):
+        b_lows, b_highs = boxes_to_arrays([Box([0.0, 0.0], [0.2, 0.2])])
+        q_lows, q_highs = boxes_to_arrays([Box([0.5, 0.5], [0.9, 0.9])])
+        matrix = box_box_volume_matrix(q_lows, q_highs, b_lows, b_highs)
+        assert matrix[0, 0] == 0.0
+
+
+class TestHalfspaceKernel:
+    def test_matches_scalar_rows(self, rng):
+        b_lows, b_highs = _random_buckets(rng, 30, 2)
+        queries = [
+            Halfspace(normal, float(rng.normal()))
+            for normal in rng.normal(size=(20, 2))
+        ]
+        normals = np.stack([q.normal for q in queries])
+        offsets = np.array([q.offset for q in queries])
+        matrix = box_halfspace_volume_matrix(normals, offsets, b_lows, b_highs)
+        _assert_rows_match(queries, b_lows, b_highs, matrix)
+
+    def test_axis_aligned_zero_components(self, rng):
+        """Mixed active patterns: the per-pattern grouping must stitch the
+        rows back into workload order."""
+        b_lows, b_highs = _random_buckets(rng, 25, 3)
+        queries = [
+            Halfspace([1.0, 0.0, 0.0], 0.5),
+            Halfspace([0.0, -1.0, 0.0], -0.4),
+            Halfspace([1.0, 1.0, 1.0], 1.2),
+            Halfspace([1.0, 0.0, 0.0], 5.0),  # all-space: every box fully in
+            Halfspace([0.5, 0.0, -0.5], 0.1),
+        ]
+        normals = np.stack([q.normal for q in queries])
+        offsets = np.array([q.offset for q in queries])
+        matrix = box_halfspace_volume_matrix(normals, offsets, b_lows, b_highs)
+        _assert_rows_match(queries, b_lows, b_highs, matrix)
+
+    def test_tiny_normal_component_is_well_conditioned(self):
+        """A near-zero (but non-zero) component must not blow up the 2-D
+        closed form: the halfspace and its complement partition the box."""
+        dom = unit_box(2)
+        half = Halfspace([5.3e-11, -1.0], 0.0)
+        flipped = Halfspace([-5.3e-11, 1.0], 0.0)
+        pos = box_halfspace_intersection_volume(dom, half)
+        neg = box_halfspace_intersection_volume(dom, flipped)
+        assert pos + neg == pytest.approx(1.0, abs=1e-12)
+        # Batch kernels agree with the scalar kernel bitwise.
+        b_lows, b_highs = boxes_to_arrays([dom])
+        for query in (half, flipped):
+            scalar = box_halfspace_intersection_volume(dom, query)
+            row = box_halfspace_volume_matrix(
+                query.normal[None, :], np.array([query.offset]), b_lows, b_highs
+            )
+            assert row[0, 0] == scalar
+
+
+class TestBallKernel:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_matches_scalar_rows(self, rng, d):
+        """Exact in d <= 2; in d = 3 the QMC path must reuse the scalar
+        kernel's fixed Sobol point set, so rows still agree exactly."""
+        b_lows, b_highs = _random_buckets(rng, 15, d)
+        queries = [
+            Ball(center, float(radius))
+            for center, radius in zip(
+                rng.random((10, d)), 0.05 + rng.random(10) * 0.4
+            )
+        ]
+        centers = np.stack([q.ball_center for q in queries])
+        radii = np.array([q.radius for q in queries])
+        matrix = box_ball_volume_matrix(centers, radii, b_lows, b_highs)
+        _assert_rows_match(queries, b_lows, b_highs, matrix)
+
+
+class TestDispatcherAndChunking:
+    def _mixed_workload(self, rng):
+        return [
+            Box([0.1, 0.1], [0.6, 0.5]),
+            Halfspace([1.0, -0.5], 0.2),
+            Ball([0.4, 0.6], 0.3),
+            Box([0.0, 0.0], [1.0, 1.0]),
+            Halfspace([0.0, 1.0], 0.7),
+            Ball([0.9, 0.1], 0.05),
+        ]
+
+    def test_mixed_workload_rows_in_order(self, rng):
+        b_lows, b_highs = _random_buckets(rng, 35, 2)
+        queries = self._mixed_workload(rng)
+        matrix = intersection_volume_matrix(queries, b_lows, b_highs)
+        _assert_rows_match(queries, b_lows, b_highs, matrix)
+
+    def test_results_invariant_to_chunk_size(self, rng, monkeypatch):
+        """Tiny memory budgets only change the blocking, never the values."""
+        b_lows, b_highs = _random_buckets(rng, 30, 2)
+        queries = self._mixed_workload(rng) * 5
+        weights = rng.normal(size=30)
+        volumes = np.prod(b_highs - b_lows, axis=1)
+        baseline_matrix = intersection_volume_matrix(queries, b_lows, b_highs)
+        baseline_dot = coverage_dot(queries, b_lows, b_highs, volumes, weights)
+        monkeypatch.setattr(batch, "CHUNK_ELEMENTS", 64)
+        monkeypatch.setattr(batch, "CACHE_ELEMENTS", 16)
+        np.testing.assert_array_equal(
+            intersection_volume_matrix(queries, b_lows, b_highs), baseline_matrix
+        )
+        np.testing.assert_allclose(
+            coverage_dot(queries, b_lows, b_highs, volumes, weights),
+            baseline_dot,
+            atol=1e-12,
+            rtol=0,
+        )
+
+
+class TestCoverage:
+    def test_zero_volume_bucket_contributes_zero(self):
+        buckets = [Box([0.0, 0.0], [0.5, 1.0]), Box([0.5, 0.2], [0.5, 0.8])]
+        b_lows, b_highs = boxes_to_arrays(buckets)
+        fractions = coverage_matrix([unit_box(2)], b_lows, b_highs)
+        np.testing.assert_allclose(fractions, [[1.0, 0.0]])
+
+    def test_coverage_dot_matches_matrix_product(self, rng):
+        """The fused path (folded weights, no materialised matrix) equals
+        coverage_matrix @ weights — including negative weights and a
+        degenerate bucket."""
+        b_lows, b_highs = _random_buckets(rng, 40, 2)
+        b_lows[7] = b_highs[7]  # degenerate bucket
+        volumes = np.prod(b_highs - b_lows, axis=1)
+        weights = rng.normal(size=40)
+        for queries in (
+            [Box(lo, lo + w) for lo, w in zip(rng.random((30, 2)) * 0.6, rng.random((30, 2)) * 0.4)],
+            [Halfspace([1.0, 0.3], 0.4), Ball([0.5, 0.5], 0.3), Box([0.1, 0.1], [0.9, 0.9])],
+        ):
+            expected = coverage_matrix(queries, b_lows, b_highs, volumes) @ weights
+            got = coverage_dot(queries, b_lows, b_highs, volumes, weights)
+            np.testing.assert_allclose(got, expected, atol=1e-12, rtol=0)
+
+    @pytest.mark.parametrize("d", [1, 3])
+    def test_coverage_dot_box_path_other_dims(self, rng, d):
+        b_lows, b_highs = _random_buckets(rng, 20, d)
+        volumes = np.prod(b_highs - b_lows, axis=1)
+        weights = rng.random(20)
+        queries = [
+            Box(lo, lo + w)
+            for lo, w in zip(rng.random((15, d)) * 0.6, rng.random((15, d)) * 0.4)
+        ]
+        expected = coverage_matrix(queries, b_lows, b_highs, volumes) @ weights
+        got = coverage_dot(queries, b_lows, b_highs, volumes, weights)
+        np.testing.assert_allclose(got, expected, atol=1e-12, rtol=0)
+
+
+class TestContainmentMatrix:
+    def test_matches_per_query_contains(self, rng):
+        pts = rng.random((200, 2))
+        queries = [
+            Box([0.2, 0.1], [0.7, 0.8]),
+            Halfspace([1.0, -1.0], 0.0),
+            Ball([0.5, 0.5], 0.35),
+            Box([0.4, 0.4], [0.4, 0.9]),  # zero-width box
+        ]
+        matrix = containment_matrix(queries, pts)
+        assert matrix.shape == (len(queries), 200)
+        for i, query in enumerate(queries):
+            np.testing.assert_array_equal(
+                matrix[i], np.asarray(query.contains(pts), dtype=float)
+            )

@@ -225,3 +225,136 @@ class TestHTTPErrorPaths:
         assert set(status) >= {"generation", "breaker", "buffer", "quarantine"}
         assert status["breaker"]["state"] == "closed"
         assert status["generation"] == 0
+
+
+class TestBatchEstimation:
+    """estimate_many: batch path + generation-keyed prediction cache."""
+
+    def _trained(self, labeled_feedback, **kwargs):
+        feedback, holdout = labeled_feedback
+        service = _service(**kwargs)
+        for query, label in feedback[:50]:
+            service.feedback(query, label)
+        service.retrain()
+        return service, holdout
+
+    def test_before_training_raises(self):
+        service = _service()
+        with pytest.raises(RuntimeError):
+            service.estimate_many([Box([0.0, 0.0], [0.5, 0.5])])
+
+    def test_matches_scalar_estimate(self, labeled_feedback):
+        service, holdout = self._trained(labeled_feedback)
+        queries = [q for q, _ in holdout[:20]]
+        batch = service.estimate_many(queries)
+        assert len(batch) == len(queries)
+        singles = [service.estimate(q) for q in queries]
+        np.testing.assert_allclose(batch, singles, atol=1e-12, rtol=0)
+
+    def test_cache_hits_accumulate(self, labeled_feedback):
+        service, holdout = self._trained(labeled_feedback)
+        queries = [q for q, _ in holdout[:15]]
+        first = service.estimate_many(queries)
+        stats = service.status()["prediction_cache"]
+        assert stats["size"] == len(queries)
+        assert stats["misses"] >= len(queries)
+        second = service.estimate_many(queries)
+        assert second == first
+        stats = service.status()["prediction_cache"]
+        assert stats["hits"] >= len(queries)
+
+    def test_cache_invalidated_by_retrain(self, labeled_feedback):
+        service, holdout = self._trained(labeled_feedback)
+        feedback, _ = labeled_feedback
+        queries = [q for q, _ in holdout[:10]]
+        service.estimate_many(queries)
+        assert service.status()["prediction_cache"]["size"] == len(queries)
+        for query, label in feedback[50:70]:
+            service.feedback(query, label)
+        service.retrain()  # new generation: stale entries must be unreachable
+        assert service.status()["prediction_cache"]["size"] == 0
+        fresh = service.estimate_many(queries)
+        singles = [service.estimate(q) for q in queries]
+        np.testing.assert_allclose(fresh, singles, atol=1e-12, rtol=0)
+
+    def test_cache_capacity_bounds_size(self, labeled_feedback):
+        service, holdout = self._trained(labeled_feedback, prediction_cache_size=4)
+        queries = [q for q, _ in holdout[:12]]
+        service.estimate_many(queries)
+        assert service.status()["prediction_cache"]["size"] <= 4
+
+    def test_cache_disabled(self, labeled_feedback):
+        service, holdout = self._trained(labeled_feedback, prediction_cache_size=0)
+        queries = [q for q, _ in holdout[:10]]
+        batch = service.estimate_many(queries)
+        assert service.status()["prediction_cache"]["size"] == 0
+        singles = [service.estimate(q) for q in queries]
+        np.testing.assert_allclose(batch, singles, atol=1e-12, rtol=0)
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ValueError):
+            _service(prediction_cache_size=-1)
+
+    def test_empty_batch(self, labeled_feedback):
+        service, _ = self._trained(labeled_feedback)
+        assert service.estimate_many([]) == []
+
+
+class TestHTTPBatchPredict:
+    @pytest.fixture
+    def server(self, labeled_feedback):
+        service = _service(min_feedback=20)
+        server = serve(service, port=0)
+        yield server
+        server.shutdown()
+
+    def _post(self, server, path, payload):
+        host, port = server.server_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def _train(self, server, labeled_feedback):
+        feedback, holdout = labeled_feedback
+        for query, label in feedback[:40]:
+            self._post(
+                server,
+                "/feedback",
+                {"query": range_to_dict(query), "selectivity": float(label)},
+            )
+        self._post(server, "/retrain", {})
+        return holdout
+
+    def test_predict_endpoint(self, server, labeled_feedback):
+        holdout = self._train(server, labeled_feedback)
+        queries = [q for q, _ in holdout[:8]]
+        result = self._post(
+            server, "/predict", {"queries": [range_to_dict(q) for q in queries]}
+        )
+        assert result["count"] == len(queries)
+        assert len(result["selectivities"]) == len(queries)
+        for value, (query, _) in zip(result["selectivities"], holdout[:8]):
+            single = self._post(server, "/estimate", {"query": range_to_dict(query)})
+            assert value == pytest.approx(single["selectivity"], abs=1e-12)
+
+    def test_predict_non_list_queries_is_400(self, server, labeled_feedback):
+        self._train(server, labeled_feedback)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/predict", {"queries": {"type": "box"}})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "must be a list" in body["error"]
+
+    def test_predict_before_training_is_409(self, server, labeled_feedback):
+        feedback, _ = labeled_feedback
+        queries = [range_to_dict(feedback[0][0])]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/predict", {"queries": queries})
+        assert excinfo.value.code == 409
+        body = json.loads(excinfo.value.read())
+        assert body["type"] == "ModelUnavailableError"
