@@ -1,0 +1,212 @@
+"""Observability overhead: instrumented vs. uninstrumented hot paths.
+
+The instrumentation layer (:mod:`repro.observability`) promises that the
+hot prediction path pays only a few counter increments per *call* — never
+per query or per element.  This bench prices that promise on the paper's
+main configuration (a ~1k-bucket QuadHist over Power 2-D, 5k-query
+workload) by timing ``predict_many`` with metric recording globally
+enabled vs. disabled (:func:`repro.observability.set_enabled`), plus
+micro-benchmarks of the individual primitives (counter inc, histogram
+observe, span open/close).
+
+The run **fails (exit 1)** if the end-to-end overhead exceeds the budget
+(default 5%), so CI catches any future instrumentation creeping into a
+per-element loop.  Results land in
+``benchmarks/results/BENCH_observability.json``::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py          # full
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.quadhist import QuadHist
+from repro.data.selectivity import label_queries
+from repro.data.synthetic import power_like
+from repro.data.workloads import WorkloadSpec, generate_workload
+from repro.observability import (
+    Counter,
+    Histogram,
+    set_enabled,
+    span,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+# Mirrors bench_throughput.py's FULL configuration: the acceptance target
+# is "< 5% overhead on predict_many over 5k queries x 1024-leaf QuadHist".
+FULL = {
+    "mode": "full",
+    "rows": 25_000,
+    "train_queries": 400,
+    "eval_queries": 5_000,
+    "tau": 0.0004,
+    "max_leaves": 1024,
+    "repeats": 7,
+    "micro_ops": 200_000,
+    "micro_spans": 20_000,
+}
+SMOKE = {
+    "mode": "smoke",
+    "rows": 4_000,
+    "train_queries": 100,
+    "eval_queries": 500,
+    "tau": 0.004,
+    "max_leaves": 256,
+    "repeats": 5,
+    "micro_ops": 20_000,
+    "micro_spans": 2_000,
+}
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _per_op_ns(count: int, fn) -> float:
+    start = time.perf_counter()
+    for _ in range(count):
+        fn()
+    return (time.perf_counter() - start) / count * 1e9
+
+
+def _micro(config: dict) -> dict:
+    """Nanoseconds per operation for each primitive, recording enabled."""
+    ops = config["micro_ops"]
+    counter = Counter("bench_counter_total", "bench")
+    labelled = Counter("bench_labelled_total", "bench", ("kernel",))
+    hist = Histogram("bench_hist_seconds", "bench")
+    results = {
+        "counter_inc_ns": round(_per_op_ns(ops, counter.inc), 1),
+        "labelled_counter_inc_ns": round(
+            _per_op_ns(ops, lambda: labelled.inc(kernel="bench")), 1
+        ),
+        "histogram_observe_ns": round(
+            _per_op_ns(ops, lambda: hist.observe(0.003)), 1
+        ),
+    }
+
+    def one_span():
+        with span("bench/noop"):
+            pass
+
+    results["span_ns"] = round(_per_op_ns(config["micro_spans"], one_span), 1)
+
+    previous = set_enabled(False)
+    try:
+        results["counter_inc_disabled_ns"] = round(_per_op_ns(ops, counter.inc), 1)
+    finally:
+        set_enabled(previous)
+    return results
+
+
+def run(config: dict) -> dict:
+    rng = np.random.default_rng(20220612)
+    data = power_like(rows=config["rows"], seed=7).project([0, 3])
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    train = generate_workload(
+        config["train_queries"], data.dim, rng, spec=spec, dataset=data
+    )
+    queries = generate_workload(
+        config["eval_queries"], data.dim, rng, spec=spec, dataset=data
+    )
+    labels = label_queries(data, train)
+
+    est = QuadHist(tau=config["tau"], max_leaves=config["max_leaves"])
+    est.fit(train, labels)
+    est.predict_many(queries)  # warm-up: touches every code path once
+
+    repeats = config["repeats"]
+    previous = set_enabled(False)
+    try:
+        t_disabled = _best_of(repeats, lambda: est.predict_many(queries))
+        set_enabled(True)
+        t_enabled = _best_of(repeats, lambda: est.predict_many(queries))
+    finally:
+        set_enabled(previous)
+
+    overhead = (t_enabled - t_disabled) / t_disabled
+    n = len(queries)
+    return {
+        "config": config,
+        "buckets": est.model_size,
+        "predict_many": {
+            "queries": n,
+            "enabled_seconds": round(t_enabled, 5),
+            "disabled_seconds": round(t_disabled, 5),
+            "enabled_queries_per_second": round(n / t_enabled, 1),
+            "disabled_queries_per_second": round(n / t_disabled, 1),
+            "overhead_fraction": round(overhead, 5),
+        },
+        "micro_ns_per_op": _micro(config),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.05,
+        help="maximum tolerated predict_many overhead fraction (default 0.05)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_observability.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    result = run(SMOKE if args.smoke else FULL)
+    result["budget"] = args.budget
+    overhead = result["predict_many"]["overhead_fraction"]
+    result["within_budget"] = overhead <= args.budget
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    predict = result["predict_many"]
+    print(
+        f"predict_many ({predict['queries']} queries, {result['buckets']} buckets): "
+        f"enabled {predict['enabled_seconds']}s vs "
+        f"disabled {predict['disabled_seconds']}s -> "
+        f"overhead {overhead * 100:.2f}% (budget {args.budget * 100:.0f}%)"
+    )
+    micro = result["micro_ns_per_op"]
+    print(
+        f"micro: counter.inc {micro['counter_inc_ns']}ns  "
+        f"labelled.inc {micro['labelled_counter_inc_ns']}ns  "
+        f"hist.observe {micro['histogram_observe_ns']}ns  "
+        f"span {micro['span_ns']}ns  "
+        f"(disabled inc {micro['counter_inc_disabled_ns']}ns)"
+    )
+    print(f"wrote {args.output}")
+    if not result["within_budget"]:
+        print(
+            f"FAIL: overhead {overhead * 100:.2f}% exceeds budget "
+            f"{args.budget * 100:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

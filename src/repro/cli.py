@@ -16,7 +16,13 @@ Three subcommands cover the paper's workflow end to end:
     Run the fault-tolerant HTTP estimation sidecar
     (:mod:`repro.server`) with the robustness knobs exposed: sanitize
     policy, feedback-buffer capacity, circuit-breaker threshold/cooldown,
-    and retrain timeout.
+    and retrain timeout.  ``--log-json`` switches the structured logger
+    to JSON lines (and enables span-trace logging); ``--access-log``
+    emits one log line per HTTP request.
+
+``metrics``
+    Fetch and print the Prometheus text exposition from a running
+    sidecar's ``GET /metrics`` endpoint (see ``docs/observability.md``).
 
 Examples
 --------
@@ -28,6 +34,7 @@ Examples
         --train 200 --test 150 --methods quadhist,ptshist,quicksel
     python -m repro.cli serve --method quadhist --port 8080 \\
         --sanitize drop --retrain-every 50 --feedback-capacity 10000
+    python -m repro.cli metrics --port 8080
 """
 
 from __future__ import annotations
@@ -148,6 +155,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="wall-clock budget per retrain in seconds",
     )
+    srv.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines (also logs span traces)",
+    )
+    srv.add_argument(
+        "--access-log",
+        action="store_true",
+        help="log one structured line per HTTP request",
+    )
+
+    met = sub.add_parser(
+        "metrics", help="dump /metrics from a running sidecar"
+    )
+    met.add_argument(
+        "--url",
+        default=None,
+        help="full metrics URL (overrides --host/--port)",
+    )
+    met.add_argument("--host", default="127.0.0.1")
+    met.add_argument("--port", type=int, default=8080)
+    met.add_argument(
+        "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
     return parser
 
 
@@ -215,8 +246,12 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.observability import configure_logging, set_trace_logging
     from repro.server import EstimatorService, serve
 
+    configure_logging(json_mode=args.log_json)
+    if args.log_json:
+        set_trace_logging(True)
     factories = estimator_factories()
     if args.method not in factories:
         print(
@@ -236,11 +271,14 @@ def _cmd_serve(args) -> int:
         retrain_timeout=args.retrain_timeout,
         seed=args.seed if hasattr(args, "seed") else 0,
     )
-    server = serve(service, host=args.host, port=args.port)
+    server = serve(
+        service, host=args.host, port=args.port, access_log=args.access_log
+    )
     host, port = server.server_address
     print(
         f"serving {args.method} on http://{host}:{port} "
-        f"(sanitize={args.sanitize}, breaker k={args.breaker_threshold})"
+        f"(sanitize={args.sanitize}, breaker k={args.breaker_threshold}, "
+        f"metrics at /metrics)"
     )
     try:
         while True:
@@ -253,6 +291,21 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    url = args.url if args.url else f"http://{args.host}:{args.port}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            body = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: could not scrape {url}: {exc}", file=sys.stderr)
+        return 1
+    sys.stdout.write(body)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -260,6 +313,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_generate(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         return _cmd_evaluate(args)
     except ReproError as exc:
         print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)

@@ -8,12 +8,22 @@ keep a :class:`~repro.solvers.simplex_ls.SolveReport` for inspection.
 
 The L∞ objective (Section 4.6) has no ladder of its own: a failing LP
 falls back to the robust L2 ladder, which the report records.
+
+Every solve runs under a ``fit/solve`` tracing span and feeds the
+solver-layer metrics (``repro_solve_total{rung=...}``,
+``repro_solve_fallback_total``, ``repro_solve_seconds``) so the ladder's
+behaviour in production is visible on ``GET /metrics`` instead of only
+in per-model ``solve_report_`` attributes.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.observability.metrics import default_registry
+from repro.observability.tracing import span
 from repro.solvers.linf import fit_simplex_weights_linf
 from repro.solvers.simplex_ls import (
     SolveAttempt,
@@ -22,6 +32,26 @@ from repro.solvers.simplex_ls import (
 )
 
 __all__ = ["solve_weights"]
+
+_SOLVE_TOTAL = default_registry().counter(
+    "repro_solve_total",
+    "Weight solves by the fallback-ladder rung that produced the answer",
+    labels=("rung",),
+)
+_SOLVE_FALLBACK = default_registry().counter(
+    "repro_solve_fallback_total",
+    "Weight solves that fell back from the requested method",
+)
+_SOLVE_SECONDS = default_registry().histogram(
+    "repro_solve_seconds", "Wall time of one Eq. (8) weight solve in seconds"
+)
+
+
+def _record(report: SolveReport, started_at: float) -> None:
+    _SOLVE_TOTAL.inc(rung=report.rung)
+    if report.fallback:
+        _SOLVE_FALLBACK.inc()
+    _SOLVE_SECONDS.observe(time.perf_counter() - started_at)
 
 
 def solve_weights(
@@ -35,27 +65,42 @@ def solve_weights(
 
     Returns ``(weights, report)``; never raises on numerical failure.
     """
-    if objective == "linf":
-        try:
-            weights = fit_simplex_weights_linf(design, selectivities)
-            if np.all(np.isfinite(weights)) and weights.size:
-                report = SolveReport(requested="linf", rung="linf")
-                report.attempts.append(SolveAttempt(rung="linf", ok=True, seconds=0.0))
-                report.residual = float(
-                    np.max(np.abs(design @ weights - selectivities))
+    with span(
+        "fit/solve", objective=objective, rows=int(np.asarray(design).shape[0])
+    ) as solve_span:
+        if objective == "linf":
+            try:
+                weights = fit_simplex_weights_linf(design, selectivities)
+                if np.all(np.isfinite(weights)) and weights.size:
+                    report = SolveReport(requested="linf", rung="linf")
+                    report.attempts.append(
+                        SolveAttempt(rung="linf", ok=True, seconds=0.0)
+                    )
+                    report.residual = float(
+                        np.max(np.abs(design @ weights - selectivities))
+                    )
+                    solve_span.annotate(rung=report.rung, fallback=False)
+                    _record(report, solve_span.start)
+                    return weights, report
+                raise RuntimeError("linf solve returned non-finite weights")
+            except Exception as exc:
+                weights, report = fit_simplex_weights_robust(
+                    design,
+                    selectivities,
+                    method=solver,
+                    deadline_seconds=deadline_seconds,
                 )
+                report.requested = "linf"
+                report.fallback = True
+                report.attempts.insert(
+                    0, SolveAttempt(rung="linf", ok=False, seconds=0.0, error=str(exc))
+                )
+                solve_span.annotate(rung=report.rung, fallback=True)
+                _record(report, solve_span.start)
                 return weights, report
-            raise RuntimeError("linf solve returned non-finite weights")
-        except Exception as exc:
-            weights, report = fit_simplex_weights_robust(
-                design, selectivities, method=solver, deadline_seconds=deadline_seconds
-            )
-            report.requested = "linf"
-            report.fallback = True
-            report.attempts.insert(
-                0, SolveAttempt(rung="linf", ok=False, seconds=0.0, error=str(exc))
-            )
-            return weights, report
-    return fit_simplex_weights_robust(
-        design, selectivities, method=solver, deadline_seconds=deadline_seconds
-    )
+        weights, report = fit_simplex_weights_robust(
+            design, selectivities, method=solver, deadline_seconds=deadline_seconds
+        )
+        solve_span.annotate(rung=report.rung, fallback=report.fallback)
+        _record(report, solve_span.start)
+        return weights, report

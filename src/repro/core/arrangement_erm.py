@@ -30,6 +30,7 @@ from repro.geometry.batch import containment_matrix, coverage_dot, coverage_matr
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
 from repro.core._solve import solve_weights
+from repro.observability.tracing import span
 from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["ArrangementERM"]
@@ -87,16 +88,22 @@ class ArrangementERM(SelectivityEstimator):
         if self.mode == "histogram":
             if not all(isinstance(q, Box) for q in training.queries):
                 raise TypeError("histogram mode requires orthogonal-range (Box) queries")
-            cells = box_arrangement_cells(
-                list(training.queries), domain=domain, max_cells=self.max_cells
-            )
-            cells = [c for c in cells if c.volume() > 0.0]
+            with span("fit/partition", mode=self.mode) as partition_span:
+                cells = box_arrangement_cells(
+                    list(training.queries), domain=domain, max_cells=self.max_cells
+                )
+                cells = [c for c in cells if c.volume() > 0.0]
+                partition_span.annotate(cells=len(cells))
             self._cell_lows = np.stack([c.lows for c in cells])
             self._cell_highs = np.stack([c.highs for c in cells])
             self._cell_volumes = np.prod(self._cell_highs - self._cell_lows, axis=1)
-            design = coverage_matrix(
-                training.queries, self._cell_lows, self._cell_highs, self._cell_volumes
-            )
+            with span("fit/design-matrix", rows=len(training), buckets=len(cells)):
+                design = coverage_matrix(
+                    training.queries,
+                    self._cell_lows,
+                    self._cell_highs,
+                    self._cell_volumes,
+                )
             weights, self.solve_report_ = solve_weights(
                 design, training.selectivities, solver=self.solver
             )
@@ -104,10 +111,13 @@ class ArrangementERM(SelectivityEstimator):
             self._histogram = HistogramDistribution(cells, weights)
         else:
             rng = np.random.default_rng(self.seed)
-            points = sign_vector_cells(
-                list(training.queries), rng, domain=domain, samples=self.samples
-            )
-            design = containment_matrix(training.queries, points)
+            with span("fit/partition", mode=self.mode) as partition_span:
+                points = sign_vector_cells(
+                    list(training.queries), rng, domain=domain, samples=self.samples
+                )
+                partition_span.annotate(cells=len(points))
+            with span("fit/design-matrix", rows=len(training), buckets=len(points)):
+                design = containment_matrix(training.queries, points)
             weights, self.solve_report_ = solve_weights(
                 design, training.selectivities, solver=self.solver
             )

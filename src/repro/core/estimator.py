@@ -23,10 +23,17 @@ import numpy as np
 
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Range
+from repro.observability.metrics import default_registry
+from repro.observability.tracing import span
 from repro.robustness.errors import ModelUnavailableError
 from repro.robustness.sanitize import SanitizationReport
 
 __all__ = ["SelectivityEstimator", "NotFittedError"]
+
+_PREDICT_QUERIES = default_registry().counter(
+    "repro_predict_queries_total",
+    "Queries answered through predict/predict_many across all estimators",
+)
 
 
 class NotFittedError(ModelUnavailableError):
@@ -58,11 +65,19 @@ class SelectivityEstimator(abc.ABC):
         the resulting quarantine report lands on ``self.sanitization_``.
 
         Returns ``self`` for chaining.
+
+        The whole fit runs under a ``fit`` tracing span (labelled with
+        the concrete estimator class); subclass stages open child spans
+        (``fit/partition``, ``fit/design-matrix``, ``fit/solve``), so one
+        trace shows where training time went.
         """
-        training = TrainingSet(queries, selectivities, policy=policy)
-        self.sanitization_ = training.sanitization
-        self._fit(training)
-        self._fitted = True
+        with span("fit", estimator=type(self).__name__) as fit_span:
+            with span("fit/sanitize"):
+                training = TrainingSet(queries, selectivities, policy=policy)
+            self.sanitization_ = training.sanitization
+            fit_span.annotate(samples=len(training))
+            self._fit(training)
+            self._fitted = True
         return self
 
     @abc.abstractmethod
@@ -112,6 +127,7 @@ class SelectivityEstimator(abc.ABC):
         queries = list(queries)
         if not queries:
             return np.zeros(0)
+        _PREDICT_QUERIES.inc(len(queries))
         raw = self._predict_batch(queries)
         if raw is None:
             return np.array([self.predict(q) for q in queries])

@@ -33,6 +33,7 @@ from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Box, Halfspace, Range, unit_box
 from repro.geometry.sampling import rejection_sample, sample_in_box
+from repro.observability.tracing import span
 from repro.solvers.linf import fit_simplex_weights_linf
 from repro.solvers.simplex_ls import fit_simplex_weights
 
@@ -102,23 +103,28 @@ class GaussianMixtureHist(SelectivityEstimator):
         if domain.dim != training.dim:
             raise ValueError("domain dimension does not match the training queries")
         rng = np.random.default_rng(self.seed)
-        means = self._design_means(training, domain, rng)
-        sigma_choices = rng.choice(len(self.bandwidths), size=(self.components, training.dim))
-        sigmas = np.asarray(self.bandwidths)[sigma_choices]
-        self._means = means
-        self._sigmas = sigmas
-        # Fixed standard-normal QMC points for non-analytic range masses.
-        sampler = qmc.Sobol(d=training.dim, scramble=True, seed=self.seed + 1)
-        uniform = np.clip(sampler.random(_QMC_POINTS), 1e-9, 1 - 1e-9)
-        self._qmc_normal = norm.ppf(uniform)
-
-        design = np.stack([self._mass_row(q) for q in training.queries])
-        if self.objective == "linf":
-            weights = fit_simplex_weights_linf(design, training.selectivities)
-        else:
-            weights = fit_simplex_weights(
-                design, training.selectivities, method=self.solver
+        with span("fit/partition", components=self.components):
+            means = self._design_means(training, domain, rng)
+            sigma_choices = rng.choice(
+                len(self.bandwidths), size=(self.components, training.dim)
             )
+            sigmas = np.asarray(self.bandwidths)[sigma_choices]
+            self._means = means
+            self._sigmas = sigmas
+            # Fixed standard-normal QMC points for non-analytic range masses.
+            sampler = qmc.Sobol(d=training.dim, scramble=True, seed=self.seed + 1)
+            uniform = np.clip(sampler.random(_QMC_POINTS), 1e-9, 1 - 1e-9)
+            self._qmc_normal = norm.ppf(uniform)
+
+        with span("fit/design-matrix", rows=len(training), buckets=self.components):
+            design = np.stack([self._mass_row(q) for q in training.queries])
+        with span("fit/solve", objective=self.objective, rows=len(training)):
+            if self.objective == "linf":
+                weights = fit_simplex_weights_linf(design, training.selectivities)
+            else:
+                weights = fit_simplex_weights(
+                    design, training.selectivities, method=self.solver
+                )
         self._weights = weights
 
     def _design_means(

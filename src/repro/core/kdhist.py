@@ -29,6 +29,7 @@ from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
 from repro.geometry.batch import coverage_dot, coverage_matrix
+from repro.observability.tracing import span
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import (
     batch_intersection_volumes,
@@ -120,26 +121,30 @@ class KdHist(SelectivityEstimator):
             raise ValueError("domain dimension does not match the training queries")
         self._root = _KdNode(domain, axis=0)
         self._leaf_count = 1
-        for sample in training:
-            volume = range_volume(sample.query, domain)
-            if volume <= 0.0 or sample.selectivity <= 0.0:
-                continue
-            density = sample.selectivity / volume
-            self._update(self._root, sample.query, density, depth=0)
+        with span("fit/partition") as partition_span:
+            for sample in training:
+                volume = range_volume(sample.query, domain)
+                if volume <= 0.0 or sample.selectivity <= 0.0:
+                    continue
+                density = sample.selectivity / volume
+                self._update(self._root, sample.query, density, depth=0)
 
-        leaves = list(self._root.leaves())
+            leaves = list(self._root.leaves())
+            partition_span.annotate(leaves=len(leaves))
         self._leaf_lows = np.stack([leaf.box.lows for leaf in leaves])
         self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
         self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
-        design = coverage_matrix(
-            training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
-        )
-        if self.objective == "linf":
-            weights = fit_simplex_weights_linf(design, training.selectivities)
-        else:
-            weights = fit_simplex_weights(
-                design, training.selectivities, method=self.solver
+        with span("fit/design-matrix", rows=len(training), buckets=len(leaves)):
+            design = coverage_matrix(
+                training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
             )
+        with span("fit/solve", objective=self.objective, rows=len(training)):
+            if self.objective == "linf":
+                weights = fit_simplex_weights_linf(design, training.selectivities)
+            else:
+                weights = fit_simplex_weights(
+                    design, training.selectivities, method=self.solver
+                )
         self._weights = weights
         self._distribution = HistogramDistribution(
             [leaf.box for leaf in leaves], weights

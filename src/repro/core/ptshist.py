@@ -28,6 +28,7 @@ from repro.geometry.batch import containment_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.sampling import rejection_sample, sample_in_box
 from repro.core._solve import solve_weights
+from repro.observability.tracing import span
 from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["PtsHist"]
@@ -84,8 +85,10 @@ class PtsHist(SelectivityEstimator):
         if domain.dim != training.dim:
             raise ValueError("domain dimension does not match the training queries")
         rng = np.random.default_rng(self.seed)
-        points = self._design_buckets(training, domain, rng)
-        design = containment_matrix(training.queries, points)
+        with span("fit/partition", size=self.size):
+            points = self._design_buckets(training, domain, rng)
+        with span("fit/design-matrix", rows=len(training), buckets=len(points)):
+            design = containment_matrix(training.queries, points)
         weights, self.solve_report_ = solve_weights(
             design, training.selectivities, objective=self.objective, solver=self.solver
         )

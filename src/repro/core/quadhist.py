@@ -39,6 +39,7 @@ from repro.geometry.volume import (
     range_volume,
 )
 from repro.core._solve import solve_weights
+from repro.observability.tracing import span
 from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["QuadHist"]
@@ -175,14 +176,16 @@ class QuadHist(SelectivityEstimator):
         reestimate_on: TrainingSet | None = None,
     ) -> None:
         """Refine the tree with ``training`` and re-estimate the weights."""
-        for sample in training:
-            volume = range_volume(sample.query, domain)
-            if volume <= 0.0 or sample.selectivity <= 0.0:
-                continue  # degenerate query: no density information to split on
-            density = sample.selectivity / volume
-            self._update_quad(self._root, sample.query, density, depth=0)
+        with span("fit/partition") as partition_span:
+            for sample in training:
+                volume = range_volume(sample.query, domain)
+                if volume <= 0.0 or sample.selectivity <= 0.0:
+                    continue  # degenerate query: no density information to split on
+                density = sample.selectivity / volume
+                self._update_quad(self._root, sample.query, density, depth=0)
 
-        leaves = list(self._root.leaves())
+            leaves = list(self._root.leaves())
+            partition_span.annotate(leaves=len(leaves))
         self._leaf_lows = np.stack([leaf.box.lows for leaf in leaves])
         self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
         self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
@@ -209,9 +212,10 @@ class QuadHist(SelectivityEstimator):
     # ------------------------------------------------------------------
 
     def _estimate_weights(self, training: TrainingSet, buckets: Sequence[Box]) -> None:
-        design = coverage_matrix(
-            training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
-        )
+        with span("fit/design-matrix", rows=len(training), buckets=len(buckets)):
+            design = coverage_matrix(
+                training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
+            )
         weights, self.solve_report_ = solve_weights(
             design, training.selectivities, objective=self.objective, solver=self.solver
         )

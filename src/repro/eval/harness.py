@@ -9,7 +9,6 @@ factors that skeleton so each benchmark file only declares its sweep.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,6 +19,7 @@ from repro.data.selectivity import label_queries
 from repro.data.workloads import WorkloadSpec, generate_workload
 from repro.eval.metrics import linf_error, q_error_quantiles, rms_error
 from repro.geometry.ranges import Range
+from repro.observability.tracing import span
 
 __all__ = ["ExperimentResult", "make_workload", "train_test_workload", "evaluate_estimator"]
 
@@ -114,18 +114,17 @@ def evaluate_estimator(
     result's ``quarantined`` field.  The robustness benchmark uses this
     to fit on deliberately corrupted feedback.
     """
-    t0 = time.perf_counter()
-    estimator.fit(train.queries, train.selectivities, policy=sanitize_policy)
-    t1 = time.perf_counter()
-    predictions = estimator.predict_many(test.queries)
-    t2 = time.perf_counter()
+    with span("eval/fit", method=name, train=len(train)) as fit_span:
+        estimator.fit(train.queries, train.selectivities, policy=sanitize_policy)
+    with span("eval/predict", method=name, test=len(test)) as predict_span:
+        predictions = estimator.predict_many(test.queries)
     kwargs = {} if q_floor is None else {"floor": q_floor}
     return ExperimentResult(
         name=name,
         train_size=len(train),
         model_size=estimator.model_size,
-        fit_seconds=t1 - t0,
-        predict_seconds=t2 - t1,
+        fit_seconds=fit_span.duration,
+        predict_seconds=predict_span.duration,
         rms=rms_error(predictions, test.selectivities),
         linf=linf_error(predictions, test.selectivities),
         q_quantiles=q_error_quantiles(predictions, test.selectivities, **kwargs),

@@ -39,6 +39,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.geometry.ranges import _EPS, Ball, Box, Halfspace, Range
+from repro.observability.metrics import default_registry
 from repro.geometry.volume import (
     QMC_POINTS,
     _disc_quadrant_area_vec,
@@ -69,10 +70,27 @@ CHUNK_ELEMENTS = 1 << 22
 #: run at cache bandwidth instead of DRAM bandwidth.  2^17 elements ≈ 1 MB.
 CACHE_ELEMENTS = 1 << 17
 
+# Kernel-layer throughput counters: one inc per entry-point call (never
+# per element), so the hot path pays two dictionary updates per workload.
+_KERNEL_QUERIES = default_registry().counter(
+    "repro_kernel_queries_total",
+    "Queries processed by the batch geometry kernels",
+    labels=("kernel",),
+)
+_KERNEL_CHUNKS = default_registry().counter(
+    "repro_kernel_chunks_total",
+    "Memory-bounded query chunks processed by the batch geometry kernels",
+    labels=("kernel",),
+)
 
-def _query_chunks(n: int, per_query_elements: int) -> Iterator[tuple[int, int]]:
+
+def _query_chunks(
+    n: int, per_query_elements: int, kernel: str = "volume_matrix"
+) -> Iterator[tuple[int, int]]:
     """Yield ``(start, stop)`` ranges keeping temporaries under budget."""
     step = max(1, CHUNK_ELEMENTS // max(1, int(per_query_elements)))
+    if n > 0:
+        _KERNEL_CHUNKS.inc(-(-n // step), kernel=kernel)
     for start in range(0, n, step):
         yield start, min(start + step, n)
 
@@ -349,6 +367,7 @@ def intersection_volume_matrix(
     b_highs = np.asarray(b_highs, dtype=float)
     n = len(queries)
     m = b_lows.shape[0]
+    _KERNEL_QUERIES.inc(n, kernel="volume_matrix")
     out = np.empty((n, m))
     boxes, halfspaces, balls, other = _group_by_kind(queries)
     if boxes:
@@ -422,11 +441,13 @@ def coverage_dot(
     n = len(queries)
     m = b_lows.shape[0]
     out = np.empty(n)
+    _KERNEL_QUERIES.inc(n, kernel="coverage_dot")
     if n and all(isinstance(q, Box) for q in queries):
         return _box_coverage_dot(queries, b_lows, b_highs, b_volumes, weights, out)
     zero = b_volumes <= 0
     any_zero = bool(zero.any())
     step = max(1, CACHE_ELEMENTS // max(1, m))
+    _KERNEL_CHUNKS.inc(-(-n // step) if n else 0, kernel="coverage_dot")
     for start in range(0, n, step):
         stop = min(n, start + step)
         overlaps = intersection_volume_matrix(queries[start:stop], b_lows, b_highs)
@@ -464,6 +485,7 @@ def _box_coverage_dot(
     bl = np.ascontiguousarray(b_lows.T)
     bh = np.ascontiguousarray(b_highs.T)
     step = int(max(8, min(n, CACHE_ELEMENTS // (4 * max(1, m)))))
+    _KERNEL_CHUNKS.inc(-(-n // step), kernel="coverage_dot")
     acc_buf = np.empty((step, m))
     cur_buf = np.empty((step, m))
     lo_buf = np.empty((step, m))
@@ -500,12 +522,13 @@ def containment_matrix(queries: Sequence[Range], points: np.ndarray) -> np.ndarr
     pts = np.asarray(points, dtype=float)
     n = len(queries)
     p, d = pts.shape
+    _KERNEL_QUERIES.inc(n, kernel="containment")
     out = np.empty((n, p))
     boxes, halfspaces, balls, other = _group_by_kind(queries)
     if boxes:
         q_lows, q_highs = boxes_to_arrays([queries[i] for i in boxes])
         idx = np.asarray(boxes)
-        for start, stop in _query_chunks(len(boxes), p * d):
+        for start, stop in _query_chunks(len(boxes), p * d, kernel="containment"):
             inside = np.ones((stop - start, p), dtype=bool)
             for k in range(d):
                 coords = pts[None, :, k]
@@ -520,7 +543,7 @@ def containment_matrix(queries: Sequence[Range], points: np.ndarray) -> np.ndarr
         centers = np.stack([queries[i].ball_center for i in balls])
         radii = np.array([queries[i].radius for i in balls])
         idx = np.asarray(balls)
-        for start, stop in _query_chunks(len(balls), p * d):
+        for start, stop in _query_chunks(len(balls), p * d, kernel="containment"):
             sq_dist = np.zeros((stop - start, p))
             for k in range(d):
                 diff = pts[None, :, k] - centers[start:stop, k, None]

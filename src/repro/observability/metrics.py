@@ -1,0 +1,486 @@
+"""Thread-safe metrics primitives and a Prometheus-text registry.
+
+Three metric kinds cover everything the serving stack needs to expose:
+
+* :class:`Counter` — monotonically increasing totals (requests, cache
+  hits, solver-ladder rungs chosen).
+* :class:`Gauge` — last-written values (model generation, breaker state,
+  drift statistic).
+* :class:`Histogram` — fixed-bucket latency distributions with
+  cumulative Prometheus buckets plus interpolated quantile summaries
+  for human consumption (``/status``, CLI dumps).
+
+All three support a fixed set of label *names* declared at creation;
+label *values* materialise series lazily on first use.  A
+:class:`MetricsRegistry` owns a namespace of metrics, hands out
+get-or-create handles (so independently imported modules share one
+series per name), and renders the whole namespace in the Prometheus
+text exposition format (version 0.0.4) for ``GET /metrics``.
+
+Instrumentation is process-global by default (:func:`default_registry`)
+and can be disabled wholesale with :func:`set_enabled` — the benchmark
+``benchmarks/bench_observability.py`` uses that switch to price the
+overhead of the instrumented hot paths.  Disabled metrics skip the
+lock and the dict write; timers still measure (callers may rely on the
+duration) but record nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+    "set_enabled",
+    "enabled",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): sub-millisecond kernels through
+#: multi-second retrains.  Upper bounds are inclusive, Prometheus-style.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> bool:
+    """Globally enable/disable metric recording; returns the old value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def enabled() -> bool:
+    """Is metric recording currently enabled?"""
+    return _ENABLED
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name/help validation, label keying, locking."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        label_names = tuple(label_names)
+        for label in label_names:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r} for metric {name!r}")
+        if len(set(label_names)) != len(label_names):
+            raise ValueError(f"duplicate label names {label_names} for metric {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: dict) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def series(self) -> list[tuple[tuple[str, ...], object]]:
+        """Stable snapshot of ``(label_values, state)`` pairs."""
+        with self._lock:
+            return sorted(self._series.items())
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        lines.extend(self._sample_lines())
+        return "\n".join(lines)
+
+    def _sample_lines(self) -> Iterator[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing total (optionally labelled)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        super().__init__(name, help, label_names)
+        if not self.label_names:
+            self._series[()] = 0.0  # expose 0 before the first event
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not _ENABLED:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def _sample_lines(self) -> Iterator[str]:
+        for key, value in self.series():
+            yield (
+                f"{self.name}{_format_labels(self.label_names, key)} "
+                f"{_format_value(float(value))}"
+            )
+
+
+class Gauge(_Metric):
+    """Last-written value; can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        super().__init__(name, help, label_names)
+        if not self.label_names:
+            self._series[()] = 0.0
+
+    def set(self, value: float, **labels) -> None:
+        if not _ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not _ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def _sample_lines(self) -> Iterator[str]:
+        for key, value in self.series():
+            yield (
+                f"{self.name}{_format_labels(self.label_names, key)} "
+                f"{_format_value(float(value))}"
+            )
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class _Timer:
+    """Context manager recording elapsed wall time into a histogram.
+
+    Always measures (``self.seconds`` is valid either way); records only
+    when instrumentation is enabled at *exit* time.
+    """
+
+    __slots__ = ("_histogram", "_labels", "_start", "seconds")
+
+    def __init__(self, histogram: "Histogram", labels: dict):
+        self._histogram = histogram
+        self._labels = labels
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+        self._histogram.observe(self.seconds, **self._labels)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution with cumulative Prometheus exposition."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Iterable[float] | None = None,
+    ):
+        super().__init__(name, help, label_names)
+        if "le" in self.label_names:
+            raise ValueError("'le' is reserved for histogram buckets")
+        if buckets is None:
+            buckets = DEFAULT_BUCKETS
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"duplicate bucket bounds {edges}")
+        if any(not math.isfinite(b) for b in edges):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.buckets = edges
+        if not self.label_names:
+            self._series[()] = _HistogramState(len(edges))
+
+    def observe(self, value: float, **labels) -> None:
+        if not _ENABLED:
+            return
+        value = float(value)
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = self._series[key] = _HistogramState(len(self.buckets))
+            index = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            state.counts[index] += 1
+            state.sum += value
+            state.count += 1
+
+    def time(self, **labels) -> _Timer:
+        """``with histogram.time():`` — record the block's wall time."""
+        return _Timer(self, labels)
+
+    def snapshot(self, **labels) -> dict:
+        """JSON-ready summary: count, sum, mean and p50/p90/p99."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None or state.count == 0:
+                return {"count": 0, "sum": 0.0, "mean": None, "quantiles": {}}
+            counts = list(state.counts)
+            total, acc = state.count, state.sum
+        return {
+            "count": total,
+            "sum": acc,
+            "mean": acc / total,
+            "quantiles": {
+                f"p{int(q * 100)}": self._quantile_from_counts(counts, total, q)
+                for q in (0.5, 0.9, 0.99)
+            },
+        }
+
+    def quantile(self, q: float, **labels) -> float | None:
+        """Interpolated quantile estimate from the bucket counts.
+
+        Linear interpolation inside the containing bucket — the standard
+        ``histogram_quantile`` estimator.  Observations landing in the
+        ``+Inf`` bucket are reported as the largest finite bound (a
+        deliberate underestimate, as in Prometheus).  Returns ``None``
+        before the first observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None or state.count == 0:
+                return None
+            counts = list(state.counts)
+            total = state.count
+        return self._quantile_from_counts(counts, total, q)
+
+    def _quantile_from_counts(
+        self, counts: list[int], total: int, q: float
+    ) -> float:
+        rank = q * total
+        cumulative = 0.0
+        for i, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                if i >= len(self.buckets):  # +Inf bucket
+                    return self.buckets[-1]
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                upper = self.buckets[i]
+                fraction = (rank - previous) / count if count else 0.0
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.buckets[-1]
+
+    def _sample_lines(self) -> Iterator[str]:
+        label_names = self.label_names
+        for key, state in self.series():
+            cumulative = 0
+            for bound, count in zip(self.buckets, state.counts):
+                cumulative += count
+                labels = _format_labels(
+                    label_names + ("le",), key + (_format_value(bound),)
+                )
+                yield f"{self.name}_bucket{labels} {cumulative}"
+            labels = _format_labels(label_names + ("le",), key + ("+Inf",))
+            yield f"{self.name}_bucket{labels} {state.count}"
+            plain = _format_labels(label_names, key)
+            yield f"{self.name}_sum{plain} {_format_value(state.sum)}"
+            yield f"{self.name}_count{plain} {state.count}"
+
+
+class MetricsRegistry:
+    """A namespace of metrics with get-or-create handles and exposition."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- get-or-create handles -------------------------------------------
+
+    def counter(self, name: str, help: str, labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Iterable[float] | None = None,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                metric = Histogram(name, help, labels, buckets=buckets)
+                self._metrics[name] = metric
+                return metric
+        self._check_compatible(existing, Histogram, name, labels)
+        return existing
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Sequence[str]):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                metric = cls(name, help, labels)
+                self._metrics[name] = metric
+                return metric
+        self._check_compatible(existing, cls, name, labels)
+        return existing
+
+    @staticmethod
+    def _check_compatible(existing, cls, name: str, labels: Sequence[str]) -> None:
+        if not isinstance(existing, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {existing.kind}, "
+                f"requested {cls.kind}"
+            )
+        if existing.label_names != tuple(labels):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{existing.label_names}, requested {tuple(labels)}"
+            )
+
+    # -- inspection / exposition -----------------------------------------
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def collect(self) -> list[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def render(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric."""
+        chunks = [metric.render() for metric in self.collect()]
+        return "\n".join(chunks) + ("\n" if chunks else "")
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump (the ``repro metrics`` CLI fallback format)."""
+        out: dict[str, dict] = {}
+        for metric in self.collect():
+            entry: dict[str, object] = {"kind": metric.kind, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["series"] = [
+                    {
+                        "labels": dict(zip(metric.label_names, key)),
+                        **metric.snapshot(**dict(zip(metric.label_names, key))),
+                    }
+                    for key, _ in metric.series()
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(zip(metric.label_names, key)), "value": value}
+                    for key, value in metric.series()
+                ]
+            out[metric.name] = entry
+        return out
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry used by module-level instrumentation."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,207 @@
+"""Nestable tracing spans: wall-time trees for the train→serve pipeline.
+
+One context manager replaces the ad-hoc ``time.monotonic`` /
+``perf_counter`` pairs that used to be scattered through the harness and
+the server::
+
+    with span("fit") as root:
+        with span("fit/partition"):
+            ...
+        with span("fit/solve") as s:
+            s.annotate(rung="penalty")
+
+Spans nest through a thread-local stack, so instrumented layers compose
+without passing anything around: the estimator's ``fit`` stages appear
+as children of the service's retrain span automatically.  Completed
+spans always carry their measured ``duration`` (timing is never
+disabled — callers such as the eval harness read it back), while the
+*side effects* respect the global switch in
+:mod:`repro.observability.metrics`:
+
+* every completed span's duration is recorded into the
+  ``repro_span_seconds{span="..."}`` histogram of the default registry
+  (the metrics bridge), and
+* when trace logging is enabled (:func:`set_trace_logging`, the
+  ``repro serve --log-json`` path), each completed *root* span emits one
+  structured JSON log line with the whole tree.
+
+Span names are slash-separated ``layer/stage`` paths (see
+``docs/observability.md`` for the naming convention); keep the set of
+distinct names small and bounded — they become metric label values.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.observability import metrics as _metrics
+from repro.observability.logs import get_logger, log_event
+
+__all__ = [
+    "Span",
+    "span",
+    "current_span",
+    "last_trace",
+    "add_span_observer",
+    "remove_span_observer",
+    "set_trace_logging",
+    "trace_logging_enabled",
+]
+
+_local = threading.local()
+
+
+class Span:
+    """One timed region: name, attributes, duration and child spans."""
+
+    __slots__ = ("name", "attrs", "children", "start", "duration", "root")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = str(name)
+        self.attrs: dict = dict(attrs or {})
+        self.children: list[Span] = []
+        self.start = 0.0
+        self.duration = 0.0
+        self.root = False
+
+    def annotate(self, **attrs) -> "Span":
+        """Attach key/value attributes mid-flight (e.g. the solver rung)."""
+        self.attrs.update(attrs)
+        return self
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first lookup of a (grand)child span by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of the subtree."""
+        record: dict = {"span": self.name, "seconds": round(self.duration, 6)}
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration:.6f}s, children={len(self.children)})"
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[Span]:
+    """Open a nested span; yields the :class:`Span` for annotation."""
+    record = Span(name, attrs)
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    record.root = parent is None
+    stack.append(record)
+    record.start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record.duration = time.perf_counter() - record.start
+        if stack and stack[-1] is record:
+            stack.pop()
+        if parent is not None:
+            parent.children.append(record)
+        else:
+            _local.last_trace = record
+        for observer in list(_OBSERVERS):
+            try:
+                observer(record)
+            except Exception:
+                pass  # instrumentation must never break the instrumented code
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if any."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def last_trace() -> Span | None:
+    """The most recently completed *root* span on this thread."""
+    return getattr(_local, "last_trace", None)
+
+
+# -- observers --------------------------------------------------------------
+
+_OBSERVERS: list[Callable[[Span], None]] = []
+
+
+def add_span_observer(observer: Callable[[Span], None]) -> Callable[[Span], None]:
+    """Call ``observer(span)`` on every span completion (children included;
+    check ``span.root`` to act on whole traces only)."""
+    _OBSERVERS.append(observer)
+    return observer
+
+
+def remove_span_observer(observer: Callable[[Span], None]) -> None:
+    try:
+        _OBSERVERS.remove(observer)
+    except ValueError:
+        pass
+
+
+def _span_seconds_histogram():
+    return _metrics.default_registry().histogram(
+        "repro_span_seconds",
+        "Wall time of completed tracing spans",
+        labels=("span",),
+    )
+
+
+def _metrics_bridge(record: Span) -> None:
+    if not _metrics.enabled():
+        return
+    _span_seconds_histogram().observe(record.duration, span=record.name)
+
+
+add_span_observer(_metrics_bridge)
+
+
+# -- structured trace logging -----------------------------------------------
+
+_TRACE_LOGGING = False
+
+
+def set_trace_logging(flag: bool) -> bool:
+    """Emit one JSON log line per completed root span; returns old value."""
+    global _TRACE_LOGGING
+    previous = _TRACE_LOGGING
+    _TRACE_LOGGING = bool(flag)
+    return previous
+
+
+def trace_logging_enabled() -> bool:
+    return _TRACE_LOGGING
+
+
+def _trace_logger(record: Span) -> None:
+    if not _TRACE_LOGGING or not record.root:
+        return
+    log_event(
+        get_logger("trace"),
+        "trace",
+        level=logging.INFO,
+        trace=record.to_dict(),
+    )
+
+
+add_span_observer(_trace_logger)

@@ -23,6 +23,12 @@ instead of crashing (see ``docs/robustness.md``):
   history (:class:`repro.robustness.FeedbackBuffer`), so memory is
   bounded over month-long runs.
 
+And because it runs unattended, it is also *instrumented* end to end
+(see ``docs/observability.md``): every API call and HTTP request feeds
+counters and latency histograms in a
+:class:`~repro.observability.MetricsRegistry`, retrains run under
+tracing spans, and the registry is exported in Prometheus text format.
+
 Endpoints (JSON in/out; ranges use the tagged encoding of
 :mod:`repro.data.io`):
 
@@ -35,18 +41,28 @@ Endpoints (JSON in/out; ranges use the tagged encoding of
   ``{"accepted": true, "pending": 12, "drift": false}``
 * ``POST /retrain``   → ``{"trained_on": 200, "model_size": 800, ...}``
 * ``GET  /status``    → model / generation / breaker / quarantine summary
+* ``GET  /health``    → constant ``{"status": "ok"}`` liveness probe —
+  no locks taken, so load balancers never contend with ``/status``'s
+  full locked snapshot.
+* ``GET  /metrics``   → Prometheus text exposition of every metric
+  (service, HTTP, solver-ladder and kernel layers).
 
 Errors come back as structured JSON bodies ``{"error": ..., "type": ...}``
 with the status from the :mod:`repro.robustness.errors` taxonomy — never
 a traceback page or a hung connection.
 
 Programmatic use goes through :class:`EstimatorService` directly; the HTTP
-layer (:func:`serve`) is a thin adapter over it.
+layer (:func:`serve`) is a thin adapter over it.  Access logging is
+opt-in (``serve(..., access_log=True)``) and routes through the
+structured logger (``repro.http.access``) instead of the stdlib's bare
+stderr lines, so ``repro serve --log-json`` yields one JSON object per
+request.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -58,6 +74,13 @@ from repro.core.estimator import SelectivityEstimator
 from repro.data.io import range_from_dict, range_to_dict
 from repro.eval.drift import DriftDetector
 from repro.geometry.ranges import Range
+from repro.observability import (
+    MetricsRegistry,
+    default_registry,
+    get_logger,
+    log_event,
+)
+from repro.observability.tracing import span
 from repro.robustness import CircuitBreaker, FeedbackBuffer
 from repro.robustness.chaos import active as _active_chaos
 from repro.robustness.errors import (
@@ -74,6 +97,84 @@ from repro.robustness.sanitize import (
 )
 
 __all__ = ["EstimatorService", "serve"]
+
+_BREAKER_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+
+class _ServiceMetrics:
+    """Get-or-create handles for every service-layer metric.
+
+    Bound to one registry; two services sharing a registry share series
+    (Prometheus-style process totals).  Names and meanings are catalogued
+    in ``docs/observability.md``.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        counter, gauge, histogram = registry.counter, registry.gauge, registry.histogram
+        self.requests = counter(
+            "repro_service_requests_total",
+            "Service API calls by method",
+            labels=("method",),
+        )
+        self.errors = counter(
+            "repro_service_errors_total",
+            "Service API calls that raised, by method and error type",
+            labels=("method", "type"),
+        )
+        self.request_seconds = histogram(
+            "repro_service_request_seconds",
+            "Service API call latency in seconds",
+            labels=("method",),
+        )
+        self.queries = counter(
+            "repro_service_queries_total",
+            "Individual queries received via estimate/estimate_many",
+        )
+        self.cache_hits = counter(
+            "repro_prediction_cache_hits_total",
+            "Prediction-cache hits on the batch estimation path",
+        )
+        self.cache_misses = counter(
+            "repro_prediction_cache_misses_total",
+            "Prediction-cache misses on the batch estimation path",
+        )
+        self.feedback_accepted = counter(
+            "repro_feedback_accepted_total",
+            "Feedback pairs accepted into the buffer",
+        )
+        self.feedback_quarantined = counter(
+            "repro_feedback_quarantined_total",
+            "Feedback pairs rejected/quarantined by sanitization",
+        )
+        self.retrain = counter(
+            "repro_retrain_total",
+            "Completed retrain attempts by outcome",
+            labels=("outcome",),
+        )
+        self.retrain_seconds = histogram(
+            "repro_retrain_seconds",
+            "Wall time of successful retrains in seconds",
+        )
+        self.generation = gauge(
+            "repro_model_generation", "Currently served model generation"
+        )
+        self.model_size = gauge(
+            "repro_model_size", "Buckets/components of the serving model"
+        )
+        self.pending = gauge(
+            "repro_feedback_pending", "Feedback accepted since the last retrain"
+        )
+        self.drift_alarm = gauge(
+            "repro_drift_alarm", "1 while the workload-drift alarm is latched"
+        )
+        self.drift_statistic = gauge(
+            "repro_drift_statistic", "Current CUSUM drift statistic"
+        )
+        self.breaker_state = gauge(
+            "repro_breaker_state",
+            "Circuit-breaker state (0 closed, 1 half-open, 2 open)",
+        )
 
 
 class EstimatorService:
@@ -114,6 +215,11 @@ class EstimatorService:
         (model generation, canonical query JSON), so a retrain implicitly
         invalidates everything — the cache is also cleared eagerly on each
         successful retrain to free memory.
+    registry:
+        :class:`~repro.observability.MetricsRegistry` receiving this
+        service's metrics (default: the process-global registry, so
+        ``GET /metrics`` also exposes the solver and kernel layers).
+        Pass a fresh registry for isolated counters in tests.
     """
 
     def __init__(
@@ -129,6 +235,7 @@ class EstimatorService:
         retrain_timeout: float | None = None,
         prediction_cache_size: int = 4096,
         seed: int = 0,
+        registry: MetricsRegistry | None = None,
         _clock=time.monotonic,
     ):
         if retrain_every is not None and retrain_every < 1:
@@ -153,6 +260,8 @@ class EstimatorService:
         self.drift_holdout = float(drift_holdout)
         self.sanitize_policy = sanitize_policy
         self.retrain_timeout = retrain_timeout
+        self.registry = registry if registry is not None else default_registry()
+        self._metrics = _ServiceMetrics(self.registry)
         self._lock = threading.Lock()
         self._retrain_lock = threading.Lock()
         self._buffer = FeedbackBuffer(capacity=feedback_capacity, seed=seed)
@@ -184,13 +293,21 @@ class EstimatorService:
         successful training — once a generation exists, estimates keep
         flowing regardless of later retrain failures.
         """
-        with self._lock:
-            if self._model is None:
-                raise ModelUnavailableError(
-                    f"no model yet: need >= {self.min_feedback} feedbacks, "
-                    f"have {len(self._buffer)}"
-                )
-            return self._model.predict(query)
+        metrics = self._metrics
+        metrics.requests.inc(method="estimate")
+        metrics.queries.inc()
+        try:
+            with metrics.request_seconds.time(method="estimate"):
+                with self._lock:
+                    if self._model is None:
+                        raise ModelUnavailableError(
+                            f"no model yet: need >= {self.min_feedback} feedbacks, "
+                            f"have {len(self._buffer)}"
+                        )
+                    return self._model.predict(query)
+        except Exception as exc:
+            metrics.errors.inc(method="estimate", type=type(exc).__name__)
+            raise
 
     def estimate_many(self, queries) -> list[float]:
         """Batch estimates from the last good generation, LRU-cached.
@@ -200,7 +317,19 @@ class EstimatorService:
         models are immutable — retrains swap in a whole new object), so a
         large batch never blocks feedback ingestion or retraining.
         """
+        metrics = self._metrics
+        metrics.requests.inc(method="estimate_many")
+        try:
+            with metrics.request_seconds.time(method="estimate_many"):
+                return self._estimate_many(queries)
+        except Exception as exc:
+            metrics.errors.inc(method="estimate_many", type=type(exc).__name__)
+            raise
+
+    def _estimate_many(self, queries) -> list[float]:
         queries = list(queries)
+        self._metrics.queries.inc(len(queries))
+        hits = misses = 0
         with self._lock:
             if self._model is None:
                 raise ModelUnavailableError(
@@ -211,20 +340,26 @@ class EstimatorService:
             generation = self._generation
             keys = [self._cache_key(generation, q) for q in queries]
             results: list[float | None] = [None] * len(queries)
-            misses: list[int] = []
+            miss_idx: list[int] = []
             for i, key in enumerate(keys):
                 cached = self._prediction_cache.get(key) if key is not None else None
                 if cached is not None:
                     self._prediction_cache.move_to_end(key)
                     self._cache_hits += 1
+                    hits += 1
                     results[i] = cached
                 else:
                     self._cache_misses += 1
-                    misses.append(i)
+                    misses += 1
+                    miss_idx.append(i)
+        if hits:
+            self._metrics.cache_hits.inc(hits)
         if misses:
-            predicted = model.predict_many([queries[i] for i in misses])
+            self._metrics.cache_misses.inc(misses)
+        if miss_idx:
+            predicted = model.predict_many([queries[i] for i in miss_idx])
             with self._lock:
-                for i, value in zip(misses, predicted):
+                for i, value in zip(miss_idx, predicted):
                     results[i] = float(value)
                     key = keys[i]
                     if key is not None and self._cache_capacity > 0:
@@ -247,9 +382,36 @@ class EstimatorService:
 
         Under the ``drop``/``clamp`` policies an invalid pair is
         quarantined (``accepted: False``) instead of raising.
+
+        The response is a snapshot taken in the *same* locked section as
+        the buffer append, so concurrent feedback threads each see their
+        own consistent ``pending``/``drift`` state — never another
+        thread's post-retrain reset.
         """
+        metrics = self._metrics
+        metrics.requests.inc(method="feedback")
+        try:
+            with metrics.request_seconds.time(method="feedback"):
+                response, auto, drift_statistic = self._ingest_feedback(
+                    query, selectivity
+                )
+        except Exception as exc:
+            metrics.errors.inc(method="feedback", type=type(exc).__name__)
+            raise
+        if response["accepted"]:
+            metrics.feedback_accepted.inc()
+        else:
+            metrics.feedback_quarantined.inc()
+        metrics.pending.set(response["pending"])
+        metrics.drift_alarm.set(1.0 if response["drift"] else 0.0)
+        metrics.drift_statistic.set(drift_statistic)
+        if auto:
+            self._auto_retrain()
+        return response
+
+    def _ingest_feedback(self, query, selectivity: float):
+        """Screen, append and snapshot the response under one lock hold."""
         accepted, query, selectivity = self._screen_pair(query, selectivity)
-        auto = False
         with self._lock:
             if accepted:
                 if self._model is not None and self._detector is not None:
@@ -258,20 +420,20 @@ class EstimatorService:
                         self._drift_flag = True
                 self._buffer.append(query, selectivity)
                 self._since_train += 1
-                auto = (
-                    self.retrain_every is not None
-                    and self._since_train >= self.retrain_every
-                    and len(self._buffer) >= self.min_feedback
-                )
-        if auto:
-            self._auto_retrain()
-        with self._lock:
-            return {
+            auto = (
+                accepted
+                and self.retrain_every is not None
+                and self._since_train >= self.retrain_every
+                and len(self._buffer) >= self.min_feedback
+            )
+            response = {
                 "accepted": accepted,
                 "pending": self._since_train,
                 "drift": self._drift_flag,
                 "quarantined_total": self._quarantine.quarantined,
             }
+            drift_statistic = self._detector.statistic if self._detector else 0.0
+        return response, auto, drift_statistic
 
     def retrain(self) -> dict:
         """Fit a fresh model generation on the buffered feedback.
@@ -286,6 +448,17 @@ class EstimatorService:
         ModelUnavailableError
             Not enough feedback, or the circuit breaker is open.
         """
+        metrics = self._metrics
+        metrics.requests.inc(method="retrain")
+        try:
+            with metrics.request_seconds.time(method="retrain"):
+                return self._retrain()
+        except Exception as exc:
+            metrics.errors.inc(method="retrain", type=type(exc).__name__)
+            raise
+
+    def _retrain(self) -> dict:
+        metrics = self._metrics
         with self._lock:
             queries, labels = self._buffer.snapshot()
             if len(queries) < self.min_feedback:
@@ -294,6 +467,7 @@ class EstimatorService:
                     f"have {len(queries)}"
                 )
             if not self._breaker.allow():
+                metrics.breaker_state.set(_BREAKER_CODES[self._breaker.state])
                 raise ModelUnavailableError(
                     "retraining suspended: circuit breaker open after "
                     f"{self._breaker.consecutive_failures} consecutive failures "
@@ -301,11 +475,23 @@ class EstimatorService:
                 )
         with self._retrain_lock:
             try:
-                built = self._train_generation(queries, labels)
+                with span("service/retrain", feedback=len(queries)) as retrain_span:
+                    built = self._train_generation(queries, labels)
+                    retrain_span.annotate(
+                        trained_on=built[1], model_size=built[0].model_size
+                    )
             except Exception as exc:
                 with self._lock:
                     self._breaker.record_failure()
                     self._last_error = f"{type(exc).__name__}: {exc}"
+                    metrics.breaker_state.set(_BREAKER_CODES[self._breaker.state])
+                metrics.retrain.inc(outcome="failure")
+                log_event(
+                    get_logger("service"),
+                    "retrain_failed",
+                    level=logging.WARNING,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 raise
         model, trained_on, detector, retrain_quarantined, elapsed = built
         with self._lock:
@@ -319,13 +505,31 @@ class EstimatorService:
             self._detector = detector
             self._last_error = None
             self._last_retrain_seconds = elapsed
-            return {
+            generation = self._generation
+            metrics.breaker_state.set(_BREAKER_CODES[self._breaker.state])
+            result = {
                 "trained_on": self._trained_on,
                 "model_size": model.model_size,
-                "generation": self._generation,
+                "generation": generation,
                 "quarantined": retrain_quarantined,
                 "seconds": round(elapsed, 4),
             }
+        metrics.retrain.inc(outcome="success")
+        metrics.retrain_seconds.observe(elapsed)
+        metrics.generation.set(generation)
+        metrics.model_size.set(model.model_size)
+        metrics.pending.set(0.0)
+        metrics.drift_alarm.set(0.0)
+        metrics.drift_statistic.set(0.0)
+        log_event(
+            get_logger("service"),
+            "retrain_succeeded",
+            generation=generation,
+            trained_on=trained_on,
+            model_size=model.model_size,
+            seconds=round(elapsed, 4),
+        )
+        return result
 
     def status(self) -> dict:
         with self._lock:
@@ -436,19 +640,65 @@ class EstimatorService:
 # HTTP adapter
 # ---------------------------------------------------------------------------
 
+#: Known endpoints; anything else is folded into the "other" label so
+#: arbitrary probe paths cannot explode metric cardinality.
+_ENDPOINTS = frozenset(
+    {"/estimate", "/predict", "/feedback", "/retrain", "/status", "/health", "/metrics"}
+)
 
-def _make_handler(service: EstimatorService):
+_HEALTH_BODY = json.dumps({"status": "ok"}).encode()
+
+
+def _render_metrics(service: EstimatorService) -> str:
+    """Exposition text: the service registry plus (if distinct) the
+    process-global registry carrying solver/kernel instrumentation."""
+    text = service.registry.render()
+    shared = default_registry()
+    if service.registry is not shared:
+        text += shared.render()
+    return text
+
+
+def _make_handler(service: EstimatorService, access_log: bool = False):
+    registry = service.registry
+    http_requests = registry.counter(
+        "repro_http_requests_total",
+        "HTTP requests by method, endpoint and status class",
+        labels=("method", "endpoint", "status"),
+    )
+    http_seconds = registry.histogram(
+        "repro_http_request_seconds",
+        "HTTP request handling latency in seconds",
+        labels=("endpoint",),
+    )
+    access_logger = get_logger("http.access")
+
     class Handler(BaseHTTPRequestHandler):
-        def log_message(self, *args):  # silence request logging in tests
-            pass
+        def log_request(self, code="-", size="-"):
+            pass  # replaced by the structured access line in _guarded
 
-        def _reply(self, code: int, payload: dict) -> None:
-            body = json.dumps(payload).encode()
+        def log_message(self, fmt, *args):
+            # stdlib plumbing messages (log_error etc.): route through the
+            # structured logger instead of bare stderr; quiet unless the
+            # access log is enabled.
+            if access_log:
+                log_event(
+                    access_logger,
+                    fmt % args,
+                    level=logging.WARNING,
+                    client=self.address_string(),
+                )
+
+        def _reply_body(self, code: int, body: bytes, content_type: str) -> None:
+            self._status_code = code
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+
+        def _reply(self, code: int, payload: dict) -> None:
+            self._reply_body(code, json.dumps(payload).encode(), "application/json")
 
         def _read_json(self) -> dict:
             try:
@@ -467,24 +717,58 @@ def _make_handler(service: EstimatorService):
             return payload
 
         def _guarded(self, handler) -> None:
-            """Run ``handler``; render any failure as structured JSON."""
+            """Run ``handler``; render any failure as structured JSON and
+            record the per-endpoint request metrics either way."""
+            self._status_code = 0
+            endpoint = self.path if self.path in _ENDPOINTS else "other"
+            start = time.perf_counter()
             try:
-                handler()
-            except ReproError as exc:
-                self._reply(exc.http_status, exc.to_dict())
-            except (KeyError, TypeError, ValueError) as exc:
-                self._reply(400, {"error": str(exc), "type": type(exc).__name__})
-            except RuntimeError as exc:
-                self._reply(409, {"error": str(exc), "type": type(exc).__name__})
-            except Exception as exc:  # never a traceback page / hung socket
-                self._reply(
-                    500, {"error": "internal server error", "type": type(exc).__name__}
+                try:
+                    handler()
+                except ReproError as exc:
+                    self._reply(exc.http_status, exc.to_dict())
+                except (KeyError, TypeError, ValueError) as exc:
+                    self._reply(400, {"error": str(exc), "type": type(exc).__name__})
+                except RuntimeError as exc:
+                    self._reply(409, {"error": str(exc), "type": type(exc).__name__})
+                except Exception as exc:  # never a traceback page / hung socket
+                    self._reply(
+                        500,
+                        {"error": "internal server error", "type": type(exc).__name__},
+                    )
+            finally:
+                elapsed = time.perf_counter() - start
+                status = self._status_code or 500
+                http_seconds.observe(elapsed, endpoint=endpoint)
+                http_requests.inc(
+                    method=self.command,
+                    endpoint=endpoint,
+                    status=f"{status // 100}xx",
                 )
+                if access_log:
+                    log_event(
+                        access_logger,
+                        "http_request",
+                        method=self.command,
+                        path=self.path,
+                        status=status,
+                        seconds=round(elapsed, 6),
+                        client=self.address_string(),
+                    )
 
         def do_GET(self):
             def handle():
                 if self.path == "/status":
                     self._reply(200, service.status())
+                elif self.path == "/health":
+                    # Liveness probe: constant body, no service lock taken.
+                    self._reply_body(200, _HEALTH_BODY, "application/json")
+                elif self.path == "/metrics":
+                    self._reply_body(
+                        200,
+                        _render_metrics(service).encode(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
                 else:
                     self._reply(
                         404,
@@ -530,14 +814,20 @@ def _make_handler(service: EstimatorService):
 
 
 def serve(
-    service: EstimatorService, host: str = "127.0.0.1", port: int = 0
+    service: EstimatorService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    access_log: bool = False,
 ) -> ThreadingHTTPServer:
     """Start the HTTP server on a background thread; returns the server.
 
     ``port=0`` picks a free port (read it from ``server.server_address``).
-    Call ``server.shutdown()`` to stop.
+    ``access_log=True`` emits one structured log line per request through
+    the ``repro.http.access`` logger (see
+    :func:`repro.observability.configure_logging`); the default keeps
+    tests and embedded use quiet.  Call ``server.shutdown()`` to stop.
     """
-    server = ThreadingHTTPServer((host, port), _make_handler(service))
+    server = ThreadingHTTPServer((host, port), _make_handler(service, access_log))
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -1,0 +1,172 @@
+"""Tracing spans: nesting, annotation, observers and the metrics bridge."""
+
+import io
+import json
+import threading
+
+from repro.observability import (
+    add_span_observer,
+    configure_logging,
+    current_span,
+    default_registry,
+    last_trace,
+    remove_span_observer,
+    reset_logging,
+    set_trace_logging,
+    span,
+    trace_logging_enabled,
+)
+
+
+class TestNesting:
+    def test_tree_structure(self):
+        with span("outer") as outer:
+            with span("middle", stage=1):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        assert outer.root
+        assert [c.name for c in outer.children] == ["middle", "sibling"]
+        assert outer.children[0].children[0].name == "inner"
+        assert outer.duration >= outer.children[0].duration >= 0.0
+
+    def test_find_descends_depth_first(self):
+        with span("a") as root:
+            with span("b"):
+                with span("c"):
+                    pass
+        assert root.find("c").name == "c"
+        assert root.find("missing") is None
+
+    def test_annotate_merges_attrs(self):
+        with span("s", fixed=1) as record:
+            record.annotate(rung="penalty", fixed=2)
+        assert record.attrs == {"fixed": 2, "rung": "penalty"}
+
+    def test_current_span_tracks_stack(self):
+        assert current_span() is None
+        with span("outer"):
+            assert current_span().name == "outer"
+            with span("inner"):
+                assert current_span().name == "inner"
+            assert current_span().name == "outer"
+        assert current_span() is None
+
+    def test_last_trace_is_most_recent_root(self):
+        with span("first"):
+            pass
+        with span("second"):
+            with span("child"):
+                pass
+        trace = last_trace()
+        assert trace.name == "second"
+        assert trace.children[0].name == "child"
+
+    def test_exception_still_closes_span(self):
+        try:
+            with span("boom") as record:
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert record.duration >= 0.0
+        assert last_trace() is record
+        assert current_span() is None
+
+    def test_to_dict_shape(self):
+        with span("root", k="v") as root:
+            with span("leaf"):
+                pass
+        payload = root.to_dict()
+        assert payload["span"] == "root"
+        assert payload["attrs"] == {"k": "v"}
+        assert payload["children"][0]["span"] == "leaf"
+        json.dumps(payload)  # must be JSON-serialisable
+
+
+class TestThreadIsolation:
+    def test_spans_do_not_nest_across_threads(self):
+        results = {}
+
+        def work(name):
+            with span(name) as record:
+                pass
+            results[name] = record
+
+        with span("main-root") as root:
+            threads = [
+                threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert root.children == []  # worker spans are their own roots
+        assert all(results[f"t{i}"].root for i in range(4))
+
+
+class TestObservers:
+    def test_observer_sees_every_completion(self):
+        seen = []
+        observer = add_span_observer(lambda record: seen.append(record.name))
+        try:
+            with span("a"):
+                with span("b"):
+                    pass
+        finally:
+            remove_span_observer(observer)
+        assert seen[-2:] == ["b", "a"]  # children complete first
+
+    def test_failing_observer_does_not_break_code(self):
+        def bad(record):
+            raise RuntimeError("observer bug")
+
+        add_span_observer(bad)
+        try:
+            with span("still-works"):
+                pass
+        finally:
+            remove_span_observer(bad)
+
+    def test_remove_unknown_observer_is_noop(self):
+        remove_span_observer(lambda record: None)
+
+
+class TestMetricsBridge:
+    def test_span_duration_lands_in_histogram(self):
+        name = "test/bridge-unique"
+        with span(name):
+            pass
+        hist = default_registry().get("repro_span_seconds")
+        assert hist is not None
+        assert hist.snapshot(span=name)["count"] >= 1
+
+
+class TestTraceLogging:
+    def test_root_span_emits_one_json_line(self):
+        stream = io.StringIO()
+        configure_logging(json_mode=True, stream=stream)
+        previous = set_trace_logging(True)
+        try:
+            assert trace_logging_enabled()
+            with span("trace-root"):
+                with span("trace-child"):
+                    pass
+        finally:
+            set_trace_logging(previous)
+            reset_logging()
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        traces = [line for line in lines if line["event"] == "trace"]
+        assert len(traces) == 1  # root only, not one per child
+        assert traces[0]["trace"]["span"] == "trace-root"
+        assert traces[0]["trace"]["children"][0]["span"] == "trace-child"
+
+    def test_disabled_by_default(self):
+        stream = io.StringIO()
+        configure_logging(json_mode=True, stream=stream)
+        try:
+            with span("quiet-root"):
+                pass
+        finally:
+            reset_logging()
+        assert "quiet-root" not in stream.getvalue()

@@ -12,6 +12,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_observability_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.log_json is False
+        assert args.access_log is False
+        args = build_parser().parse_args(["serve", "--log-json", "--access-log"])
+        assert args.log_json is True
+        assert args.access_log is True
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.url is None
+        args = build_parser().parse_args(["metrics", "--url", "http://x:1/metrics"])
+        assert args.url == "http://x:1/metrics"
+
     def test_generate_defaults(self):
         args = build_parser().parse_args(["generate", "--out", "w.json"])
         assert args.dataset == "power"
@@ -94,3 +110,42 @@ class TestEvaluate:
         )
         assert code == 0
         assert "train=30" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_dumps_exposition_from_running_sidecar(self, capsys):
+        from repro.core import QuadHist
+        from repro.server import EstimatorService, serve
+
+        service = EstimatorService(lambda: QuadHist(tau=0.02))
+        server = serve(service, port=0)
+        try:
+            host, port = server.server_address
+            code = main(["metrics", "--host", host, "--port", str(port)])
+        finally:
+            server.shutdown()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_requests_total counter" in out
+        assert "repro_http_requests_total" in out
+
+    def test_explicit_url_overrides_host_port(self, capsys):
+        from repro.core import QuadHist
+        from repro.server import EstimatorService, serve
+
+        service = EstimatorService(lambda: QuadHist(tau=0.02))
+        server = serve(service, port=0)
+        try:
+            host, port = server.server_address
+            code = main(
+                ["metrics", "--port", "1", "--url", f"http://{host}:{port}/metrics"]
+            )
+        finally:
+            server.shutdown()
+        assert code == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_unreachable_sidecar_fails_cleanly(self, capsys):
+        code = main(["metrics", "--url", "http://127.0.0.1:9/metrics", "--timeout", "0.5"])
+        assert code == 1
+        assert "could not scrape" in capsys.readouterr().err

@@ -1,5 +1,6 @@
 """Estimation service: programmatic API and the HTTP adapter."""
 
+import io
 import json
 import urllib.error
 import urllib.request
@@ -10,6 +11,7 @@ import pytest
 from repro.core import QuadHist
 from repro.data.io import range_to_dict
 from repro.geometry import Box
+from repro.observability import configure_logging, reset_logging
 from repro.server import EstimatorService, serve
 
 
@@ -62,6 +64,26 @@ class TestServiceAPI:
         service = _service()
         with pytest.raises(ValueError):
             service.feedback(Box([0.0, 0.0], [0.5, 0.5]), 1.5)
+
+    def test_feedback_response_shape(self):
+        service = _service()
+        response = service.feedback(Box([0.0, 0.0], [0.5, 0.5]), 0.3)
+        assert set(response) == {"accepted", "pending", "drift", "quarantined_total"}
+        assert response["accepted"] is True
+        assert response["pending"] == 1
+        assert response["quarantined_total"] == 0
+
+    def test_feedback_response_counts_own_append(self, labeled_feedback):
+        """The response snapshot is taken in the same locked section as the
+        buffer append: pending reflects this pair, pre-auto-retrain."""
+        feedback, _ = labeled_feedback
+        service = _service(retrain_every=25, min_feedback=20)
+        for i, (query, label) in enumerate(feedback[:25], start=1):
+            response = service.feedback(query, label)
+            assert response["pending"] == i
+        # The 25th pair triggered the auto-retrain *after* the snapshot.
+        assert service.status()["trained"]
+        assert service.status()["feedback_pending"] == 0
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
@@ -358,3 +380,89 @@ class TestHTTPBatchPredict:
         assert excinfo.value.code == 409
         body = json.loads(excinfo.value.read())
         assert body["type"] == "ModelUnavailableError"
+
+
+class TestObservabilityEndpoints:
+    @pytest.fixture
+    def server(self):
+        service = _service(min_feedback=20)
+        server = serve(service, port=0)
+        yield server
+        server.shutdown()
+
+    def _get_raw(self, server, path):
+        host, port = server.server_address
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as response:
+            return response.status, response.headers, response.read()
+
+    def test_health_is_constant_ok(self, server):
+        status, headers, body = self._get_raw(server, "/health")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_health_works_before_training(self, server):
+        # Liveness must not depend on model state (409s are for /estimate).
+        status, _, body = self._get_raw(server, "/health")
+        assert status == 200 and json.loads(body)["status"] == "ok"
+
+    def test_metrics_exposition_content_type(self, server):
+        status, headers, body = self._get_raw(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        text = body.decode("utf-8")
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "# TYPE repro_http_requests_total counter" in text
+
+    def test_metrics_counts_http_traffic(self, server):
+        self._get_raw(server, "/health")
+        try:
+            self._get_raw(server, "/nope-unknown")
+        except urllib.error.HTTPError:
+            pass
+        _, _, body = self._get_raw(server, "/metrics")
+        text = body.decode("utf-8")
+        assert (
+            'repro_http_requests_total{method="GET",endpoint="/health",status="2xx"}'
+            in text
+        )
+        # Unknown paths fold into the "other" label (bounded cardinality).
+        assert 'endpoint="other",status="4xx"' in text
+
+
+class TestAccessLog:
+    def _serve(self, access_log):
+        service = _service(min_feedback=20)
+        server = serve(service, port=0, access_log=access_log)
+        return server
+
+    def test_enabled_emits_structured_line(self):
+        stream = io.StringIO()
+        configure_logging(json_mode=True, stream=stream)
+        server = self._serve(access_log=True)
+        try:
+            host, port = server.server_address
+            urllib.request.urlopen(f"http://{host}:{port}/health").read()
+        finally:
+            server.shutdown()
+            reset_logging()
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        access = [line for line in lines if line["event"] == "http_request"]
+        assert len(access) == 1
+        assert access[0]["method"] == "GET"
+        assert access[0]["path"] == "/health"
+        assert access[0]["status"] == 200
+        assert access[0]["seconds"] >= 0.0
+
+    def test_quiet_by_default(self):
+        stream = io.StringIO()
+        configure_logging(json_mode=True, stream=stream)
+        server = self._serve(access_log=False)
+        try:
+            host, port = server.server_address
+            urllib.request.urlopen(f"http://{host}:{port}/health").read()
+        finally:
+            server.shutdown()
+            reset_logging()
+        assert "http_request" not in stream.getvalue()
