@@ -1,0 +1,150 @@
+"""Persistence: artifact save/load cost vs. refitting from scratch.
+
+The point of :mod:`repro.persistence` is zero-downtime restarts — a
+restored service must come up *much* faster than a cold fit.  This bench
+pins that claim down per estimator:
+
+* ``fit`` wall time (the cost a restore avoids),
+* ``save`` wall time and artifact size on disk,
+* ``load`` wall time (the cost a restore pays),
+* ``fit/load`` speedup — the restart win,
+* max absolute prediction difference after the round trip (must be 0:
+  the format guarantees bitwise restores).
+
+Results land in ``benchmarks/results/BENCH_persistence.json``.  Like the
+throughput bench this is a standalone script, so CI can run it without
+the pytest-benchmark harness::
+
+    PYTHONPATH=src python benchmarks/bench_persistence.py          # full
+    PYTHONPATH=src python benchmarks/bench_persistence.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.registry import make_estimator
+from repro.data.selectivity import label_queries
+from repro.data.synthetic import power_like
+from repro.data.workloads import WorkloadSpec, generate_workload
+from repro.persistence import load_model, save_model
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FULL = {
+    "mode": "full",
+    "rows": 25_000,
+    "train_queries": 400,
+    "eval_queries": 2_000,
+    "methods": ["quadhist", "kdhist", "ptshist", "gmm", "isomer", "quicksel"],
+    "repeats": 3,
+}
+SMOKE = {
+    "mode": "smoke",
+    "rows": 4_000,
+    "train_queries": 100,
+    "eval_queries": 300,
+    "methods": ["quadhist", "ptshist", "quicksel"],
+    "repeats": 2,
+}
+
+
+def _best_of(repeats: int, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(config: dict) -> dict:
+    rng = np.random.default_rng(20220612)
+    data = power_like(rows=config["rows"], seed=7).project([0, 3])
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    train = generate_workload(
+        config["train_queries"], data.dim, rng, spec=spec, dataset=data
+    )
+    labels = label_queries(data, train)
+    queries = generate_workload(
+        config["eval_queries"], data.dim, rng, spec=spec, dataset=data
+    )
+
+    methods = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in config["methods"]:
+            t_fit, estimator = _best_of(
+                config["repeats"],
+                lambda n=name: _fit(n, train, labels),
+            )
+            path = Path(tmp) / f"{name}.rma"
+            t_save, _ = _best_of(
+                config["repeats"],
+                lambda e=estimator, p=path: save_model(e, p, training=(train, labels)),
+            )
+            t_load, restored = _best_of(
+                config["repeats"], lambda p=path: load_model(p)
+            )
+            diff = float(
+                np.max(
+                    np.abs(
+                        estimator.predict_many(queries)
+                        - restored.predict_many(queries)
+                    )
+                )
+            )
+            methods[name] = {
+                "model_size": estimator.model_size,
+                "fit_seconds": round(t_fit, 4),
+                "save_seconds": round(t_save, 4),
+                "load_seconds": round(t_load, 4),
+                "artifact_bytes": path.stat().st_size,
+                "restore_speedup_vs_fit": round(t_fit / t_load, 1),
+                "max_abs_diff": diff,
+            }
+    return {"config": config, "methods": methods}
+
+
+def _fit(name, train, labels):
+    estimator = make_estimator(name, train_size=len(train))
+    estimator.fit(train, labels)
+    return estimator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_persistence.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    result = run(SMOKE if args.smoke else FULL)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    for name, row in result["methods"].items():
+        print(
+            f"{name:10s} fit {row['fit_seconds']:8.4f}s  "
+            f"save {row['save_seconds']:7.4f}s  load {row['load_seconds']:7.4f}s  "
+            f"({row['artifact_bytes'] / 1024:7.1f} KiB)  "
+            f"restore speedup {row['restore_speedup_vs_fit']:6.1f}x  "
+            f"max_abs_diff {row['max_abs_diff']:.1e}"
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,10 +23,11 @@ accurate but slow; ``max_buckets`` bounds the blow-up.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
+from repro.core.config import IsomerConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
@@ -52,6 +53,8 @@ class Isomer(SelectivityEstimator):
     domain:
         Data domain; defaults to the unit cube.
     """
+
+    Config: ClassVar = IsomerConfig
 
     def __init__(
         self,
@@ -132,3 +135,27 @@ class Isomer(SelectivityEstimator):
         """The learned maximum-entropy histogram."""
         self._check_fitted()
         return self._distribution
+
+    def _state_dict(self) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "bucket_lows": self._bucket_lows,
+            "bucket_highs": self._bucket_highs,
+            "bucket_volumes": self._bucket_volumes,
+            "weights": self._weights,
+        }
+        for key, value in self._distribution.to_state().items():
+            state[f"distribution.{key}"] = value
+        return state
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._bucket_lows = np.asarray(state["bucket_lows"], dtype=float)
+        self._bucket_highs = np.asarray(state["bucket_highs"], dtype=float)
+        self._bucket_volumes = np.asarray(state["bucket_volumes"], dtype=float)
+        self._weights = np.asarray(state["weights"], dtype=float)
+        self._distribution = HistogramDistribution.from_state(
+            {
+                key.split(".", 1)[1]: value
+                for key, value in state.items()
+                if key.startswith("distribution.")
+            }
+        )

@@ -27,10 +27,11 @@ the original for consistent feedback.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
+from repro.core.config import QuickSelConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.geometry.batch import coverage_dot, intersection_volume_matrix
@@ -55,6 +56,8 @@ class QuickSel(SelectivityEstimator):
         the public ``predict`` clips regardless, this flag additionally
         clips inside ``_predict_one`` for the raw-inspection API.
     """
+
+    Config: ClassVar = QuickSelConfig
 
     def __init__(
         self,
@@ -154,3 +157,17 @@ class QuickSel(SelectivityEstimator):
     def model_size(self) -> int:
         self._check_fitted()
         return int(self._weights.shape[0])
+
+    def _state_dict(self) -> Dict[str, object]:
+        return {
+            "kernel_lows": self._kernel_lows,
+            "kernel_highs": self._kernel_highs,
+            "kernel_volumes": self._kernel_volumes,
+            "weights": self._weights,
+        }
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._kernel_lows = np.asarray(state["kernel_lows"], dtype=float)
+        self._kernel_highs = np.asarray(state["kernel_highs"], dtype=float)
+        self._kernel_volumes = np.asarray(state["kernel_volumes"], dtype=float)
+        self._weights = np.asarray(state["weights"], dtype=float)

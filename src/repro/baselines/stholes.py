@@ -36,10 +36,11 @@ this weakness of STHoles's online updates.)
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
+from repro.core.config import STHolesConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Box, Range, unit_box
@@ -80,6 +81,8 @@ class STHoles(SelectivityEstimator):
     max_buckets:
         Bucket budget; exceeding it triggers lowest-penalty merges.
     """
+
+    Config: ClassVar = STHolesConfig
 
     def __init__(self, max_buckets: int = 500, domain: Box | None = None):
         super().__init__()
@@ -325,3 +328,49 @@ class STHoles(SelectivityEstimator):
         """Sum of region frequencies (≈ 1 when feedback is consistent)."""
         self._check_fitted()
         return float(self._root.subtree_frequency())
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persistence)
+    # ------------------------------------------------------------------
+
+    def _state_dict(self) -> Dict[str, object]:
+        # The bucket tree flattens to preorder (the `walk()` order used by
+        # _estimate_weights): parent indices reference earlier entries, so
+        # the tree rebuilds in one forward pass with child order preserved.
+        index_of = {id(b): i for i, b in enumerate(self._buckets)}
+        parents = np.array(
+            [index_of[id(b.parent)] if b.parent is not None else -1 for b in self._buckets],
+            dtype=np.int64,
+        )
+        return {
+            "parents": parents,
+            "frequencies": np.array([b.frequency for b in self._buckets]),
+            "box_lows": self._box_lows,
+            "box_highs": self._box_highs,
+            "region_volumes": self._region_volumes,
+            "weights": self._weights,
+        }
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        parents = np.asarray(state["parents"], dtype=np.int64)
+        frequencies = np.asarray(state["frequencies"], dtype=float)
+        self._box_lows = np.asarray(state["box_lows"], dtype=float)
+        self._box_highs = np.asarray(state["box_highs"], dtype=float)
+        self._region_volumes = np.asarray(state["region_volumes"], dtype=float)
+        self._weights = np.asarray(state["weights"], dtype=float)
+        buckets: list[_Bucket] = []
+        for i in range(parents.shape[0]):
+            parent = buckets[int(parents[i])] if parents[i] >= 0 else None
+            bucket = _Bucket(
+                Box(self._box_lows[i], self._box_highs[i]), parent, frequencies[i]
+            )
+            if parent is not None:
+                parent.children.append(bucket)
+            buckets.append(bucket)
+        self._root = buckets[0]
+        self._buckets = buckets
+        self._child_index = []
+        index_of = {id(b): i for i, b in enumerate(buckets)}
+        for bucket in buckets:
+            self._child_index.append([index_of[id(c)] for c in bucket.children])
+        self._count = len(buckets)

@@ -7,6 +7,11 @@ glance.
 
 from __future__ import annotations
 
+from typing import ClassVar, Dict
+
+import numpy as np
+
+from repro.core.config import MeanConfig, UniformConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Box, Range, unit_box
@@ -22,6 +27,8 @@ class UniformEstimator(SelectivityEstimator):
     classical optimisers, the strawman the learned-estimation literature
     improves on.
     """
+
+    Config: ClassVar = UniformConfig
 
     def __init__(self, domain: Box | None = None):
         super().__init__()
@@ -43,9 +50,23 @@ class UniformEstimator(SelectivityEstimator):
     def model_size(self) -> int:
         return 1
 
+    def _state_dict(self) -> Dict[str, object]:
+        return {
+            "domain_lows": self._resolved_domain.lows,
+            "domain_highs": self._resolved_domain.highs,
+        }
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._resolved_domain = Box(
+            np.asarray(state["domain_lows"], dtype=float),
+            np.asarray(state["domain_highs"], dtype=float),
+        )
+
 
 class MeanEstimator(SelectivityEstimator):
     """Predicts the mean training selectivity for every query."""
+
+    Config: ClassVar = MeanConfig
 
     def __init__(self):
         super().__init__()
@@ -60,3 +81,9 @@ class MeanEstimator(SelectivityEstimator):
     @property
     def model_size(self) -> int:
         return 1
+
+    def _state_dict(self) -> Dict[str, object]:
+        return {"mean": float(self._mean)}
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._mean = float(state["mean"])

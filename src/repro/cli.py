@@ -1,24 +1,37 @@
 """Command-line interface.
 
-Three subcommands cover the paper's workflow end to end:
+The subcommands cover the paper's workflow end to end:
 
 ``generate``
     Build a synthetic dataset, draw a labeled query workload from it, and
     save the workload to JSON (:mod:`repro.data.io` format).
 
+``train``
+    Fit one estimator on a workload and persist it as a versioned model
+    artifact (``--save model.rma``, see :mod:`repro.persistence`); the
+    manifest records the config, training-set fingerprint and fit time.
+
 ``evaluate``
     Train one or more estimators on a workload (from a file, or generated
     on the fly) and print the evaluation table: model size, fit time,
     RMS / L∞ errors and Q-error quantiles.  ``--sanitize drop`` screens
-    dirty training pairs instead of aborting.
+    dirty training pairs instead of aborting.  ``--load model.rma``
+    scores previously saved artifacts on the same test set without
+    refitting (their ``fit_s`` column reads 0).
+
+``inspect``
+    Pretty-print an artifact's manifest — estimator name, config, state
+    summary, fingerprint — without constructing the model.
 
 ``serve``
     Run the fault-tolerant HTTP estimation sidecar
     (:mod:`repro.server`) with the robustness knobs exposed: sanitize
     policy, feedback-buffer capacity, circuit-breaker threshold/cooldown,
-    and retrain timeout.  ``--log-json`` switches the structured logger
-    to JSON lines (and enables span-trace logging); ``--access-log``
-    emits one log line per HTTP request.
+    and retrain timeout.  ``--snapshot-dir`` persists every retrain
+    generation and warm-starts from the newest one on restart.
+    ``--log-json`` switches the structured logger to JSON lines (and
+    enables span-trace logging); ``--access-log`` emits one log line per
+    HTTP request.
 
 ``metrics``
     Fetch and print the Prometheus text exposition from a running
@@ -30,10 +43,15 @@ Examples
 
     python -m repro.cli generate --dataset power --attrs 0,3 \\
         --queries 200 --out train.json
+    python -m repro.cli train --dataset power --attrs 0,3 \\
+        --train 200 --method quadhist --save model.rma
     python -m repro.cli evaluate --dataset power --attrs 0,3 \\
         --train 200 --test 150 --methods quadhist,ptshist,quicksel
+    python -m repro.cli evaluate --dataset power --attrs 0,3 \\
+        --test 150 --methods "" --load model.rma
+    python -m repro.cli inspect model.rma
     python -m repro.cli serve --method quadhist --port 8080 \\
-        --sanitize drop --retrain-every 50 --feedback-capacity 10000
+        --sanitize drop --retrain-every 50 --snapshot-dir ./snapshots
     python -m repro.cli metrics --port 8080
 """
 
@@ -99,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--queries", type=int, default=200)
     gen.add_argument("--out", required=True, help="output JSON path")
 
+    tr = sub.add_parser(
+        "train", parents=[common], help="fit one estimator and save it as an artifact"
+    )
+    tr.add_argument("--train", type=int, default=200, help="training-set size")
+    tr.add_argument(
+        "--train-file", help="JSON workload to train on (overrides --train)"
+    )
+    tr.add_argument(
+        "--method",
+        default="quadhist",
+        help="estimator to fit; one of: " + ",".join(sorted(estimator_factories())),
+    )
+    tr.add_argument("--save", required=True, help="output artifact path (.rma)")
+    tr.add_argument(
+        "--sanitize",
+        choices=list(SANITIZE_POLICIES),
+        default=None,
+        help="screen the training workload before fitting",
+    )
+
     ev = sub.add_parser("evaluate", parents=[common], help="train and evaluate estimators")
     ev.add_argument("--train", type=int, default=200, help="training-set size")
     ev.add_argument("--test", type=int, default=150, help="test-set size")
@@ -118,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="screen the training workload (drop/clamp dirty pairs, or "
         "raise on the first); default: strict label validation only",
     )
+    ev.add_argument(
+        "--load",
+        default=None,
+        help="comma-separated model artifacts (.rma) to score on the test "
+        "set without refitting",
+    )
+
+    ins = sub.add_parser(
+        "inspect", help="pretty-print a model artifact's manifest"
+    )
+    ins.add_argument("artifact", help="artifact path (.rma)")
 
     srv = sub.add_parser("serve", help="run the HTTP estimation sidecar")
     srv.add_argument("--host", default="127.0.0.1")
@@ -154,6 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="wall-clock budget per retrain in seconds",
+    )
+    srv.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="persist every retrain generation here and warm-start from "
+        "the newest snapshot on restart (default: no persistence)",
+    )
+    srv.add_argument(
+        "--snapshot-keep",
+        type=int,
+        default=5,
+        help="snapshot generations to retain (default: 5)",
     )
     srv.add_argument(
         "--log-json",
@@ -200,6 +261,65 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_train(args) -> int:
+    import time
+
+    from repro.core.registry import make_estimator
+    from repro.persistence import save_model
+
+    dataset, spec, rng = _setup(args)
+    if args.train_file:
+        queries, labels = load_workload(args.train_file)
+        train = Workload(queries, labels)
+    else:
+        train = make_workload(dataset, args.train, rng, spec=spec)
+    try:
+        estimator = make_estimator(args.method, train_size=len(train))
+    except KeyError as exc:
+        print(f"error: unknown method: {exc.args[0]}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    estimator.fit(train.queries, train.selectivities, policy=args.sanitize)
+    fit_seconds = time.perf_counter() - start
+    path = save_model(
+        estimator,
+        args.save,
+        training=(train.queries, train.selectivities),
+        metadata={"fit_seconds": round(fit_seconds, 4), "dataset": dataset.name},
+    )
+    print(
+        f"fitted {args.method} on {len(train)} pairs in {fit_seconds:.3f}s "
+        f"(model_size={estimator.model_size}); saved to {path}"
+    )
+    return 0
+
+
+def _evaluate_artifact(path: str, test: Workload):
+    """Score a persisted model on ``test`` (no refit: fit_seconds = 0)."""
+    import time
+
+    from repro.eval.metrics import linf_error, q_error_quantiles, rms_error
+    from repro.persistence import load_manifest, load_model
+
+    from repro.eval.harness import ExperimentResult
+
+    estimator = load_model(path)
+    manifest = load_manifest(path)
+    start = time.perf_counter()
+    predictions = estimator.predict_many(test.queries)
+    predict_seconds = time.perf_counter() - start
+    return ExperimentResult(
+        name=f"{manifest['estimator']}@{path}",
+        train_size=int(manifest.get("fit", {}).get("n_train", 0)),
+        model_size=estimator.model_size,
+        fit_seconds=0.0,
+        predict_seconds=predict_seconds,
+        rms=rms_error(predictions, test.selectivities),
+        linf=linf_error(predictions, test.selectivities),
+        q_quantiles=q_error_quantiles(predictions, test.selectivities),
+    )
+
+
 def _cmd_evaluate(args) -> int:
     dataset, spec, rng = _setup(args)
     if args.train_file:
@@ -222,6 +342,11 @@ def _cmd_evaluate(args) -> int:
             file=sys.stderr,
         )
         return 2
+    artifacts = (
+        [p.strip() for p in args.load.split(",") if p.strip()]
+        if getattr(args, "load", None)
+        else []
+    )
 
     rows = []
     for name in method_names:
@@ -233,6 +358,8 @@ def _cmd_evaluate(args) -> int:
         if args.sanitize is not None:
             row["quarantined"] = result.quarantined
         rows.append(row)
+    for path in artifacts:
+        rows.append(_evaluate_artifact(path, test).row())
     print(
         format_table(
             rows,
@@ -242,6 +369,16 @@ def _cmd_evaluate(args) -> int:
             ),
         )
     )
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    import json
+
+    from repro.persistence import load_manifest
+
+    manifest = load_manifest(args.artifact)
+    print(json.dumps(manifest, indent=2, sort_keys=True))
     return 0
 
 
@@ -269,6 +406,8 @@ def _cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         retrain_timeout=args.retrain_timeout,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_keep=args.snapshot_keep,
         seed=args.seed if hasattr(args, "seed") else 0,
     )
     server = serve(
@@ -311,6 +450,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "generate":
             return _cmd_generate(args)
+        if args.command == "train":
+            return _cmd_train(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "metrics":

@@ -8,12 +8,31 @@
   arrangement-based exact empirical-risk minimiser (Lemma 3.1).
 """
 
+from repro.core.config import (
+    ArrangementERMConfig,
+    EstimatorConfig,
+    GaussianMixtureConfig,
+    IsomerConfig,
+    KdHistConfig,
+    MeanConfig,
+    PtsHistConfig,
+    QuadHistConfig,
+    QuickSelConfig,
+    STHolesConfig,
+    UniformConfig,
+)
 from repro.core.estimator import SelectivityEstimator
 from repro.core.quadhist import QuadHist
 from repro.core.ptshist import PtsHist
 from repro.core.arrangement_erm import ArrangementERM
 from repro.core.gmm import GaussianMixtureHist
 from repro.core.kdhist import KdHist
+from repro.core.registry import (
+    available_estimators,
+    default_config,
+    estimator_class,
+    make_estimator,
+)
 from repro.core.workload import LabeledQuery, TrainingSet
 
 __all__ = [
@@ -25,4 +44,19 @@ __all__ = [
     "KdHist",
     "LabeledQuery",
     "TrainingSet",
+    "EstimatorConfig",
+    "QuadHistConfig",
+    "KdHistConfig",
+    "PtsHistConfig",
+    "GaussianMixtureConfig",
+    "ArrangementERMConfig",
+    "IsomerConfig",
+    "QuickSelConfig",
+    "STHolesConfig",
+    "UniformConfig",
+    "MeanConfig",
+    "available_estimators",
+    "default_config",
+    "estimator_class",
+    "make_estimator",
 ]

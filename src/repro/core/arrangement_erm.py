@@ -17,10 +17,11 @@ Two modes:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
+from repro.core.config import ArrangementERMConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
@@ -55,6 +56,8 @@ class ArrangementERM(SelectivityEstimator):
         claim needs the exact constrained minimiser, not the penalty
         approximation).
     """
+
+    Config: ClassVar = ArrangementERMConfig
 
     def __init__(
         self,
@@ -153,3 +156,34 @@ class ArrangementERM(SelectivityEstimator):
         """The learned distribution (histogram or discrete, per ``mode``)."""
         self._check_fitted()
         return self._histogram if self.mode == "histogram" else self._discrete
+
+    def _state_dict(self) -> Dict[str, object]:
+        if self.mode == "histogram":
+            state: Dict[str, object] = {
+                "cell_lows": self._cell_lows,
+                "cell_highs": self._cell_highs,
+                "cell_volumes": self._cell_volumes,
+                "weights": self._weights,
+            }
+            for key, value in self._histogram.to_state().items():
+                state[f"distribution.{key}"] = value
+            return state
+        return {
+            f"distribution.{key}": value
+            for key, value in self._discrete.to_state().items()
+        }
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        nested = {
+            key.split(".", 1)[1]: value
+            for key, value in state.items()
+            if key.startswith("distribution.")
+        }
+        if self.mode == "histogram":
+            self._cell_lows = np.asarray(state["cell_lows"], dtype=float)
+            self._cell_highs = np.asarray(state["cell_highs"], dtype=float)
+            self._cell_volumes = np.asarray(state["cell_volumes"], dtype=float)
+            self._weights = np.asarray(state["weights"], dtype=float)
+            self._histogram = HistogramDistribution.from_state(nested)
+        else:
+            self._discrete = DiscreteDistribution.from_state(nested)

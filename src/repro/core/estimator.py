@@ -17,10 +17,15 @@ comparison" constraint in Section 4).
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+import contextlib
+import dataclasses
+import threading
+import warnings
+from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
+from repro.core.config import EstimatorConfig
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Range
 from repro.observability.metrics import default_registry
@@ -29,6 +34,21 @@ from repro.robustness.errors import ModelUnavailableError
 from repro.robustness.sanitize import SanitizationReport
 
 __all__ = ["SelectivityEstimator", "NotFittedError"]
+
+_FROM_CONFIG = threading.local()
+
+
+def _in_from_config() -> bool:
+    return getattr(_FROM_CONFIG, "depth", 0) > 0
+
+
+@contextlib.contextmanager
+def _from_config_scope():
+    _FROM_CONFIG.depth = getattr(_FROM_CONFIG, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _FROM_CONFIG.depth -= 1
 
 _PREDICT_QUERIES = default_registry().counter(
     "repro_predict_queries_total",
@@ -47,10 +67,80 @@ class NotFittedError(ModelUnavailableError):
 class SelectivityEstimator(abc.ABC):
     """Base class for query-driven selectivity estimators."""
 
+    #: Typed config dataclass for this estimator, when it has one.  Set on
+    #: registry estimators (``QuadHist.Config = QuadHistConfig`` etc.); the
+    #: canonical construction path is then ``cls.from_config(cfg)``, and
+    #: direct keyword construction emits a :class:`DeprecationWarning`.
+    Config: ClassVar[type[EstimatorConfig] | None] = None
+
     def __init__(self):
         self._fitted = False
         #: Quarantine outcome of the last ``fit`` (None without a policy).
         self.sanitization_: SanitizationReport | None = None
+        if type(self).Config is not None and not _in_from_config():
+            warnings.warn(
+                f"constructing {type(self).__name__} with keyword arguments is "
+                f"deprecated; use {type(self).__name__}.from_config"
+                f"({type(self).Config.__name__}(...))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    @classmethod
+    def from_config(cls, config: EstimatorConfig) -> "SelectivityEstimator":
+        """Canonical constructor: build an estimator from its typed config."""
+        if cls.Config is None:
+            raise TypeError(f"{cls.__name__} has no Config dataclass")
+        if not isinstance(config, cls.Config):
+            raise TypeError(
+                f"{cls.__name__}.from_config needs a {cls.Config.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        with _from_config_scope():
+            return cls(**config.kwargs())
+
+    @property
+    def config(self) -> EstimatorConfig:
+        """The typed config this estimator was constructed from.
+
+        Reconstructed field-for-field from the constructor attributes, so
+        it reflects the *actual* construction arguments and round-trips:
+        ``type(est).from_config(est.config)`` builds an equivalent
+        (unfitted) estimator.
+        """
+        cfg_cls = type(self).Config
+        if cfg_cls is None:
+            raise TypeError(f"{type(self).__name__} has no Config dataclass")
+        values = {}
+        for f in dataclasses.fields(cfg_cls):
+            value = getattr(self, f.name)
+            if isinstance(value, list):
+                value = tuple(value)
+            values[f.name] = value
+        return cfg_cls(**values)
+
+    # ------------------------------------------------------------------
+    # Persistence hooks (see repro.persistence)
+    # ------------------------------------------------------------------
+
+    def _state_dict(self) -> Dict[str, object]:
+        """Fitted state as a flat dict of arrays and JSON-able scalars.
+
+        ``np.ndarray`` values land in the artifact's npz payload; plain
+        scalars/strings/lists land in the manifest.  Keys prefixed with
+        ``"distribution."`` carry nested distribution state.  Must contain
+        everything :meth:`_load_state_dict` needs to reproduce
+        ``predict_many`` bitwise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support persistence"
+        )
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore fitted state produced by :meth:`_state_dict`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support persistence"
+        )
 
     def fit(
         self,

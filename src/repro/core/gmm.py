@@ -26,9 +26,12 @@ the paper points out its framework already covers.
 
 from __future__ import annotations
 
+from typing import ClassVar, Dict
+
 import numpy as np
 from scipy.stats import norm, qmc
 
+from repro.core.config import GaussianMixtureConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.geometry.ranges import Box, Halfspace, Range, unit_box
@@ -60,6 +63,8 @@ class GaussianMixtureHist(SelectivityEstimator):
     seed / objective / solver / domain:
         As in :class:`~repro.core.ptshist.PtsHist`.
     """
+
+    Config: ClassVar = GaussianMixtureConfig
 
     def __init__(
         self,
@@ -221,3 +226,20 @@ class GaussianMixtureHist(SelectivityEstimator):
         choices = rng.choice(self.components, size=count, p=self._weights)
         noise = rng.normal(size=(count, self._means.shape[1]))
         return self._means[choices] + noise * self._sigmas[choices]
+
+    def _state_dict(self) -> Dict[str, object]:
+        # _qmc_normal is part of the fitted model: it fixes the QMC masses
+        # used for non-analytic ranges, so persisting it keeps predictions
+        # bitwise-identical across save/load.
+        return {
+            "means": self._means,
+            "sigmas": self._sigmas,
+            "weights": self._weights,
+            "qmc_normal": self._qmc_normal,
+        }
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._means = np.asarray(state["means"], dtype=float)
+        self._sigmas = np.asarray(state["sigmas"], dtype=float)
+        self._weights = np.asarray(state["weights"], dtype=float)
+        self._qmc_normal = np.asarray(state["qmc_normal"], dtype=float)

@@ -21,10 +21,11 @@ refinement) — the same argument as Lemma A.4.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import ClassVar, Dict, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.config import KdHistConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
@@ -83,6 +84,8 @@ class KdHist(SelectivityEstimator):
     defaults higher because each level only halves one axis (depth ``d*k``
     in KdHist reaches the granularity of depth ``k`` in QuadHist).
     """
+
+    Config: ClassVar = KdHistConfig
 
     def __init__(
         self,
@@ -193,3 +196,28 @@ class KdHist(SelectivityEstimator):
         """The kd-tree leaves = histogram buckets."""
         self._check_fitted()
         return list(self._distribution.buckets)
+
+    def _state_dict(self) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "leaf_lows": self._leaf_lows,
+            "leaf_highs": self._leaf_highs,
+            "leaf_volumes": self._leaf_volumes,
+            "weights": self._weights,
+        }
+        for key, value in self._distribution.to_state().items():
+            state[f"distribution.{key}"] = value
+        return state
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._leaf_lows = np.asarray(state["leaf_lows"], dtype=float)
+        self._leaf_highs = np.asarray(state["leaf_highs"], dtype=float)
+        self._leaf_volumes = np.asarray(state["leaf_volumes"], dtype=float)
+        self._weights = np.asarray(state["weights"], dtype=float)
+        self._distribution = HistogramDistribution.from_state(
+            {
+                key.split(".", 1)[1]: value
+                for key, value in state.items()
+                if key.startswith("distribution.")
+            }
+        )
+        self._root = None

@@ -17,10 +17,11 @@ squares (Eq. 8) on the 0/1 membership design matrix (Eq. 7).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
+from repro.core.config import PtsHistConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
@@ -51,6 +52,8 @@ class PtsHist(SelectivityEstimator):
     objective / solver / domain:
         As in :class:`~repro.core.quadhist.QuadHist`.
     """
+
+    Config: ClassVar = PtsHistConfig
 
     def __init__(
         self,
@@ -141,3 +144,18 @@ class PtsHist(SelectivityEstimator):
         """The learned discrete distribution (a valid member of 𝒟)."""
         self._check_fitted()
         return self._distribution
+
+    def _state_dict(self) -> Dict[str, object]:
+        return {
+            f"distribution.{key}": value
+            for key, value in self._distribution.to_state().items()
+        }
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._distribution = DiscreteDistribution.from_state(
+            {
+                key.split(".", 1)[1]: value
+                for key, value in state.items()
+                if key.startswith("distribution.")
+            }
+        )

@@ -24,10 +24,11 @@ Properties reproduced from the paper:
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import ClassVar, Dict, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.config import QuadHistConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
@@ -92,6 +93,8 @@ class QuadHist(SelectivityEstimator):
     domain:
         Data domain; defaults to the unit cube of the training dimension.
     """
+
+    Config: ClassVar = QuadHistConfig
 
     def __init__(
         self,
@@ -159,6 +162,11 @@ class QuadHist(SelectivityEstimator):
         if not self._fitted:
             self.fit(queries, selectivities)
             return self
+        if self._root is None or self._history is None:
+            raise RuntimeError(
+                "partial_fit needs the quadtree and feedback history, which "
+                "persisted artifacts do not carry; refit from scratch instead"
+            )
         if new.dim != self._history.dim:
             raise ValueError("partial_fit dimension mismatch with earlier feedback")
         combined = TrainingSet(
@@ -256,3 +264,35 @@ class QuadHist(SelectivityEstimator):
         """The quadtree leaves = histogram buckets (for inspection/plots)."""
         self._check_fitted()
         return list(self._distribution.buckets)
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persistence)
+    # ------------------------------------------------------------------
+
+    def _state_dict(self) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "leaf_lows": self._leaf_lows,
+            "leaf_highs": self._leaf_highs,
+            "leaf_volumes": self._leaf_volumes,
+            "weights": self._weights,
+        }
+        for key, value in self._distribution.to_state().items():
+            state[f"distribution.{key}"] = value
+        return state
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        self._leaf_lows = np.asarray(state["leaf_lows"], dtype=float)
+        self._leaf_highs = np.asarray(state["leaf_highs"], dtype=float)
+        self._leaf_volumes = np.asarray(state["leaf_volumes"], dtype=float)
+        self._weights = np.asarray(state["weights"], dtype=float)
+        self._distribution = HistogramDistribution.from_state(
+            {
+                key.split(".", 1)[1]: value
+                for key, value in state.items()
+                if key.startswith("distribution.")
+            }
+        )
+        # The tree and feedback history are fit-time structures; a restored
+        # model predicts from the leaf arrays and cannot partial_fit.
+        self._root = None
+        self._history = None

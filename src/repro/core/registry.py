@@ -1,34 +1,66 @@
 """Estimator registry: one canonical name per learner/baseline.
 
-The CLI, the property-test suite, and the serving layer all need "every
-estimator we ship, by name, with sensible default hyper-parameters for a
-given training size".  Keeping that list in one place means a newly added
-estimator is automatically covered by the registry-wide invariant tests
-(``tests/core/test_estimator_properties.py``) and selectable from the
-command line.
+The CLI, the property-test suite, the persistence layer, and the serving
+layer all need "every estimator we ship, by name, with sensible default
+hyper-parameters for a given training size".  Keeping that list in one
+place means a newly added estimator is automatically covered by the
+registry-wide invariant tests (``tests/core/test_estimator_properties.py``,
+``tests/persistence/test_roundtrip.py``) and selectable from the command
+line.
 
-Factories take the training-set size ``n`` (several models peg their
-complexity to ``4 × n``, the paper's Section 4.1 convention) and return a
-fresh, unfitted estimator.
+Each entry binds a registry name to an estimator class and a *sizer* —
+a function mapping the training-set size ``n`` to a typed
+:class:`~repro.core.config.EstimatorConfig` (several models peg their
+complexity to ``4 × n``, the paper's Section 4.1 convention).
+Construction always goes through ``cls.from_config(config)``, so a
+registry-made estimator can always name its exact constructor — which is
+what lets :mod:`repro.persistence` record ``(name, config)`` in an
+artifact manifest and rebuild the estimator elsewhere.
+
+``register_estimator`` still accepts a bare ``n -> estimator`` factory
+for ad-hoc entries (tests, experiments); those are not config-driven and
+therefore not persistable through the registry path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import replace
+from typing import Callable, Dict, NamedTuple
 
+from repro.core.config import EstimatorConfig
 from repro.core.estimator import SelectivityEstimator
 
-__all__ = ["register_estimator", "estimator_factories", "make_estimator"]
+__all__ = [
+    "register_estimator",
+    "estimator_factories",
+    "make_estimator",
+    "available_estimators",
+    "estimator_class",
+    "default_config",
+]
 
 Factory = Callable[[int], SelectivityEstimator]
 
-_FACTORIES: Dict[str, Factory] = {}
+
+class _Entry(NamedTuple):
+    cls: type[SelectivityEstimator]
+    sizer: Callable[[int], EstimatorConfig]
+
+
+_ENTRIES: Dict[str, _Entry] = {}
+_CUSTOM_FACTORIES: Dict[str, Factory] = {}
 _DEFAULTS_LOADED = False
 
 
 def register_estimator(name: str, factory: Factory) -> Factory:
-    """Register ``factory`` under ``name`` (overwrites an existing entry)."""
-    _FACTORIES[name] = factory
+    """Register a bare ``n -> estimator`` factory under ``name``.
+
+    Overwrites an existing entry of either kind.  For config-driven
+    (persistable) registration, add a typed config class and an ``_ENTRIES``
+    row instead.
+    """
+    _CUSTOM_FACTORIES[name] = factory
+    _ENTRIES.pop(name, None)
     return factory
 
 
@@ -39,39 +71,123 @@ def _load_defaults() -> None:
     if _DEFAULTS_LOADED:
         return
     from repro.baselines import Isomer, MeanEstimator, QuickSel, UniformEstimator
+    from repro.baselines.stholes import STHoles
+    from repro.core.arrangement_erm import ArrangementERM
+    from repro.core.config import (
+        ArrangementERMConfig,
+        GaussianMixtureConfig,
+        IsomerConfig,
+        KdHistConfig,
+        MeanConfig,
+        PtsHistConfig,
+        QuadHistConfig,
+        QuickSelConfig,
+        STHolesConfig,
+        UniformConfig,
+    )
     from repro.core.gmm import GaussianMixtureHist
     from repro.core.kdhist import KdHist
     from repro.core.ptshist import PtsHist
     from repro.core.quadhist import QuadHist
 
-    defaults: Dict[str, Factory] = {
-        "quadhist": lambda n: QuadHist(tau=0.005, max_leaves=4 * n),
-        "kdhist": lambda n: KdHist(tau=0.005, max_leaves=4 * n),
-        "ptshist": lambda n: PtsHist(size=4 * n, seed=0),
-        "gmm": lambda n: GaussianMixtureHist(components=4 * n, seed=0),
-        "isomer": lambda n: Isomer(max_buckets=10_000),
-        "quicksel": lambda n: QuickSel(),
-        "uniform": lambda n: UniformEstimator(),
-        "mean": lambda n: MeanEstimator(),
+    defaults: Dict[str, _Entry] = {
+        "quadhist": _Entry(
+            QuadHist, lambda n: QuadHistConfig(tau=0.005, max_leaves=4 * n)
+        ),
+        "kdhist": _Entry(KdHist, lambda n: KdHistConfig(tau=0.005, max_leaves=4 * n)),
+        "ptshist": _Entry(PtsHist, lambda n: PtsHistConfig(size=4 * n, seed=0)),
+        "gmm": _Entry(
+            GaussianMixtureHist,
+            lambda n: GaussianMixtureConfig(components=4 * n, seed=0),
+        ),
+        "arrangement": _Entry(
+            ArrangementERM, lambda n: ArrangementERMConfig(mode="discrete")
+        ),
+        "isomer": _Entry(Isomer, lambda n: IsomerConfig(max_buckets=10_000)),
+        "quicksel": _Entry(QuickSel, lambda n: QuickSelConfig()),
+        "stholes": _Entry(STHoles, lambda n: STHolesConfig(max_buckets=4 * n)),
+        "uniform": _Entry(UniformEstimator, lambda n: UniformConfig()),
+        "mean": _Entry(MeanEstimator, lambda n: MeanConfig()),
     }
-    for name, factory in defaults.items():
-        _FACTORIES.setdefault(name, factory)
+    for name, entry in defaults.items():
+        if name not in _ENTRIES and name not in _CUSTOM_FACTORIES:
+            _ENTRIES[name] = entry
     _DEFAULTS_LOADED = True
+
+
+def available_estimators() -> list[str]:
+    """Sorted names of every registered estimator."""
+    _load_defaults()
+    return sorted({**_ENTRIES, **_CUSTOM_FACTORIES})
+
+
+def estimator_class(name: str) -> type[SelectivityEstimator]:
+    """The estimator class registered under ``name`` (config-driven entries)."""
+    _load_defaults()
+    try:
+        return _ENTRIES[name].cls
+    except KeyError:
+        raise KeyError(
+            f"unknown estimator {name!r}; choose from {available_estimators()}"
+        ) from None
+
+
+def default_config(name: str, train_size: int = 200) -> EstimatorConfig:
+    """The default config for ``name`` sized for ``train_size`` samples."""
+    _load_defaults()
+    try:
+        entry = _ENTRIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown estimator {name!r}; choose from {available_estimators()}"
+        ) from None
+    return entry.sizer(train_size)
 
 
 def estimator_factories() -> Dict[str, Factory]:
     """All registered factories, name → factory (defaults included)."""
     _load_defaults()
-    return dict(_FACTORIES)
+
+    def bind(entry: _Entry) -> Factory:
+        return lambda n: entry.cls.from_config(entry.sizer(n))
+
+    factories: Dict[str, Factory] = {
+        name: bind(entry) for name, entry in _ENTRIES.items()
+    }
+    factories.update(_CUSTOM_FACTORIES)
+    return factories
 
 
-def make_estimator(name: str, train_size: int = 200) -> SelectivityEstimator:
-    """Instantiate the named estimator sized for ``train_size`` samples."""
+def make_estimator(
+    name: str,
+    train_size: int = 200,
+    config: EstimatorConfig | None = None,
+    **overrides,
+) -> SelectivityEstimator:
+    """Instantiate the named estimator sized for ``train_size`` samples.
+
+    ``config`` replaces the default config outright; ``overrides`` patch
+    individual fields of the default (e.g. ``make_estimator("quadhist",
+    train_size=100, tau=0.02)``).  Unknown names raise :class:`KeyError`
+    listing every registered estimator, so typos fail at construction
+    time rather than surfacing later as a missing model.
+    """
     _load_defaults()
+    if name in _CUSTOM_FACTORIES:
+        if config is not None or overrides:
+            raise ValueError(
+                f"estimator {name!r} uses a custom factory; config/overrides "
+                "do not apply"
+            )
+        return _CUSTOM_FACTORIES[name](train_size)
     try:
-        factory = _FACTORIES[name]
+        entry = _ENTRIES[name]
     except KeyError:
-        raise ValueError(
-            f"unknown estimator {name!r}; choose from {sorted(_FACTORIES)}"
+        raise KeyError(
+            f"unknown estimator {name!r}; choose from {available_estimators()}"
         ) from None
-    return factory(train_size)
+    if config is None:
+        config = entry.sizer(train_size)
+    if overrides:
+        config = replace(config, **overrides)
+    return entry.cls.from_config(config)

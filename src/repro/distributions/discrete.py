@@ -50,6 +50,22 @@ class DiscreteDistribution:
         """Model complexity: the support size."""
         return self.points.shape[0]
 
+    def to_state(self) -> dict:
+        """Serialisable state (see :mod:`repro.persistence`)."""
+        return {"points": self.points.copy(), "weights": self.weights.copy()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DiscreteDistribution":
+        """Rebuild from :meth:`to_state` output, bypassing ``__init__``.
+
+        The persisted weights are already normalised; renormalising again
+        could drift by ulps and break bitwise round-tripping.
+        """
+        self = cls.__new__(cls)
+        self.points = np.asarray(state["points"], dtype=float)
+        self.weights = np.asarray(state["weights"], dtype=float)
+        return self
+
     def selectivity(self, range_: Range) -> float:
         """``s_D(R)`` per Eq. (7)."""
         inside = np.asarray(range_.contains(self.points))

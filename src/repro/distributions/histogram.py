@@ -72,6 +72,38 @@ class HistogramDistribution:
         """Model complexity: the number of buckets."""
         return len(self.buckets)
 
+    def to_state(self) -> dict:
+        """Serialisable state (see :mod:`repro.persistence`).
+
+        Captures the internal arrays verbatim — including the already
+        normalised weights — so :meth:`from_state` reproduces selectivity
+        computations bitwise instead of renormalising a second time.
+        """
+        return {
+            "lows": self._lows.copy(),
+            "highs": self._highs.copy(),
+            "volumes": self._volumes.copy(),
+            "weights": self.weights.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HistogramDistribution":
+        """Rebuild a distribution from :meth:`to_state` output.
+
+        Bypasses ``__init__`` on purpose: the constructor renormalises
+        weights and recomputes volumes, which can drift by ulps from the
+        persisted values.  Restored state must be byte-identical.
+        """
+        lows = np.asarray(state["lows"], dtype=float)
+        highs = np.asarray(state["highs"], dtype=float)
+        self = cls.__new__(cls)
+        self.buckets = [Box(lows[i], highs[i]) for i in range(lows.shape[0])]
+        self.weights = np.asarray(state["weights"], dtype=float)
+        self._lows = lows
+        self._highs = highs
+        self._volumes = np.asarray(state["volumes"], dtype=float)
+        return self
+
     def selectivity(self, range_: Range) -> float:
         """``s_D(R)`` per Eq. (6), in one vectorised kernel call."""
         overlaps = batch_intersection_volumes(self._lows, self._highs, range_)

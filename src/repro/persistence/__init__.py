@@ -1,0 +1,38 @@
+"""Durable, versioned model artifacts and serving snapshots.
+
+The paper's learners are cheap to query but expensive to fit, so a fitted
+model is worth keeping: this package gives every registry estimator a
+self-describing on-disk artifact (:mod:`repro.persistence.artifact`) and
+the serving layer a generation-numbered snapshot store
+(:mod:`repro.persistence.snapshots`) for free restarts.
+
+.. code-block:: python
+
+    from repro.persistence import save_model, load_model
+
+    save_model(est, "model.rma", training=(queries, selectivities))
+    est2 = load_model("model.rma")
+    # est2.predict_many(...) is bitwise-identical to est.predict_many(...)
+
+See ``docs/persistence.md`` for the format specification.
+"""
+
+from repro.persistence.artifact import (
+    ARTIFACT_SUFFIX,
+    FORMAT_VERSION,
+    load_manifest,
+    load_model,
+    save_model,
+    training_fingerprint,
+)
+from repro.persistence.snapshots import SnapshotStore
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "FORMAT_VERSION",
+    "save_model",
+    "load_model",
+    "load_manifest",
+    "training_fingerprint",
+    "SnapshotStore",
+]

@@ -1,0 +1,282 @@
+"""Versioned, self-describing model artifacts.
+
+An artifact is a single zip file (suffix ``.rma``, "repro model
+artifact") with exactly two members:
+
+``manifest.json``
+    Everything needed to *name* the model: the artifact format version,
+    the estimator's registry name, its typed config
+    (:mod:`repro.core.config`) as JSON, any JSON-scalar state entries, a
+    sha256 checksum of the payload, and fit metadata (when it was saved,
+    how many training pairs it saw, a fingerprint of the training set).
+
+``payload.npz``
+    Every ``np.ndarray`` from the estimator's ``_state_dict()``,
+    uncompressed, loaded with ``allow_pickle=False`` — artifacts contain
+    no executable content.
+
+The split keeps the manifest human-readable (``repro inspect`` just
+pretty-prints it) while array state round-trips bitwise through npz.
+
+Writes are atomic: the zip is built in a temp file next to the target
+and moved into place with ``os.replace``, so readers never observe a
+half-written artifact.
+
+Load validation is strict — wrong format version, missing members,
+checksum mismatches, unknown estimator names, and malformed configs all
+raise :class:`~repro.robustness.errors.ArtifactError` rather than
+producing a silently wrong model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import json
+import os
+import struct
+import tempfile
+import time
+import zipfile
+from pathlib import Path
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.config import config_from_dict
+from repro.core.estimator import SelectivityEstimator
+from repro.data.io import range_to_dict
+from repro.geometry.ranges import Range
+from repro.robustness.errors import ArtifactError, PersistenceError
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "FORMAT_VERSION",
+    "save_model",
+    "load_model",
+    "load_manifest",
+    "training_fingerprint",
+]
+
+#: Bump when the artifact layout changes incompatibly.  Loaders refuse
+#: other versions outright: a silent best-effort parse of a future format
+#: is how wrong models get served.
+FORMAT_VERSION = 1
+
+#: Canonical artifact file suffix ("repro model artifact").
+ARTIFACT_SUFFIX = ".rma"
+
+_MANIFEST_NAME = "manifest.json"
+_PAYLOAD_NAME = "payload.npz"
+
+
+def training_fingerprint(
+    queries: Sequence[Range], selectivities: Sequence[float]
+) -> str:
+    """A stable sha256 fingerprint of a ``(queries, selectivities)`` pair.
+
+    Hashes the canonical tagged-JSON encoding of each range
+    (:func:`repro.data.io.range_to_dict`) plus the labels as packed
+    little-endian doubles, so the same training set always fingerprints
+    identically across processes and platforms.
+    """
+    digest = hashlib.sha256()
+    for query in queries:
+        digest.update(
+            json.dumps(range_to_dict(query), sort_keys=True).encode("utf-8")
+        )
+        digest.update(b"\x00")
+    for value in np.asarray(selectivities, dtype=float):
+        digest.update(struct.pack("<d", float(value)))
+    return digest.hexdigest()
+
+
+def _split_state(state: Dict[str, object]) -> tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Partition a state dict into npz arrays and JSON-able scalars."""
+    arrays: Dict[str, np.ndarray] = {}
+    scalars: Dict[str, object] = {}
+    for key, value in state.items():
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        elif isinstance(value, (np.floating, np.integer, np.bool_)):
+            scalars[key] = value.item()
+        elif value is None or isinstance(value, (bool, int, float, str, list)):
+            scalars[key] = value
+        else:
+            raise TypeError(
+                f"state entry {key!r} has unsupported type {type(value).__name__}; "
+                "use np.ndarray or JSON scalars/lists"
+            )
+    return arrays, scalars
+
+
+def save_model(
+    estimator: SelectivityEstimator,
+    path: str | os.PathLike,
+    training: tuple[Sequence[Range], Sequence[float]] | None = None,
+    metadata: Dict[str, object] | None = None,
+) -> Path:
+    """Persist a fitted estimator to ``path`` atomically.
+
+    ``training`` (the pairs the model was fitted on) is optional; when
+    given, the manifest records the training-set size and fingerprint so
+    a restored model can be traced back to its exact training data.
+    ``metadata`` merges extra JSON-able entries (e.g. ``fit_seconds``)
+    into the manifest's ``fit`` section.
+
+    Returns the written path.
+    """
+    if not getattr(estimator, "_fitted", False):
+        raise PersistenceError(
+            f"cannot save an unfitted {type(estimator).__name__}"
+        )
+    if type(estimator).Config is None:
+        raise PersistenceError(
+            f"{type(estimator).__name__} has no Config dataclass and cannot "
+            "be named in an artifact manifest"
+        )
+    config = estimator.config
+    arrays, scalars = _split_state(estimator._state_dict())
+
+    payload_buffer = io.BytesIO()
+    np.savez(payload_buffer, **arrays)
+    payload = payload_buffer.getvalue()
+
+    fit_meta: Dict[str, object] = {"saved_at": time.time()}
+    if training is not None:
+        queries, selectivities = training
+        fit_meta["n_train"] = len(queries)
+        fit_meta["training_fingerprint"] = training_fingerprint(
+            queries, selectivities
+        )
+    if metadata:
+        fit_meta.update(metadata)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "estimator": type(config).estimator,
+        "config": config.to_dict(),
+        "state": scalars,
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "model_size": estimator.model_size,
+        "fit": fit_meta,
+    }
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            with zipfile.ZipFile(handle, "w", zipfile.ZIP_DEFLATED) as archive:
+                archive.writestr(
+                    _MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True)
+                )
+                # The npz is already a zip; store it uncompressed.
+                archive.writestr(
+                    zipfile.ZipInfo(_PAYLOAD_NAME), payload, zipfile.ZIP_STORED
+                )
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def _read_archive(path: str | os.PathLike) -> tuple[dict, bytes]:
+    """Read and structurally validate the manifest + raw payload bytes."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"artifact not found: {path}")
+    try:
+        with zipfile.ZipFile(path, "r") as archive:
+            names = set(archive.namelist())
+            missing = {_MANIFEST_NAME, _PAYLOAD_NAME} - names
+            if missing:
+                raise ArtifactError(
+                    f"artifact {path} is missing member(s) {sorted(missing)}"
+                )
+            manifest_bytes = archive.read(_MANIFEST_NAME)
+            payload = archive.read(_PAYLOAD_NAME)
+    except zipfile.BadZipFile as exc:
+        raise ArtifactError(f"artifact {path} is not a valid archive: {exc}") from exc
+    try:
+        manifest = json.loads(manifest_bytes)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact {path} has a malformed manifest: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ArtifactError(f"artifact {path} manifest must be a JSON object")
+    return manifest, payload
+
+
+def load_manifest(path: str | os.PathLike) -> dict:
+    """The artifact's manifest as a dict (for inspection/diffing).
+
+    Validates archive structure and the payload checksum but does not
+    construct the estimator.
+    """
+    manifest, payload = _read_archive(path)
+    _validate(manifest, payload, path)
+    return manifest
+
+
+def _validate(manifest: dict, payload: bytes, path) -> None:
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact {path} has format version {version!r}; this build "
+            f"reads version {FORMAT_VERSION} only"
+        )
+    expected = manifest.get("payload_sha256")
+    actual = hashlib.sha256(payload).hexdigest()
+    if expected != actual:
+        raise ArtifactError(
+            f"artifact {path} payload checksum mismatch "
+            f"(manifest {str(expected)[:12]}…, actual {actual[:12]}…); "
+            "the file is corrupted or was modified"
+        )
+
+
+def load_model(path: str | os.PathLike) -> SelectivityEstimator:
+    """Reconstruct a fitted estimator from an artifact.
+
+    The estimator class is resolved through the registry by the
+    manifest's ``estimator`` name, constructed via ``from_config``, and
+    its fitted state restored through ``_load_state_dict`` — no refit,
+    and ``predict_many`` output is bitwise-identical to the saved model's.
+    """
+    from repro.core.registry import estimator_class
+
+    manifest, payload = _read_archive(path)
+    _validate(manifest, payload, path)
+
+    name = manifest.get("estimator")
+    try:
+        cls = estimator_class(name)
+    except KeyError as exc:
+        raise ArtifactError(f"artifact {path}: {exc.args[0]}") from None
+    try:
+        config = config_from_dict(name, manifest.get("config", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"artifact {path} has an invalid config: {exc}") from exc
+
+    state: Dict[str, object] = dict(manifest.get("state", {}))
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
+            for key in npz.files:
+                state[key] = npz[key]
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise ArtifactError(f"artifact {path} payload is unreadable: {exc}") from exc
+
+    estimator = cls.from_config(config)
+    try:
+        estimator._load_state_dict(state)
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise ArtifactError(
+            f"artifact {path} state does not match {cls.__name__}: {exc}"
+        ) from exc
+    estimator._fitted = True
+    return estimator

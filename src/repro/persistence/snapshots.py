@@ -1,0 +1,125 @@
+"""Generation-numbered snapshot store for the serving layer.
+
+Each retrain generation of an :class:`~repro.server.EstimatorService`
+lands here as one artifact named ``gen-%08d.rma``.  The store is a plain
+directory: artifacts are self-describing (see
+:mod:`repro.persistence.artifact`), writes are atomic, and the newest
+readable artifact wins on restore — a corrupt or truncated latest
+generation (e.g. a crash mid-``os.replace`` on a non-atomic filesystem)
+falls back to the one before it instead of failing the restart.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterator, Sequence
+
+from repro.core.estimator import SelectivityEstimator
+from repro.geometry.ranges import Range
+from repro.persistence.artifact import (
+    ARTIFACT_SUFFIX,
+    ArtifactError,
+    load_manifest,
+    load_model,
+    save_model,
+)
+from repro.robustness.errors import PersistenceError
+
+__all__ = ["SnapshotStore"]
+
+_GEN_PATTERN = re.compile(r"^gen-(\d{8})" + re.escape(ARTIFACT_SUFFIX) + r"$")
+
+
+class SnapshotStore:
+    """Artifacts for successive model generations in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Snapshot directory; created on first save.
+    keep:
+        How many generations to retain (older ones are pruned after each
+        save).  ``None`` keeps everything.
+    """
+
+    def __init__(self, directory: str | os.PathLike, keep: int | None = 5):
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be >= 1 or None, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+
+    def path_for(self, generation: int) -> Path:
+        return self.directory / f"gen-{generation:08d}{ARTIFACT_SUFFIX}"
+
+    def generations(self) -> list[int]:
+        """Persisted generation numbers, ascending."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for name in os.listdir(self.directory):
+            match = _GEN_PATTERN.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_generation(self) -> int | None:
+        generations = self.generations()
+        return generations[-1] if generations else None
+
+    def save(
+        self,
+        estimator: SelectivityEstimator,
+        generation: int,
+        training: tuple[Sequence[Range], Sequence[float]] | None = None,
+        metadata: Dict[str, object] | None = None,
+    ) -> Path:
+        """Persist ``estimator`` as ``generation`` and prune old snapshots."""
+        meta = {"generation": int(generation)}
+        if metadata:
+            meta.update(metadata)
+        path = save_model(
+            estimator, self.path_for(generation), training=training, metadata=meta
+        )
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        if self.keep is None:
+            return
+        generations = self.generations()
+        for stale in generations[: -self.keep]:
+            try:
+                self.path_for(stale).unlink()
+            except OSError:
+                pass  # pruning is best-effort; a leftover snapshot is harmless
+
+    def _candidates_newest_first(self) -> Iterator[int]:
+        yield from reversed(self.generations())
+
+    def restore_latest(self) -> tuple[SelectivityEstimator, dict, Path]:
+        """Load the newest readable generation.
+
+        Returns ``(estimator, manifest, path)``.  Unreadable artifacts
+        are skipped (newest first); raises
+        :class:`~repro.robustness.errors.PersistenceError` when nothing
+        restorable exists.
+        """
+        errors: list[str] = []
+        for generation in self._candidates_newest_first():
+            path = self.path_for(generation)
+            try:
+                estimator = load_model(path)
+                manifest = load_manifest(path)
+            except (ArtifactError, PersistenceError) as exc:
+                errors.append(f"{path.name}: {exc}")
+                continue
+            return estimator, manifest, path
+        detail = f" ({'; '.join(errors)})" if errors else ""
+        raise PersistenceError(
+            f"no restorable snapshot in {self.directory}{detail}"
+        )
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore({str(self.directory)!r}, keep={self.keep})"

@@ -30,6 +30,8 @@ __all__ = [
     "SolverConvergenceError",
     "TrainingTimeoutError",
     "ModelUnavailableError",
+    "PersistenceError",
+    "ArtifactError",
 ]
 
 
@@ -74,3 +76,17 @@ class ModelUnavailableError(ReproError, RuntimeError):
     suspended by an open circuit breaker."""
 
     http_status = 409
+
+
+class PersistenceError(ReproError):
+    """A model save/restore operation failed (no snapshot to restore,
+    snapshot directory unusable, ...)."""
+
+    http_status = 409
+
+
+class ArtifactError(PersistenceError, ValueError):
+    """A model artifact is unreadable: corrupted payload, checksum
+    mismatch, truncated file, or an unsupported format version."""
+
+    http_status = 400

@@ -29,23 +29,38 @@ counters and latency histograms in a
 :class:`~repro.observability.MetricsRegistry`, retrains run under
 tracing spans, and the registry is exported in Prometheus text format.
 
-Endpoints (JSON in/out; ranges use the tagged encoding of
-:mod:`repro.data.io`):
+The service also has a durable *lifecycle* when constructed with
+``snapshot_dir=...``: every successful retrain persists the new
+generation as a versioned artifact (atomic tmp+rename, see
+:mod:`repro.persistence`), startup restores the last-good generation
+instead of cold-fitting, and ``snapshot()`` / ``restore()`` expose the
+same operations on demand.  See ``docs/persistence.md``.
 
-* ``POST /estimate``  ``{"query": {...}}`` → ``{"selectivity": 0.42}``
-* ``POST /predict``   ``{"queries": [{...}, ...]}`` →
+Endpoints (JSON in/out; ranges use the tagged encoding of
+:mod:`repro.data.io`).  The versioned surface lives under ``/v1/``; the
+original unversioned paths still work as thin aliases that answer with a
+``Deprecation: true`` response header:
+
+* ``POST /v1/estimate``  ``{"query": {...}}`` → ``{"selectivity": 0.42}``
+* ``POST /v1/predict``   ``{"queries": [{...}, ...]}`` →
   ``{"selectivities": [0.42, ...], "count": 2}`` — the batch path: one
   vectorised ``predict_many`` call for all cache misses, results cached
   in a generation-keyed LRU so repeated optimizer probes are free.
-* ``POST /feedback``  ``{"query": {...}, "selectivity": 0.37}`` →
+* ``POST /v1/feedback``  ``{"query": {...}, "selectivity": 0.37}`` →
   ``{"accepted": true, "pending": 12, "drift": false}``
-* ``POST /retrain``   → ``{"trained_on": 200, "model_size": 800, ...}``
-* ``GET  /status``    → model / generation / breaker / quarantine summary
-* ``GET  /health``    → constant ``{"status": "ok"}`` liveness probe —
-  no locks taken, so load balancers never contend with ``/status``'s
-  full locked snapshot.
-* ``GET  /metrics``   → Prometheus text exposition of every metric
-  (service, HTTP, solver-ladder and kernel layers).
+* ``POST /v1/retrain``   → ``{"trained_on": 200, "model_size": 800, ...}``
+* ``POST /v1/snapshot``  → ``{"path": ..., "generation": 3, ...}`` —
+  persist the serving generation to the snapshot directory now.
+* ``POST /v1/restore``   ``{"path": optional}`` → install a persisted
+  artifact as a new serving generation (latest snapshot by default).
+* ``GET  /v1/status``    → model / generation / breaker / snapshot summary
+* ``GET  /health``       → constant ``{"status": "ok"}`` liveness probe —
+  unversioned on purpose (load balancers should not chase API versions);
+  no locks taken, so probes never contend with ``/v1/status``'s full
+  locked snapshot.
+* ``GET  /metrics``      → Prometheus text exposition of every metric
+  (service, HTTP, solver-ladder and kernel layers); unversioned, as
+  scrape configs expect.
 
 Errors come back as structured JSON bodies ``{"error": ..., "type": ...}``
 with the status from the :mod:`repro.robustness.errors` taxonomy — never
@@ -81,11 +96,14 @@ from repro.observability import (
     log_event,
 )
 from repro.observability.tracing import span
+from repro.persistence.artifact import load_manifest, load_model
+from repro.persistence.snapshots import SnapshotStore
 from repro.robustness import CircuitBreaker, FeedbackBuffer
 from repro.robustness.chaos import active as _active_chaos
 from repro.robustness.errors import (
     DataValidationError,
     ModelUnavailableError,
+    PersistenceError,
     ReproError,
     SolverConvergenceError,
     TrainingTimeoutError,
@@ -175,6 +193,23 @@ class _ServiceMetrics:
             "repro_breaker_state",
             "Circuit-breaker state (0 closed, 1 half-open, 2 open)",
         )
+        self.snapshots = counter(
+            "repro_snapshot_total",
+            "Snapshot persist attempts by outcome",
+            labels=("outcome",),
+        )
+        self.snapshot_generation = gauge(
+            "repro_snapshot_generation",
+            "Generation of the newest persisted snapshot (0 = none)",
+        )
+        self.snapshot_timestamp = gauge(
+            "repro_snapshot_timestamp_seconds",
+            "Unix time the newest snapshot was written (0 = none)",
+        )
+        self.snapshot_age = gauge(
+            "repro_snapshot_age_seconds",
+            "Seconds since the newest snapshot was written (0 = none)",
+        )
 
 
 class EstimatorService:
@@ -215,6 +250,16 @@ class EstimatorService:
         (model generation, canonical query JSON), so a retrain implicitly
         invalidates everything — the cache is also cleared eagerly on each
         successful retrain to free memory.
+    snapshot_dir:
+        Directory of persisted model generations (None = no persistence).
+        When set: every successful retrain writes its generation as an
+        artifact (atomically; a persist failure never fails the retrain),
+        and construction *restores the newest readable generation* instead
+        of starting cold — a restarted service serves immediately, without
+        refitting.  ``snapshot()``/``restore()`` give explicit control.
+    snapshot_keep:
+        Generations retained in ``snapshot_dir`` (older artifacts are
+        pruned after each save; None keeps all).
     registry:
         :class:`~repro.observability.MetricsRegistry` receiving this
         service's metrics (default: the process-global registry, so
@@ -234,6 +279,8 @@ class EstimatorService:
         breaker_cooldown: float = 30.0,
         retrain_timeout: float | None = None,
         prediction_cache_size: int = 4096,
+        snapshot_dir: str | None = None,
+        snapshot_keep: int | None = 5,
         seed: int = 0,
         registry: MetricsRegistry | None = None,
         _clock=time.monotonic,
@@ -283,6 +330,16 @@ class EstimatorService:
         self._prediction_cache: OrderedDict[tuple[int, str], float] = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._snapshots = (
+            SnapshotStore(snapshot_dir, keep=snapshot_keep)
+            if snapshot_dir is not None
+            else None
+        )
+        self._trained_pairs: tuple[list, list] | None = None
+        self._restored_from: str | None = None
+        self._snapshot_info: dict | None = None
+        if self._snapshots is not None:
+            self._restore_on_startup()
 
     # -- programmatic API ------------------------------------------------
 
@@ -505,6 +562,7 @@ class EstimatorService:
             self._detector = detector
             self._last_error = None
             self._last_retrain_seconds = elapsed
+            self._trained_pairs = (queries, labels)
             generation = self._generation
             metrics.breaker_state.set(_BREAKER_CODES[self._breaker.state])
             result = {
@@ -529,9 +587,206 @@ class EstimatorService:
             model_size=model.model_size,
             seconds=round(elapsed, 4),
         )
+        self._persist_generation(model, generation, queries, labels)
         return result
 
+    def snapshot(self) -> dict:
+        """Persist the serving generation to the snapshot directory now.
+
+        Raises :class:`PersistenceError` without a ``snapshot_dir`` and
+        :class:`ModelUnavailableError` before the first generation exists.
+        """
+        metrics = self._metrics
+        metrics.requests.inc(method="snapshot")
+        try:
+            with metrics.request_seconds.time(method="snapshot"):
+                if self._snapshots is None:
+                    raise PersistenceError(
+                        "no snapshot directory configured "
+                        "(EstimatorService(snapshot_dir=...))"
+                    )
+                with self._lock:
+                    model = self._model
+                    generation = self._generation
+                    pairs = self._trained_pairs
+                if model is None:
+                    raise ModelUnavailableError("no model generation to snapshot")
+                path = self._snapshots.save(
+                    model, generation, training=pairs
+                )
+                self._note_snapshot(generation, str(path))
+                return {
+                    "path": str(path),
+                    "generation": generation,
+                    "model_size": model.model_size,
+                }
+        except Exception as exc:
+            metrics.errors.inc(method="snapshot", type=type(exc).__name__)
+            raise
+
+    def restore(self, path: str | None = None) -> dict:
+        """Install a persisted artifact as a *new* serving generation.
+
+        Restores the newest readable snapshot by default, or the exact
+        artifact at ``path``.  The installed model gets a fresh generation
+        number (so generation-keyed prediction-cache entries can never
+        alias the replaced model) and the drift baseline resets — the
+        restored artifact carries no holdout.
+        """
+        metrics = self._metrics
+        metrics.requests.inc(method="restore")
+        try:
+            with metrics.request_seconds.time(method="restore"):
+                if path is None:
+                    if self._snapshots is None:
+                        raise PersistenceError(
+                            "no snapshot directory configured "
+                            "(EstimatorService(snapshot_dir=...))"
+                        )
+                    model, manifest, source = self._snapshots.restore_latest()
+                    source = str(source)
+                else:
+                    model = load_model(path)
+                    manifest = load_manifest(path)
+                    source = str(path)
+                fit_meta = manifest.get("fit", {})
+                with self._lock:
+                    self._model = model
+                    self._generation += 1
+                    self._prediction_cache.clear()
+                    self._trained_on = int(fit_meta.get("n_train", 0))
+                    self._trained_pairs = None
+                    self._detector = None
+                    self._drift_flag = False
+                    self._restored_from = source
+                    generation = self._generation
+                metrics.generation.set(generation)
+                metrics.model_size.set(model.model_size)
+                metrics.drift_alarm.set(0.0)
+                metrics.drift_statistic.set(0.0)
+                log_event(
+                    get_logger("service"),
+                    "model_restored",
+                    source=source,
+                    generation=generation,
+                    estimator=manifest.get("estimator"),
+                    model_size=model.model_size,
+                )
+                return {
+                    "restored_from": source,
+                    "generation": generation,
+                    "estimator": manifest.get("estimator"),
+                    "model_size": model.model_size,
+                }
+        except Exception as exc:
+            metrics.errors.inc(method="restore", type=type(exc).__name__)
+            raise
+
+    def _restore_on_startup(self) -> None:
+        """Warm-start from the newest readable snapshot, if any.
+
+        An empty snapshot directory is a normal cold start; a directory
+        with only unreadable artifacts logs a warning and starts cold —
+        a broken snapshot must never prevent the service from coming up.
+        """
+        if not self._snapshots.generations():
+            return
+        try:
+            model, manifest, source = self._snapshots.restore_latest()
+        except PersistenceError as exc:
+            log_event(
+                get_logger("service"),
+                "startup_restore_failed",
+                level=logging.WARNING,
+                error=str(exc),
+            )
+            return
+        fit_meta = manifest.get("fit", {})
+        generation = int(fit_meta.get("generation", 1))
+        self._model = model
+        self._generation = generation
+        self._trained_on = int(fit_meta.get("n_train", 0))
+        self._restored_from = str(source)
+        saved_at = fit_meta.get("saved_at")
+        self._snapshot_info = {
+            "generation": generation,
+            "saved_at": saved_at,
+            "path": str(source),
+        }
+        metrics = self._metrics
+        metrics.generation.set(generation)
+        metrics.model_size.set(model.model_size)
+        metrics.snapshot_generation.set(generation)
+        if saved_at is not None:
+            metrics.snapshot_timestamp.set(float(saved_at))
+        log_event(
+            get_logger("service"),
+            "startup_restored",
+            source=str(source),
+            generation=generation,
+            estimator=manifest.get("estimator"),
+            model_size=model.model_size,
+        )
+
+    def _persist_generation(self, model, generation, queries, labels) -> None:
+        """Best-effort snapshot of a freshly trained generation.
+
+        A persist failure is counted and logged but never fails the
+        retrain that produced the model — serving the new generation
+        matters more than remembering it.
+        """
+        if self._snapshots is None:
+            return
+        try:
+            path = self._snapshots.save(
+                model,
+                generation,
+                training=(queries, labels),
+                metadata={"retrain_seconds": self._last_retrain_seconds},
+            )
+        except Exception as exc:
+            self._metrics.snapshots.inc(outcome="failure")
+            log_event(
+                get_logger("service"),
+                "snapshot_failed",
+                level=logging.WARNING,
+                generation=generation,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return
+        self._note_snapshot(generation, str(path))
+
+    def _note_snapshot(self, generation: int, path: str) -> None:
+        saved_at = time.time()
+        with self._lock:
+            self._snapshot_info = {
+                "generation": generation,
+                "saved_at": saved_at,
+                "path": path,
+            }
+        metrics = self._metrics
+        metrics.snapshots.inc(outcome="success")
+        metrics.snapshot_generation.set(generation)
+        metrics.snapshot_timestamp.set(saved_at)
+        metrics.snapshot_age.set(0.0)
+        log_event(
+            get_logger("service"),
+            "snapshot_written",
+            generation=generation,
+            path=path,
+        )
+
+    def _refresh_snapshot_gauges(self) -> None:
+        """Recompute the snapshot-age gauge from the last write time."""
+        with self._lock:
+            info = self._snapshot_info
+        if info and info.get("saved_at"):
+            self._metrics.snapshot_age.set(
+                max(0.0, time.time() - float(info["saved_at"]))
+            )
+
     def status(self) -> dict:
+        self._refresh_snapshot_gauges()
         with self._lock:
             return {
                 "trained": self._model is not None,
@@ -555,6 +810,17 @@ class EstimatorService:
                 "drift": self._drift_flag,
                 "drift_statistic": (
                     round(self._detector.statistic, 3) if self._detector else None
+                ),
+                "restored_from": self._restored_from,
+                "snapshot": (
+                    dict(self._snapshot_info)
+                    if self._snapshot_info is not None
+                    else None
+                ),
+                "snapshot_dir": (
+                    str(self._snapshots.directory)
+                    if self._snapshots is not None
+                    else None
                 ),
             }
 
@@ -640,11 +906,35 @@ class EstimatorService:
 # HTTP adapter
 # ---------------------------------------------------------------------------
 
-#: Known endpoints; anything else is folded into the "other" label so
-#: arbitrary probe paths cannot explode metric cardinality.
+#: Known endpoints (canonical paths); anything else is folded into the
+#: "other" label so arbitrary probe paths cannot explode metric
+#: cardinality.  ``/health`` and ``/metrics`` are deliberately
+#: unversioned (probes and scrape configs should not chase API versions).
 _ENDPOINTS = frozenset(
-    {"/estimate", "/predict", "/feedback", "/retrain", "/status", "/health", "/metrics"}
+    {
+        "/v1/estimate",
+        "/v1/predict",
+        "/v1/feedback",
+        "/v1/retrain",
+        "/v1/snapshot",
+        "/v1/restore",
+        "/v1/status",
+        "/health",
+        "/metrics",
+    }
 )
+
+#: Pre-versioning paths, kept as aliases of their ``/v1/`` successors.
+#: Requests through an alias behave identically but carry a
+#: ``Deprecation: true`` response header, and are metered under the
+#: canonical endpoint label.
+_LEGACY_ALIASES = {
+    "/estimate": "/v1/estimate",
+    "/predict": "/v1/predict",
+    "/feedback": "/v1/feedback",
+    "/retrain": "/v1/retrain",
+    "/status": "/v1/status",
+}
 
 _HEALTH_BODY = json.dumps({"status": "ok"}).encode()
 
@@ -694,6 +984,10 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            if getattr(self, "_deprecated", False):
+                # RFC 9745: the client used a pre-versioning alias.
+                self.send_header("Deprecation", "true")
+                self.send_header("Link", f'<{self._canonical}>; rel="successor-version"')
             self.end_headers()
             self.wfile.write(body)
 
@@ -720,7 +1014,9 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
             """Run ``handler``; render any failure as structured JSON and
             record the per-endpoint request metrics either way."""
             self._status_code = 0
-            endpoint = self.path if self.path in _ENDPOINTS else "other"
+            self._canonical = _LEGACY_ALIASES.get(self.path, self.path)
+            self._deprecated = self._canonical != self.path
+            endpoint = self._canonical if self._canonical in _ENDPOINTS else "other"
             start = time.perf_counter()
             try:
                 try:
@@ -758,12 +1054,13 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
 
         def do_GET(self):
             def handle():
-                if self.path == "/status":
+                path = self._canonical
+                if path == "/v1/status":
                     self._reply(200, service.status())
-                elif self.path == "/health":
+                elif path == "/health":
                     # Liveness probe: constant body, no service lock taken.
                     self._reply_body(200, _HEALTH_BODY, "application/json")
-                elif self.path == "/metrics":
+                elif path == "/metrics":
                     self._reply_body(
                         200,
                         _render_metrics(service).encode(),
@@ -779,11 +1076,12 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
 
         def do_POST(self):
             def handle():
-                if self.path == "/estimate":
+                path = self._canonical
+                if path == "/v1/estimate":
                     data = self._read_json()
                     query = range_from_dict(data["query"])
                     self._reply(200, {"selectivity": service.estimate(query)})
-                elif self.path == "/predict":
+                elif path == "/v1/predict":
                     data = self._read_json()
                     encoded = data["queries"]
                     if not isinstance(encoded, list):
@@ -795,13 +1093,23 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
                     self._reply(
                         200, {"selectivities": estimates, "count": len(estimates)}
                     )
-                elif self.path == "/feedback":
+                elif path == "/v1/feedback":
                     data = self._read_json()
                     query = range_from_dict(data["query"])
                     result = service.feedback(query, float(data["selectivity"]))
                     self._reply(200, result)
-                elif self.path == "/retrain":
+                elif path == "/v1/retrain":
                     self._reply(200, service.retrain())
+                elif path == "/v1/snapshot":
+                    self._reply(200, service.snapshot())
+                elif path == "/v1/restore":
+                    data = self._read_json()
+                    artifact = data.get("path")
+                    if artifact is not None and not isinstance(artifact, str):
+                        raise DataValidationError(
+                            f"'path' must be a string, got {type(artifact).__name__}"
+                        )
+                    self._reply(200, service.restore(artifact))
                 else:
                     self._reply(
                         404,

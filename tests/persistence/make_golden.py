@@ -1,0 +1,75 @@
+"""Regenerate the golden compatibility artifact.
+
+Run from the repo root whenever FORMAT_VERSION is bumped (and only then —
+the whole point of the golden file is that *unintentional* format changes
+fail ``test_golden_artifact.py``):
+
+    PYTHONPATH=src python tests/persistence/make_golden.py
+
+Writes ``data/golden-quadhist-v<N>.rma`` plus a JSON sidecar with the
+exact predictions the artifact must keep producing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import QuadHistConfig
+from repro.core.quadhist import QuadHist
+from repro.geometry.ranges import Box
+from repro.persistence import FORMAT_VERSION, save_model
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def golden_workload():
+    """A small deterministic 2-D box workload (no dataset needed:
+    labels are exact box volumes, i.e. uniform-data selectivities)."""
+    rng = np.random.default_rng(20260806)
+    queries, labels = [], []
+    for _ in range(80):
+        lows = rng.uniform(0.0, 0.7, size=2)
+        highs = np.minimum(lows + rng.uniform(0.05, 0.3, size=2), 1.0)
+        queries.append(Box(lows, highs))
+        labels.append(float(np.prod(highs - lows)))
+    test = []
+    for _ in range(25):
+        lows = rng.uniform(0.0, 0.7, size=2)
+        highs = np.minimum(lows + rng.uniform(0.05, 0.3, size=2), 1.0)
+        test.append(Box(lows, highs))
+    return queries, labels, test
+
+
+def main() -> None:
+    queries, labels, test = golden_workload()
+    config = QuadHistConfig(tau=0.01, max_leaves=128, domain=Box([0.0, 0.0], [1.0, 1.0]))
+    estimator = QuadHist.from_config(config)
+    estimator.fit(queries, labels)
+
+    stem = f"golden-quadhist-v{FORMAT_VERSION}"
+    DATA_DIR.mkdir(exist_ok=True)
+    artifact = DATA_DIR / f"{stem}.rma"
+    save_model(estimator, artifact, training=(queries, labels))
+
+    predictions = [float(v) for v in estimator.predict_many(test)]
+    sidecar = DATA_DIR / f"{stem}.json"
+    sidecar.write_text(
+        json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "test_queries": [
+                    {"lows": q.lows.tolist(), "highs": q.highs.tolist()} for q in test
+                ],
+                "predictions": predictions,
+            },
+            indent=2,
+        )
+    )
+    print(f"wrote {artifact} and {sidecar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Backwards-compatibility gate: the committed golden artifact must load.
+
+The artifact under ``data/`` was written by an earlier revision of the
+codebase (regenerate with ``make_golden.py`` *only* on an intentional
+FORMAT_VERSION bump).  If a refactor of the estimators, configs, or the
+artifact format breaks loading — or changes a single bit of the
+predictions — this test fails before any user's saved model does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.geometry.ranges import Box
+from repro.persistence import FORMAT_VERSION, load_manifest, load_model
+
+DATA_DIR = Path(__file__).parent / "data"
+STEM = f"golden-quadhist-v{FORMAT_VERSION}"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    artifact = DATA_DIR / f"{STEM}.rma"
+    sidecar = DATA_DIR / f"{STEM}.json"
+    if not artifact.exists():
+        pytest.fail(
+            f"golden artifact {artifact} missing; regenerate with "
+            "tests/persistence/make_golden.py after a FORMAT_VERSION bump"
+        )
+    return artifact, json.loads(sidecar.read_text())
+
+
+def test_golden_manifest_loads(golden):
+    artifact, sidecar = golden
+    manifest = load_manifest(artifact)
+    assert manifest["format_version"] == sidecar["format_version"] == FORMAT_VERSION
+    assert manifest["estimator"] == "quadhist"
+    assert manifest["fit"]["n_train"] == 80
+
+
+def test_golden_predictions_bitwise(golden):
+    artifact, sidecar = golden
+    estimator = load_model(artifact)
+    queries = [
+        Box(item["lows"], item["highs"]) for item in sidecar["test_queries"]
+    ]
+    predictions = [float(v) for v in estimator.predict_many(queries)]
+    assert predictions == sidecar["predictions"]

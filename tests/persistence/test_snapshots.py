@@ -1,0 +1,88 @@
+"""SnapshotStore: generation naming, pruning, corrupt-tolerant restore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_estimator
+from repro.persistence import SnapshotStore
+from repro.robustness.errors import PersistenceError
+
+
+@pytest.fixture
+def fitted(power2d_box_workload):
+    train_q, train_s, _, _ = power2d_box_workload
+    estimator = make_estimator("ptshist", train_size=len(train_q))
+    estimator.fit(train_q, train_s)
+    return estimator
+
+
+def test_empty_store(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    assert store.generations() == []
+    assert store.latest_generation() is None
+    with pytest.raises(PersistenceError, match="no restorable snapshot"):
+        store.restore_latest()
+
+
+def test_save_names_and_prunes(tmp_path, fitted):
+    store = SnapshotStore(tmp_path, keep=3)
+    for generation in range(1, 6):
+        path = store.save(fitted, generation)
+        assert path.name == f"gen-{generation:08d}.rma"
+    assert store.generations() == [3, 4, 5]
+    assert store.latest_generation() == 5
+
+
+def test_keep_none_retains_everything(tmp_path, fitted):
+    store = SnapshotStore(tmp_path, keep=None)
+    for generation in range(1, 6):
+        store.save(fitted, generation)
+    assert store.generations() == [1, 2, 3, 4, 5]
+
+
+def test_keep_validation(tmp_path):
+    with pytest.raises(ValueError, match="keep"):
+        SnapshotStore(tmp_path, keep=0)
+
+
+def test_restore_latest_roundtrips(tmp_path, fitted, power2d_box_workload):
+    _, _, test_q, _ = power2d_box_workload
+    store = SnapshotStore(tmp_path)
+    store.save(fitted, 1)
+    store.save(fitted, 2)
+    restored, manifest, path = store.restore_latest()
+    assert manifest["fit"]["generation"] == 2
+    assert path == store.path_for(2)
+    np.testing.assert_array_equal(
+        fitted.predict_many(test_q), restored.predict_many(test_q)
+    )
+
+
+def test_restore_skips_corrupt_latest(tmp_path, fitted):
+    """A truncated newest generation falls back to the one before it."""
+    store = SnapshotStore(tmp_path)
+    store.save(fitted, 1)
+    store.save(fitted, 2)
+    latest = store.path_for(2)
+    latest.write_bytes(latest.read_bytes()[:100])
+    _, manifest, path = store.restore_latest()
+    assert manifest["fit"]["generation"] == 1
+    assert path == store.path_for(1)
+
+
+def test_restore_all_corrupt_raises_with_detail(tmp_path, fitted):
+    store = SnapshotStore(tmp_path)
+    store.save(fitted, 1)
+    store.path_for(1).write_bytes(b"junk")
+    with pytest.raises(PersistenceError, match="gen-00000001"):
+        store.restore_latest()
+
+
+def test_foreign_files_ignored(tmp_path, fitted):
+    store = SnapshotStore(tmp_path)
+    store.save(fitted, 7)
+    (tmp_path / "notes.txt").write_text("hi")
+    (tmp_path / "gen-bad.rma").write_text("nope")
+    assert store.generations() == [7]
