@@ -1,0 +1,252 @@
+"""Serving throughput: worker-pool scaling and request coalescing.
+
+Two questions about the :mod:`repro.serving` stack, answered end to end
+over real HTTP with multi-process clients (separate processes so the
+*client* GIL never caps the measurement):
+
+* **scaling** — requests/second of the supervised pre-fork pool at 1, 2,
+  … N workers on identical mixed single/batch traffic.  The kernel
+  load-balances accepts across workers, so throughput should scale with
+  worker count up to the machine's core count — ``cpu_count`` is
+  recorded alongside the curve, because a 1-core box (some CI runners)
+  physically cannot show a >1× speedup no matter how correct the pool
+  is.
+* **coalescing** — single-worker throughput under concurrent
+  single-query clients, flush window on (2 ms) vs. off.  The coalescer
+  folds concurrent ``/v1/estimate`` misses into one ``predict_many``
+  kernel call; the /metrics counters in the report show how many flushes
+  actually folded how many queries.
+
+Results land in ``benchmarks/results/BENCH_serving.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.core.config import QuadHistConfig
+from repro.core.quadhist import QuadHist
+from repro.observability import MetricsRegistry
+from repro.server import EstimatorService
+from repro.serving import ServingConfig, Supervisor, pretrain_snapshot
+from repro.serving.warmup import sample_query_payloads
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FULL = {
+    "mode": "full",
+    "worker_counts": [1, 2, 4],
+    "clients": 8,
+    "duration_s": 4.0,
+    "coalesce_clients": 8,
+    "coalesce_duration_s": 4.0,
+}
+SMOKE = {
+    "mode": "smoke",
+    "worker_counts": [1, 2],
+    "clients": 4,
+    "duration_s": 1.5,
+    "coalesce_clients": 4,
+    "coalesce_duration_s": 1.5,
+}
+
+
+def _client_proc(base: str, payloads: list, duration_s: float, out) -> None:
+    """One load-generating process: mixed single/small-batch estimates."""
+    ok = 0
+    failed = 0
+    i = 0
+    deadline = time.monotonic() + duration_s
+    while time.monotonic() < deadline:
+        payload = {"query": payloads[i % len(payloads)]}
+        i += 1
+        body = json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"{base}/v1/estimate",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                response.read()
+                ok += response.status == 200
+        except Exception:
+            failed += 1
+    out.send({"ok": ok, "failed": failed})
+    out.close()
+
+
+def _drive(base: str, payloads: list, clients: int, duration_s: float) -> dict:
+    ctx = multiprocessing.get_context("fork")
+    pipes = []
+    procs = []
+    for _ in range(clients):
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_client_proc, args=(base, payloads, duration_s, send)
+        )
+        proc.start()
+        send.close()
+        pipes.append(recv)
+        procs.append(proc)
+    totals = {"ok": 0, "failed": 0}
+    for recv, proc in zip(pipes, procs):
+        counts = recv.recv()
+        proc.join(timeout=30)
+        totals["ok"] += counts["ok"]
+        totals["failed"] += counts["failed"]
+    return totals
+
+
+def _scrape_counter(base: str, name: str) -> float:
+    with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+        text = response.read().decode()
+    total = 0.0
+    for match in re.finditer(rf"^{re.escape(name)}(?:\{{[^}}]*\}})? (\S+)$", text, re.M):
+        total += float(match.group(1))
+    return total
+
+
+def _pool_config(flush_ms: float) -> dict:
+    return dict(
+        max_concurrency=16,
+        queue_depth=128,
+        deadline_ms=30_000.0,
+        flush_ms=flush_ms,
+        stable_after_s=0.5,
+        drain_timeout_s=15.0,
+        reload_check_s=5.0,
+    )
+
+
+def _run_pool(snapshot_dir, workers, flush_ms, clients, duration_s, payloads):
+    def factory():
+        return EstimatorService(
+            lambda: QuadHist.from_config(QuadHistConfig(tau=0.01)),
+            snapshot_dir=snapshot_dir,
+        )
+
+    config = ServingConfig(workers=workers, **_pool_config(flush_ms))
+    supervisor = Supervisor(factory, config=config, registry=MetricsRegistry())
+    try:
+        host, port = supervisor.start()
+        base = f"http://{host}:{port}"
+        _drive(base, payloads, clients=2, duration_s=0.5)  # warm-up
+        totals = _drive(base, payloads, clients, duration_s)
+        coalesced = {
+            "batches": _scrape_counter(base, "repro_coalesced_batches_total"),
+            "queries": _scrape_counter(base, "repro_coalesced_queries_total"),
+        }
+    finally:
+        supervisor.stop(drain=True)
+    qps = totals["ok"] / duration_s
+    return {
+        "workers": workers,
+        "clients": clients,
+        "duration_s": duration_s,
+        "ok": totals["ok"],
+        "failed": totals["failed"],
+        "requests_per_second": round(qps, 1),
+        "coalesced": coalesced,
+    }
+
+
+def run(config: dict) -> dict:
+    tmp = tempfile.TemporaryDirectory(prefix="bench-serving-")
+    pretrain_snapshot(tmp.name)
+    payloads = sample_query_payloads(64, seed=5)
+
+    scaling = []
+    for workers in config["worker_counts"]:
+        point = _run_pool(
+            tmp.name,
+            workers,
+            flush_ms=2.0,
+            clients=config["clients"],
+            duration_s=config["duration_s"],
+            payloads=payloads,
+        )
+        baseline = scaling[0]["requests_per_second"] if scaling else None
+        point["speedup_vs_1_worker"] = (
+            round(point["requests_per_second"] / baseline, 2)
+            if baseline
+            else 1.0
+        )
+        scaling.append(point)
+        print(
+            f"workers={workers}: {point['requests_per_second']} req/s "
+            f"(speedup {point['speedup_vs_1_worker']}x, "
+            f"failed {point['failed']})"
+        )
+
+    coalesce = {}
+    for label, flush_ms in (("coalesced", 2.0), ("uncoalesced", 0.0)):
+        point = _run_pool(
+            tmp.name,
+            workers=1,
+            flush_ms=flush_ms,
+            clients=config["coalesce_clients"],
+            duration_s=config["coalesce_duration_s"],
+            payloads=payloads,
+        )
+        coalesce[label] = point
+        print(
+            f"{label} (flush={flush_ms}ms): "
+            f"{point['requests_per_second']} req/s, "
+            f"{point['coalesced']['batches']:.0f} batches folding "
+            f"{point['coalesced']['queries']:.0f} queries"
+        )
+    coalesce["speedup"] = round(
+        coalesce["coalesced"]["requests_per_second"]
+        / max(coalesce["uncoalesced"]["requests_per_second"], 1e-9),
+        2,
+    )
+    tmp.cleanup()
+
+    return {
+        "config": config,
+        "cpu_count": os.cpu_count(),
+        "scaling": scaling,
+        "coalescing": coalesce,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_serving.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    result = run(SMOKE if args.smoke else FULL)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    top = result["scaling"][-1]
+    print(
+        f"cpu_count={result['cpu_count']}  "
+        f"{top['workers']}-worker speedup: {top['speedup_vs_1_worker']}x  "
+        f"coalescing speedup: {result['coalescing']['speedup']}x"
+    )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

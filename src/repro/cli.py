@@ -29,9 +29,17 @@ The subcommands cover the paper's workflow end to end:
     policy, feedback-buffer capacity, circuit-breaker threshold/cooldown,
     and retrain timeout.  ``--snapshot-dir`` persists every retrain
     generation and warm-starts from the newest one on restart.
-    ``--log-json`` switches the structured logger to JSON lines (and
-    enables span-trace logging); ``--access-log`` emits one log line per
-    HTTP request.
+    ``--workers N`` (N > 1) scales out to a supervised pre-fork pool
+    (:mod:`repro.serving`): crashed workers restart warm from the shared
+    snapshot store behind a restart-storm breaker.  Both modes share the
+    admission/deadline envelope — ``--max-concurrency``,
+    ``--queue-depth`` (429 + ``Retry-After`` when full),
+    ``--deadline-ms`` (504 past budget), ``--flush-ms`` (request
+    coalescing window; 0 disables) — and both drain gracefully on
+    SIGTERM/SIGINT: stop accepting, flush in-flight requests, snapshot,
+    exit 0.  ``--log-json`` switches the structured logger to JSON lines
+    (and enables span-trace logging); ``--access-log`` emits one log
+    line per HTTP request.
 
 ``metrics``
     Fetch and print the Prometheus text exposition from a running
@@ -52,6 +60,8 @@ Examples
     python -m repro.cli inspect model.rma
     python -m repro.cli serve --method quadhist --port 8080 \\
         --sanitize drop --retrain-every 50 --snapshot-dir ./snapshots
+    python -m repro.cli serve --workers 4 --snapshot-dir ./snapshots \\
+        --deadline-ms 250 --queue-depth 64 --flush-ms 2
     python -m repro.cli metrics --port 8080
 """
 
@@ -215,6 +225,47 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="snapshot generations to retain (default: 5)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs the supervised pre-fork pool "
+        "(default: 1, single process)",
+    )
+    srv.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        help="requests executing at once per worker (default: 8)",
+    )
+    srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="admission waiting room per worker; beyond it requests are "
+        "shed with 429 + Retry-After (default: 32)",
+    )
+    srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        help="default per-request deadline budget; expired requests get "
+        "504 (clients override via X-Deadline-Ms; default: 1000)",
+    )
+    srv.add_argument(
+        "--flush-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window folding concurrent estimates into one "
+        "predict_many (0 disables; default: 2)",
+    )
+    srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="graceful-drain budget on SIGTERM before workers are "
+        "killed (default: 10)",
     )
     srv.add_argument(
         "--log-json",
@@ -383,8 +434,11 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import socket
+
     from repro.observability import configure_logging, set_trace_logging
-    from repro.server import EstimatorService, serve
+    from repro.server import EstimatorService
+    from repro.serving import ServingConfig, Supervisor, worker_main
 
     configure_logging(json_mode=args.log_json)
     if args.log_json:
@@ -397,36 +451,71 @@ def _cmd_serve(args) -> int:
         )
         return 2
     factory = factories[args.method]
-    service = EstimatorService(
-        lambda: factory(args.expected_train),
-        retrain_every=args.retrain_every,
-        min_feedback=args.min_feedback,
-        sanitize_policy=args.sanitize,
-        feedback_capacity=args.feedback_capacity,
-        breaker_threshold=args.breaker_threshold,
-        breaker_cooldown=args.breaker_cooldown,
-        retrain_timeout=args.retrain_timeout,
-        snapshot_dir=args.snapshot_dir,
-        snapshot_keep=args.snapshot_keep,
-        seed=args.seed if hasattr(args, "seed") else 0,
+    if args.workers > 1 and args.snapshot_dir is None:
+        print(
+            "error: --workers > 1 requires --snapshot-dir (workers share "
+            "models through the snapshot store)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def make_service() -> EstimatorService:
+        return EstimatorService(
+            lambda: factory(args.expected_train),
+            retrain_every=args.retrain_every,
+            min_feedback=args.min_feedback,
+            sanitize_policy=args.sanitize,
+            feedback_capacity=args.feedback_capacity,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            retrain_timeout=args.retrain_timeout,
+            snapshot_dir=args.snapshot_dir,
+            snapshot_keep=args.snapshot_keep,
+            seed=args.seed if hasattr(args, "seed") else 0,
+        )
+
+    config = ServingConfig(
+        workers=max(1, args.workers),
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+        flush_ms=args.flush_ms,
+        drain_timeout_s=args.drain_timeout,
+        access_log=args.access_log,
     )
-    server = serve(
-        service, host=args.host, port=args.port, access_log=args.access_log
-    )
-    host, port = server.server_address
-    print(
-        f"serving {args.method} on http://{host}:{port} "
+    banner = (
         f"(sanitize={args.sanitize}, breaker k={args.breaker_threshold}, "
+        f"deadline {args.deadline_ms:g}ms, queue {args.queue_depth}, "
         f"metrics at /metrics)"
     )
-    try:
-        while True:
-            import time
 
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        print("shutting down")
-        server.shutdown()
+    if args.workers > 1:
+        supervisor = Supervisor(
+            make_service, config=config, host=args.host, port=args.port
+        )
+        host, port = supervisor.start()
+        print(
+            f"serving {args.method} on http://{host}:{port} with "
+            f"{args.workers} workers {banner}"
+        )
+        report = supervisor.run_forever()  # blocks until SIGTERM/SIGINT
+        print(
+            f"pool drained (clean: {report['drained']}, "
+            f"killed: {report['killed']})"
+        )
+        return 1 if report["killed"] else 0
+
+    # Single process: same admission/deadline/coalescing envelope and the
+    # same SIGTERM graceful drain (stop accepting, flush in-flight,
+    # snapshot, exit 0) — what systemd/containers expect of `repro serve`.
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((args.host, args.port))
+    sock.listen(128)
+    host, port = sock.getsockname()[:2]
+    print(f"serving {args.method} on http://{host}:{port} {banner}")
+    worker_main(0, make_service, config, sock)  # returns after drain
+    print("drained")
     return 0
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from pathlib import Path
 from typing import Dict, Iterator, Sequence
 
@@ -42,13 +43,31 @@ class SnapshotStore:
     keep:
         How many generations to retain (older ones are pruned after each
         save).  ``None`` keeps everything.
+    stale_lock_seconds:
+        Age past which another process's prune lockfile is considered
+        abandoned (e.g. its holder was SIGKILLed mid-prune) and taken
+        over.  Pruning holds the lock only for a handful of ``unlink``
+        calls, so anything older than a few seconds is dead.
     """
 
-    def __init__(self, directory: str | os.PathLike, keep: int | None = 5):
+    #: Advisory lockfile serializing prunes across worker processes.
+    LOCK_NAME = ".prune.lock"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        keep: int | None = 5,
+        stale_lock_seconds: float = 30.0,
+    ):
         if keep is not None and keep < 1:
             raise ValueError(f"keep must be >= 1 or None, got {keep}")
+        if stale_lock_seconds < 0:
+            raise ValueError(
+                f"stale_lock_seconds must be >= 0, got {stale_lock_seconds}"
+            )
         self.directory = Path(directory)
         self.keep = keep
+        self.stale_lock_seconds = float(stale_lock_seconds)
 
     def path_for(self, generation: int) -> Path:
         return self.directory / f"gen-{generation:08d}{ARTIFACT_SUFFIX}"
@@ -85,15 +104,73 @@ class SnapshotStore:
         self._prune()
         return path
 
+    @property
+    def lock_path(self) -> Path:
+        return self.directory / self.LOCK_NAME
+
+    def _try_lock(self) -> bool:
+        """Grab the advisory prune lock (``O_EXCL`` lockfile).
+
+        Returns False when another live pruner holds it.  A lockfile older
+        than ``stale_lock_seconds`` belongs to a process that died
+        mid-prune (prunes take milliseconds); it is unlinked and the
+        create retried once — classic stale-lock takeover.
+        """
+        for attempt in range(2):
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if attempt == 1:
+                    return False
+                try:
+                    age = time.time() - self.lock_path.stat().st_mtime
+                except OSError:
+                    continue  # holder just released it; retry the create
+                if age <= self.stale_lock_seconds:
+                    return False  # live holder: skip this prune
+                try:
+                    self.lock_path.unlink()
+                except OSError:
+                    return False  # lost the takeover race; skip
+            else:
+                try:
+                    os.write(fd, str(os.getpid()).encode())
+                finally:
+                    os.close(fd)
+                return True
+        return False
+
+    def _unlock(self) -> None:
+        try:
+            self.lock_path.unlink()
+        except OSError:
+            pass
+
     def _prune(self) -> None:
+        """Delete generations beyond ``keep``, under the advisory lock.
+
+        Concurrent workers all snapshot into (and prune) the same
+        directory; without mutual exclusion two pruners can each list the
+        directory, decide the same artifact is stale, and race a third
+        worker that is mid-``restore_latest`` on it.  The lock serializes
+        pruners; a contended prune is simply skipped — the next save
+        prunes again, so retention converges.
+        """
         if self.keep is None:
             return
-        generations = self.generations()
-        for stale in generations[: -self.keep]:
-            try:
-                self.path_for(stale).unlink()
-            except OSError:
-                pass  # pruning is best-effort; a leftover snapshot is harmless
+        if not self._try_lock():
+            return
+        try:
+            generations = self.generations()
+            for stale in generations[: -self.keep]:
+                try:
+                    self.path_for(stale).unlink()
+                except OSError:
+                    pass  # pruning is best-effort; a leftover snapshot is harmless
+        finally:
+            self._unlock()
 
     def _candidates_newest_first(self) -> Iterator[int]:
         yield from reversed(self.generations())

@@ -30,13 +30,17 @@ See ``docs/robustness.md`` for the full failure-mode catalogue.
 
 from repro.robustness.breaker import CircuitBreaker
 from repro.robustness.buffer import FeedbackBuffer
+from repro.robustness.deadline import Deadline
 from repro.robustness.chaos import ChaosConfig, ChaosMonkey, chaos
 from repro.robustness.errors import (
     DataValidationError,
+    DeadlineExceededError,
     ModelUnavailableError,
+    OverloadedError,
     ReproError,
     SolverConvergenceError,
     TrainingTimeoutError,
+    WorkerSupervisionError,
 )
 from repro.robustness.sanitize import (
     SANITIZE_POLICIES,
@@ -50,10 +54,14 @@ __all__ = [
     "SolverConvergenceError",
     "TrainingTimeoutError",
     "ModelUnavailableError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "WorkerSupervisionError",
     "SANITIZE_POLICIES",
     "SanitizationReport",
     "sanitize_training_data",
     "CircuitBreaker",
+    "Deadline",
     "FeedbackBuffer",
     "ChaosConfig",
     "ChaosMonkey",

@@ -32,6 +32,9 @@ __all__ = [
     "ModelUnavailableError",
     "PersistenceError",
     "ArtifactError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "WorkerSupervisionError",
 ]
 
 
@@ -90,3 +93,40 @@ class ArtifactError(PersistenceError, ValueError):
     mismatch, truncated file, or an unsupported format version."""
 
     http_status = 400
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The admission queue is full; the request was shed, not queued.
+
+    Carries an advisory ``retry_after`` (seconds) rendered as a
+    ``Retry-After`` response header by the HTTP adapter, so well-behaved
+    clients back off instead of hammering an overloaded worker.
+    """
+
+    http_status = 429
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    @property
+    def http_headers(self) -> dict:
+        if self.retry_after is None:
+            return {}
+        # Retry-After is delta-seconds (integral); always advise >= 1s.
+        return {"Retry-After": str(max(1, int(round(self.retry_after))))}
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's deadline budget expired before an answer was ready
+    (while queued for admission, waiting on a coalesced flush, or before
+    the handler could even start)."""
+
+    http_status = 504
+
+
+class WorkerSupervisionError(ReproError, RuntimeError):
+    """The worker pool cannot satisfy a lifecycle operation (starting an
+    already-started supervisor, restart storm exhausted, ...)."""
+
+    http_status = 500

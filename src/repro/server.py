@@ -54,10 +54,13 @@ original unversioned paths still work as thin aliases that answer with a
 * ``POST /v1/restore``   ``{"path": optional}`` → install a persisted
   artifact as a new serving generation (latest snapshot by default).
 * ``GET  /v1/status``    → model / generation / breaker / snapshot summary
-* ``GET  /health``       → constant ``{"status": "ok"}`` liveness probe —
-  unversioned on purpose (load balancers should not chase API versions);
-  no locks taken, so probes never contend with ``/v1/status``'s full
-  locked snapshot.
+* ``GET  /health``       → liveness + degradation probe, always HTTP 200
+  while the process is up; the body distinguishes ``{"status": "ok"}``
+  from ``{"status": "degraded", "reasons": [...]}`` (open retrain
+  breaker, serving generation stale behind the shared snapshot store) so
+  load balancers and the :mod:`repro.serving` supervisor can tell
+  alive-but-unhealthy from healthy.  Unversioned on purpose (probes
+  should not chase API versions).
 * ``GET  /metrics``      → Prometheus text exposition of every metric
   (service, HTTP, solver-ladder and kernel layers); unversioned, as
   scrape configs expect.
@@ -100,6 +103,7 @@ from repro.persistence.artifact import load_manifest, load_model
 from repro.persistence.snapshots import SnapshotStore
 from repro.robustness import CircuitBreaker, FeedbackBuffer
 from repro.robustness.chaos import active as _active_chaos
+from repro.robustness.deadline import Deadline
 from repro.robustness.errors import (
     DataValidationError,
     ModelUnavailableError,
@@ -114,7 +118,7 @@ from repro.robustness.sanitize import (
     sanitize_training_data,
 )
 
-__all__ = ["EstimatorService", "serve"]
+__all__ = ["EstimatorService", "make_server", "serve", "DEADLINE_HEADER"]
 
 _BREAKER_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
@@ -260,6 +264,11 @@ class EstimatorService:
     snapshot_keep:
         Generations retained in ``snapshot_dir`` (older artifacts are
         pruned after each save; None keeps all).
+    health_stale_after:
+        ``/health`` reports ``degraded`` when the shared snapshot store
+        holds a generation at least this many ahead of the one this
+        service serves (a worker that missed rolling reloads).  ``None``
+        disables the staleness check.
     registry:
         :class:`~repro.observability.MetricsRegistry` receiving this
         service's metrics (default: the process-global registry, so
@@ -281,6 +290,7 @@ class EstimatorService:
         prediction_cache_size: int = 4096,
         snapshot_dir: str | None = None,
         snapshot_keep: int | None = 5,
+        health_stale_after: int | None = 2,
         seed: int = 0,
         registry: MetricsRegistry | None = None,
         _clock=time.monotonic,
@@ -300,6 +310,10 @@ class EstimatorService:
         if prediction_cache_size < 0:
             raise ValueError(
                 f"prediction_cache_size must be >= 0, got {prediction_cache_size}"
+            )
+        if health_stale_after is not None and health_stale_after < 1:
+            raise ValueError(
+                f"health_stale_after must be >= 1 or None, got {health_stale_after}"
             )
         self._factory = estimator_factory
         self.retrain_every = retrain_every
@@ -338,6 +352,11 @@ class EstimatorService:
         self._trained_pairs: tuple[list, list] | None = None
         self._restored_from: str | None = None
         self._snapshot_info: dict | None = None
+        self.health_stale_after = health_stale_after
+        #: Store generation (gen-%08d number) backing the serving model;
+        #: 0 until a snapshot is written or restored.  Compared against
+        #: the store's newest generation for /health staleness.
+        self._store_generation = 0
         if self._snapshots is not None:
             self._restore_on_startup()
 
@@ -659,6 +678,7 @@ class EstimatorService:
                     self._detector = None
                     self._drift_flag = False
                     self._restored_from = source
+                    self._store_generation = int(fit_meta.get("generation", 0))
                     generation = self._generation
                 metrics.generation.set(generation)
                 metrics.model_size.set(model.model_size)
@@ -707,6 +727,7 @@ class EstimatorService:
         self._generation = generation
         self._trained_on = int(fit_meta.get("n_train", 0))
         self._restored_from = str(source)
+        self._store_generation = generation
         saved_at = fit_meta.get("saved_at")
         self._snapshot_info = {
             "generation": generation,
@@ -764,6 +785,7 @@ class EstimatorService:
                 "saved_at": saved_at,
                 "path": path,
             }
+            self._store_generation = max(self._store_generation, generation)
         metrics = self._metrics
         metrics.snapshots.inc(outcome="success")
         metrics.snapshot_generation.set(generation)
@@ -784,6 +806,59 @@ class EstimatorService:
             self._metrics.snapshot_age.set(
                 max(0.0, time.time() - float(info["saved_at"]))
             )
+
+    @property
+    def snapshot_store(self) -> SnapshotStore | None:
+        """The shared snapshot store backing this service (or None)."""
+        return self._snapshots
+
+    @property
+    def store_generation(self) -> int:
+        """Store generation of the serving model (0 = never persisted)."""
+        with self._lock:
+            return self._store_generation
+
+    def health(self) -> dict:
+        """Cheap liveness/degradation summary for ``/health`` probes.
+
+        Always answers (HTTP layer maps this to a constant 200 — an
+        *unhealthy* worker is still *alive*); the body distinguishes:
+
+        * ``ok`` — serving normally.
+        * ``degraded`` with ``reasons`` — one or more of:
+          ``breaker_open`` (retraining suspended after consecutive
+          failures; estimates still flow from the last good generation)
+          and ``stale_generation`` (the shared snapshot store holds a
+          generation ≥ ``health_stale_after`` ahead of the one served —
+          this worker is missing rolling reloads).
+
+        Load balancers keep routing on 200 but can weight away from
+        degraded workers; the :mod:`repro.serving` supervisor uses the
+        same signal to distinguish alive-but-unhealthy from healthy.
+        """
+        with self._lock:
+            breaker_state = self._breaker.state
+            trained = self._model is not None
+            generation = self._generation
+            store_generation = self._store_generation
+        reasons = []
+        if breaker_state == "open":
+            reasons.append("breaker_open")
+        snapshot_lag = None
+        if self._snapshots is not None and self.health_stale_after is not None:
+            latest = self._snapshots.latest_generation()
+            if latest is not None:
+                snapshot_lag = max(0, latest - store_generation)
+                if snapshot_lag >= self.health_stale_after:
+                    reasons.append("stale_generation")
+        return {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "trained": trained,
+            "generation": generation,
+            "breaker": breaker_state,
+            "snapshot_lag": snapshot_lag,
+        }
 
     def status(self) -> dict:
         self._refresh_snapshot_gauges()
@@ -936,7 +1011,12 @@ _LEGACY_ALIASES = {
     "/status": "/v1/status",
 }
 
-_HEALTH_BODY = json.dumps({"status": "ok"}).encode()
+#: Endpoints exempt from admission control and deadlines: probes and
+#: scrapes must keep answering precisely when the worker is saturated.
+_UNGATED = frozenset({"/health", "/metrics", "/v1/status"})
+
+#: Request header carrying the caller's per-request deadline budget.
+DEADLINE_HEADER = "X-Deadline-Ms"
 
 
 def _render_metrics(service: EstimatorService) -> str:
@@ -949,7 +1029,25 @@ def _render_metrics(service: EstimatorService) -> str:
     return text
 
 
-def _make_handler(service: EstimatorService, access_log: bool = False):
+def _make_handler(
+    service: EstimatorService,
+    access_log: bool = False,
+    *,
+    admission=None,
+    coalescer=None,
+    default_deadline_ms: float | None = None,
+    draining: threading.Event | None = None,
+):
+    """Build the request handler class bound to one service.
+
+    The handler is *embeddable*: a plain single-process ``serve()`` wires
+    no extras, while each :mod:`repro.serving` worker injects its
+    admission controller (deadline budgets, bounded queue, load
+    shedding), its micro-batching coalescer for the estimate/predict
+    paths, and a ``draining`` event that turns new requests away with
+    503 during graceful shutdown.  All four extras are duck-typed so the
+    server layer stays importable without the serving package.
+    """
     registry = service.registry
     http_requests = registry.counter(
         "repro_http_requests_total",
@@ -979,11 +1077,19 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
                     client=self.address_string(),
                 )
 
-        def _reply_body(self, code: int, body: bytes, content_type: str) -> None:
+        def _reply_body(
+            self,
+            code: int,
+            body: bytes,
+            content_type: str,
+            headers: dict | None = None,
+        ) -> None:
             self._status_code = code
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             if getattr(self, "_deprecated", False):
                 # RFC 9745: the client used a pre-versioning alias.
                 self.send_header("Deprecation", "true")
@@ -991,8 +1097,12 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
             self.end_headers()
             self.wfile.write(body)
 
-        def _reply(self, code: int, payload: dict) -> None:
-            self._reply_body(code, json.dumps(payload).encode(), "application/json")
+        def _reply(
+            self, code: int, payload: dict, headers: dict | None = None
+        ) -> None:
+            self._reply_body(
+                code, json.dumps(payload).encode(), "application/json", headers
+            )
 
         def _read_json(self) -> dict:
             try:
@@ -1010,6 +1120,19 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
                 )
             return payload
 
+        def _request_deadline(self) -> Deadline:
+            """Per-request deadline: header overrides the server default."""
+            raw = self.headers.get(DEADLINE_HEADER)
+            if raw is None:
+                return Deadline.after_ms(default_deadline_ms)
+            try:
+                budget_ms = float(raw)
+            except (TypeError, ValueError) as exc:
+                raise DataValidationError(
+                    f"bad {DEADLINE_HEADER} header {raw!r}: {exc}"
+                ) from exc
+            return Deadline.after_ms(budget_ms)
+
         def _guarded(self, handler) -> None:
             """Run ``handler``; render any failure as structured JSON and
             record the per-endpoint request metrics either way."""
@@ -1020,9 +1143,32 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
             start = time.perf_counter()
             try:
                 try:
-                    handler()
+                    if endpoint in _UNGATED:
+                        self._deadline = Deadline(None)
+                        handler()
+                    else:
+                        if draining is not None and draining.is_set():
+                            # Graceful shutdown: turn work away, stay
+                            # polite to probes (handled above).
+                            self._reply(
+                                503,
+                                {"error": "worker draining", "type": "Draining"},
+                                headers={"Retry-After": "1"},
+                            )
+                            return
+                        self._deadline = self._request_deadline()
+                        self._deadline.check()
+                        if admission is not None:
+                            with admission.admit(self._deadline):
+                                handler()
+                        else:
+                            handler()
                 except ReproError as exc:
-                    self._reply(exc.http_status, exc.to_dict())
+                    self._reply(
+                        exc.http_status,
+                        exc.to_dict(),
+                        headers=getattr(exc, "http_headers", None),
+                    )
                 except (KeyError, TypeError, ValueError) as exc:
                     self._reply(400, {"error": str(exc), "type": type(exc).__name__})
                 except RuntimeError as exc:
@@ -1058,8 +1204,10 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
                 if path == "/v1/status":
                     self._reply(200, service.status())
                 elif path == "/health":
-                    # Liveness probe: constant body, no service lock taken.
-                    self._reply_body(200, _HEALTH_BODY, "application/json")
+                    # Liveness probe: always 200 while the process is up;
+                    # the body carries ok-vs-degraded (breaker open /
+                    # stale serving generation) for LBs and supervisors.
+                    self._reply(200, service.health())
                 elif path == "/metrics":
                     self._reply_body(
                         200,
@@ -1080,7 +1228,11 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
                 if path == "/v1/estimate":
                     data = self._read_json()
                     query = range_from_dict(data["query"])
-                    self._reply(200, {"selectivity": service.estimate(query)})
+                    if coalescer is not None:
+                        value = coalescer.submit(query, deadline=self._deadline)
+                    else:
+                        value = service.estimate(query)
+                    self._reply(200, {"selectivity": value})
                 elif path == "/v1/predict":
                     data = self._read_json()
                     encoded = data["queries"]
@@ -1089,7 +1241,12 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
                             f"'queries' must be a list, got {type(encoded).__name__}"
                         )
                     queries = [range_from_dict(item) for item in encoded]
-                    estimates = service.estimate_many(queries)
+                    if coalescer is not None:
+                        estimates = coalescer.submit_many(
+                            queries, deadline=self._deadline
+                        )
+                    else:
+                        estimates = service.estimate_many(queries)
                     self._reply(
                         200, {"selectivities": estimates, "count": len(estimates)}
                     )
@@ -1121,11 +1278,57 @@ def _make_handler(service: EstimatorService, access_log: bool = False):
     return Handler
 
 
+def make_server(
+    service: EstimatorService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    access_log: bool = False,
+    *,
+    sock=None,
+    admission=None,
+    coalescer=None,
+    default_deadline_ms: float | None = None,
+    draining: threading.Event | None = None,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server for ``service``.
+
+    ``sock`` adopts a pre-bound, already-listening socket instead of
+    binding ``(host, port)`` — the pre-fork path: the
+    :class:`repro.serving.Supervisor` binds once and every worker process
+    accepts from the same shared listen queue, so a killed worker never
+    strands connections that the kernel has not yet handed to it.  The
+    remaining keyword extras are forwarded to the request handler (see
+    :func:`_make_handler`).
+
+    The returned server is a stock ``ThreadingHTTPServer``; its
+    ``server_close()`` joins in-flight request threads (stdlib
+    ``block_on_close``), which is exactly the "stop accepting, flush
+    in-flight" half of a graceful drain.
+    """
+    handler = _make_handler(
+        service,
+        access_log,
+        admission=admission,
+        coalescer=coalescer,
+        default_deadline_ms=default_deadline_ms,
+        draining=draining,
+    )
+    if sock is None:
+        return ThreadingHTTPServer((host, port), handler)
+    server = ThreadingHTTPServer(sock.getsockname()[:2], handler, bind_and_activate=False)
+    server.socket.close()  # replace the unbound default with the shared one
+    server.socket = sock
+    server.server_address = sock.getsockname()
+    server.server_name, server.server_port = server.server_address[:2]
+    return server
+
+
 def serve(
     service: EstimatorService,
     host: str = "127.0.0.1",
     port: int = 0,
     access_log: bool = False,
+    **extras,
 ) -> ThreadingHTTPServer:
     """Start the HTTP server on a background thread; returns the server.
 
@@ -1133,9 +1336,13 @@ def serve(
     ``access_log=True`` emits one structured log line per request through
     the ``repro.http.access`` logger (see
     :func:`repro.observability.configure_logging`); the default keeps
-    tests and embedded use quiet.  Call ``server.shutdown()`` to stop.
+    tests and embedded use quiet.  Keyword ``extras`` are forwarded to
+    :func:`make_server` (admission controller, coalescer, default
+    deadline, drain event, shared socket).  Call ``server.shutdown()`` to
+    stop accepting and ``server.server_close()`` to flush in-flight
+    requests.
     """
-    server = ThreadingHTTPServer((host, port), _make_handler(service, access_log))
+    server = make_server(service, host, port, access_log, **extras)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -1,0 +1,42 @@
+"""Supervised multi-worker serving for the selectivity estimator.
+
+The :mod:`repro.server` module gives one process one HTTP estimator;
+this package scales and hardens it into a supervised pre-fork pool:
+
+* :mod:`~repro.serving.config` — one frozen :class:`ServingConfig`
+  carrying every pool/admission/coalescing/supervision knob;
+* :mod:`~repro.serving.supervisor` — binds the listening socket, forks
+  N workers over it, restarts crashed or wedged workers with exponential
+  backoff behind a per-slot restart-storm circuit breaker;
+* :mod:`~repro.serving.worker` — one worker process: warm-start from the
+  shared :class:`~repro.persistence.SnapshotStore`, heartbeats, rolling
+  generation reloads, SIGTERM graceful drain;
+* :mod:`~repro.serving.admission` — bounded concurrency with a finite
+  waiting room, deadline-aware queueing, 429 + ``Retry-After`` shedding;
+* :mod:`~repro.serving.coalescer` — micro-batching of concurrent
+  single-query requests into one ``predict_many`` per flush window;
+* :mod:`~repro.serving.warmup` — pre-train a snapshot so pools boot
+  warm; :mod:`~repro.serving.chaos` — SIGKILL-under-load scenario.
+
+See ``docs/serving.md`` for the supervision tree and tuning guidance.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.coalescer import PredictCoalescer
+from repro.serving.config import ServingConfig
+from repro.serving.supervisor import Supervisor, WorkerSlot
+from repro.serving.warmup import pretrain_snapshot, sample_query_payloads
+from repro.serving.worker import GenerationReloader, drain_server, worker_main
+
+__all__ = [
+    "AdmissionController",
+    "GenerationReloader",
+    "PredictCoalescer",
+    "ServingConfig",
+    "Supervisor",
+    "WorkerSlot",
+    "drain_server",
+    "pretrain_snapshot",
+    "sample_query_payloads",
+    "worker_main",
+]

@@ -1,0 +1,170 @@
+"""Micro-batching coalescer: fold concurrent lookups into one kernel call.
+
+``predict_many`` is ~11× cheaper per query than scalar ``predict``
+(``BENCH_throughput.json``), but HTTP traffic from a query optimizer
+arrives as many concurrent *single* queries.  The coalescer recovers the
+batch win at the serving layer: concurrent ``/v1/estimate`` and
+``/v1/predict`` requests that land within one flush window are folded
+into a single ``estimate_many`` call (one cache pass, one vectorised
+kernel), and each caller gets back exactly its own slice.
+
+Leader/follower scheme, no dedicated flusher thread:
+
+* the first request to arrive while no batch is forming becomes the
+  *leader*: it opens a batch, sleeps out the flush window (cut short
+  when the batch hits ``max_batch`` or the leader's own deadline is
+  tighter), detaches the batch, and runs the one ``estimate_many``;
+* later arrivals are *followers*: they append their queries and block on
+  the batch's completion event, capped by their own deadline — a
+  follower that times out raises
+  :class:`~repro.robustness.errors.DeadlineExceededError` while the rest
+  of the batch still completes.
+
+Because the fold happens *in front of* the service's generation-keyed
+prediction cache, cache semantics are untouched: every query still
+counts exactly one hit or one miss, and a retrain invalidates as before.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.observability import MetricsRegistry, default_registry
+from repro.robustness.deadline import Deadline
+from repro.robustness.errors import DeadlineExceededError
+
+__all__ = ["PredictCoalescer"]
+
+
+class _Batch:
+    """One forming/flushing batch; immutable once detached."""
+
+    __slots__ = ("queries", "done", "full", "results", "error")
+
+    def __init__(self):
+        self.queries: list = []
+        self.done = threading.Event()
+        self.full = threading.Event()
+        self.results: list | None = None
+        self.error: BaseException | None = None
+
+
+class PredictCoalescer:
+    """Fold concurrent estimate/predict calls into ``estimate_many``.
+
+    Parameters
+    ----------
+    estimate_many:
+        The batched lookup, usually
+        :meth:`repro.server.EstimatorService.estimate_many` (thread-safe,
+        cache-fronted).  Any exception it raises is propagated to every
+        caller in the batch.
+    flush_ms:
+        Window the leader holds a batch open for followers.  The knee of
+        the latency/throughput trade-off: see ``docs/serving.md``.
+    max_batch:
+        Flush immediately once this many queries are pending.
+    """
+
+    def __init__(
+        self,
+        estimate_many,
+        flush_ms: float = 2.0,
+        max_batch: int = 512,
+        worker: str = "0",
+        registry: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ):
+        if flush_ms < 0:
+            raise ValueError(f"flush_ms must be >= 0, got {flush_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._estimate_many = estimate_many
+        self.flush_s = float(flush_ms) / 1000.0
+        self.max_batch = int(max_batch)
+        self.worker = str(worker)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pending: _Batch | None = None
+        registry = registry if registry is not None else default_registry()
+        self._batches_total = registry.counter(
+            "repro_coalesced_batches_total",
+            "Coalesced predict_many flushes executed",
+            labels=("worker",),
+        )
+        self._queries_total = registry.counter(
+            "repro_coalesced_queries_total",
+            "Queries answered through the coalescer",
+            labels=("worker",),
+        )
+        self._batch_size = registry.histogram(
+            "repro_coalesce_batch_size",
+            "Queries per coalesced flush",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+            labels=("worker",),
+        )
+
+    def submit(self, query, deadline: Deadline | None = None) -> float:
+        """Answer one query through the current flush window."""
+        return self.submit_many([query], deadline=deadline)[0]
+
+    def submit_many(self, queries, deadline: Deadline | None = None) -> list[float]:
+        """Answer a list of queries; blocks until the owning batch flushes.
+
+        Returns results in input order.  Raises
+        :class:`DeadlineExceededError` if ``deadline`` expires before the
+        flush completes, or whatever ``estimate_many`` raised for the
+        whole batch (e.g. ``ModelUnavailableError`` before first fit).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        deadline = deadline if deadline is not None else Deadline(None)
+        with self._lock:
+            batch = self._pending
+            leader = batch is None
+            if leader:
+                batch = self._pending = _Batch()
+            start = len(batch.queries)
+            batch.queries.extend(queries)
+            if len(batch.queries) >= self.max_batch:
+                batch.full.set()
+        if leader:
+            self._lead(batch, deadline)
+        else:
+            self._follow(batch, deadline)
+        if batch.error is not None:
+            raise batch.error
+        return batch.results[start : start + len(queries)]
+
+    # -- leader/follower ---------------------------------------------------
+
+    def _lead(self, batch: _Batch, deadline: Deadline) -> None:
+        # Hold the window open for followers — but never longer than the
+        # leader's own remaining budget, and not at all if already full.
+        wait = deadline.wait_budget(self.flush_s)
+        if wait > 0 and not batch.full.is_set():
+            batch.full.wait(wait)
+        with self._lock:
+            if self._pending is batch:
+                self._pending = None
+        try:
+            batch.results = [float(v) for v in self._estimate_many(batch.queries)]
+        except BaseException as exc:  # propagate to every caller in the batch
+            batch.error = exc
+        finally:
+            size = len(batch.queries)
+            self._batches_total.inc(worker=self.worker)
+            self._queries_total.inc(size, worker=self.worker)
+            self._batch_size.observe(size, worker=self.worker)
+            batch.done.set()
+
+    def _follow(self, batch: _Batch, deadline: Deadline) -> None:
+        remaining = deadline.remaining()
+        if remaining is None:
+            batch.done.wait()
+        elif remaining <= 0.0 or not batch.done.wait(remaining):
+            raise DeadlineExceededError(
+                "deadline expired while waiting for a coalesced flush"
+            )

@@ -1,0 +1,384 @@
+"""The supervisor: pre-fork pool with health-checked restarts.
+
+One process owns the listening socket and the worker table; N forked
+workers each run :func:`repro.serving.worker.worker_main` and accept
+from the shared socket, so the kernel — not a userspace proxy — spreads
+connections, and a crashed worker never strands the connections it had
+not yet accepted.
+
+Supervision loop, once per ~50 ms:
+
+* drain each worker's heartbeat pipe (liveness + health + queue depth);
+* a dead process (crash, OOM-kill, chaos SIGKILL) or a silent one
+  (heartbeat older than ``heartbeat_timeout_s`` — wedged, so it is
+  SIGKILLed first) is scheduled for restart with exponential backoff;
+* restarts flow through a per-slot
+  :class:`~repro.robustness.CircuitBreaker`: ``restart_storm_threshold``
+  consecutive short-lived workers open the breaker and restarting pauses
+  for ``restart_storm_cooldown_s`` before a single probe respawn —  a
+  poisoned snapshot must not fork-bomb the box.  A worker that stays up
+  ``stable_after_s`` closes its breaker and resets the backoff.
+
+Workers restart *warm*: their service factory restores from the shared
+:class:`~repro.persistence.SnapshotStore` (33-275× cheaper than a cold
+fit), so a respawn is back in service within milliseconds of the fork.
+
+Graceful drain (``stop(drain=True)``, also wired to SIGTERM/SIGINT by
+:meth:`Supervisor.run_forever`): stop restarting, SIGTERM every worker
+(each stops accepting, flushes in-flight requests, snapshots), reap with
+a ``drain_timeout_s`` budget, SIGKILL stragglers, close the socket.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import socket
+import threading
+import time
+
+from repro.observability import (
+    MetricsRegistry,
+    default_registry,
+    get_logger,
+    log_event,
+)
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.errors import WorkerSupervisionError
+from repro.serving.config import ServingConfig
+from repro.serving.worker import worker_main
+
+__all__ = ["Supervisor", "WorkerSlot"]
+
+_log = get_logger("serving.supervisor")
+
+
+def _worker_entry(worker_id, service_factory, config, sock, conn):
+    # Child-side shim: a normal return exits 0 (clean drain); an escaping
+    # exception exits 1 and the supervisor schedules a restart.
+    worker_main(worker_id, service_factory, config, sock, conn)
+
+
+class WorkerSlot:
+    """Supervision state for one worker index (survives respawns)."""
+
+    def __init__(self, index: int, config: ServingConfig, clock=time.monotonic):
+        self.index = index
+        self._config = config
+        self._clock = clock
+        self.process = None
+        self.conn = None
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.restart_storm_threshold,
+            cooldown_seconds=config.restart_storm_cooldown_s,
+            clock=clock,
+        )
+        self.restarts = 0  # respawns after the initial start
+        self.started_at: float | None = None
+        self.last_heartbeat: float | None = None
+        self.last_payload: dict | None = None
+        self.next_restart_at = 0.0
+        self.stable_marked = False
+        self.last_exit: int | str | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def backoff(self) -> float:
+        """Exponential restart delay from consecutive-failure count."""
+        failures = max(1, self.breaker.consecutive_failures)
+        delay = self._config.restart_backoff_s * (2.0 ** (failures - 1))
+        return min(delay, self._config.restart_backoff_max_s)
+
+    def to_dict(self) -> dict:
+        now = self._clock()
+        return {
+            "index": self.index,
+            "alive": self.alive,
+            "pid": self.process.pid if self.process is not None else None,
+            "restarts": self.restarts,
+            "uptime": (
+                round(now - self.started_at, 3)
+                if self.alive and self.started_at is not None
+                else None
+            ),
+            "heartbeat_age": (
+                round(now - self.last_heartbeat, 3)
+                if self.last_heartbeat is not None
+                else None
+            ),
+            "breaker": self.breaker.to_dict(),
+            "last_exit": self.last_exit,
+            "last_payload": self.last_payload,
+        }
+
+
+class Supervisor:
+    """Own the socket, own the workers, keep the pool serving.
+
+    Parameters
+    ----------
+    service_factory:
+        Zero-argument callable building each worker's
+        :class:`~repro.server.EstimatorService` *after* the fork — point
+        it at a shared ``snapshot_dir`` so every (re)spawn warm-starts.
+    config:
+        :class:`~repro.serving.ServingConfig` envelope.
+    host / port:
+        Listen address; ``port=0`` picks a free port (read
+        :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        service_factory,
+        config: ServingConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ):
+        self.config = config if config is not None else ServingConfig()
+        self.host = host
+        self.port = port
+        self._service_factory = service_factory
+        self._clock = clock
+        self._ctx = multiprocessing.get_context("fork")
+        self._sock: socket.socket | None = None
+        self._slots = [
+            WorkerSlot(i, self.config, clock) for i in range(self.config.workers)
+        ]
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self._started = False
+        registry = registry if registry is not None else default_registry()
+        self._restarts_total = registry.counter(
+            "repro_worker_restarts_total",
+            "Worker respawns by slot and cause",
+            labels=("worker", "cause"),
+        )
+        self._alive_gauge = registry.gauge(
+            "repro_workers_alive", "Worker processes currently alive"
+        )
+        self._storm_gauge = registry.gauge(
+            "repro_restart_storm_open",
+            "Worker slots whose restart-storm breaker is open",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._sock is None:
+            raise WorkerSupervisionError("supervisor is not started")
+        name = self._sock.getsockname()
+        return name[0], name[1]
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, fork the pool, start the monitor; returns the
+        bound ``(host, port)``."""
+        if self._started:
+            raise WorkerSupervisionError("supervisor already started")
+        self._started = True
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(128)
+        # Non-blocking listener: several workers' selectors may wake for
+        # one connection; the losers' accept() must not block (stdlib
+        # socketserver swallows the resulting BlockingIOError).
+        sock.setblocking(False)
+        self._sock = sock
+        for slot in self._slots:
+            self._spawn(slot)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="serving-monitor", daemon=True
+        )
+        self._monitor.start()
+        log_event(
+            _log,
+            "pool_started",
+            workers=self.config.workers,
+            address=f"{self.address[0]}:{self.address[1]}",
+        )
+        return self.address
+
+    def stop(self, drain: bool = True) -> dict:
+        """Stop the pool; returns ``{"drained": [...], "killed": [...]}``.
+
+        ``drain=True`` SIGTERMs workers and waits ``drain_timeout_s`` for
+        them to flush in-flight requests and exit 0; stragglers (and the
+        whole pool under ``drain=False``) are SIGKILLed.
+        """
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        drained: list[int] = []
+        killed: list[int] = []
+        live = [slot for slot in self._slots if slot.process is not None]
+        for slot in live:
+            if slot.process.is_alive():
+                if drain:
+                    slot.process.terminate()  # SIGTERM → graceful drain
+                else:
+                    slot.process.kill()
+        deadline = self._clock() + (self.config.drain_timeout_s if drain else 1.0)
+        for slot in live:
+            slot.process.join(timeout=max(0.0, deadline - self._clock()))
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(timeout=5.0)
+                killed.append(slot.index)
+            elif drain and slot.process.exitcode == 0:
+                drained.append(slot.index)
+            else:
+                killed.append(slot.index)
+            slot.last_exit = slot.process.exitcode
+            self._close_conn(slot)
+            slot.process = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        self._alive_gauge.set(0.0)
+        log_event(_log, "pool_stopped", drained=drained, killed=killed)
+        return {"drained": drained, "killed": killed}
+
+    def run_forever(self) -> dict:
+        """Install SIGTERM/SIGINT handlers and supervise until signalled.
+
+        The blocking loop for ``repro serve --workers N`` under systemd
+        or a container runtime: SIGTERM triggers a graceful pool drain
+        and returns the drain report.
+        """
+        import signal as _signal
+
+        stop = threading.Event()
+
+        def _on_signal(signum, frame):
+            stop.set()
+
+        _signal.signal(_signal.SIGTERM, _on_signal)
+        _signal.signal(_signal.SIGINT, _on_signal)
+        if not self._started:
+            self.start()
+        stop.wait()
+        return self.stop(drain=True)
+
+    # -- monitoring --------------------------------------------------------
+
+    def status(self) -> dict:
+        alive = sum(1 for slot in self._slots if slot.alive)
+        return {
+            "address": self.address if self._sock is not None else None,
+            "workers": len(self._slots),
+            "alive": alive,
+            "config": self.config.to_dict(),
+            "slots": [slot.to_dict() for slot in self._slots],
+        }
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(0.05):
+            now = self._clock()
+            open_breakers = 0
+            for slot in self._slots:
+                self._drain_heartbeats(slot, now)
+                if slot.process is not None:
+                    if not slot.process.is_alive():
+                        self._on_death(slot, now, cause="crash")
+                    elif (
+                        slot.last_heartbeat is not None
+                        and now - slot.last_heartbeat
+                        > self.config.heartbeat_timeout_s
+                    ):
+                        # Alive but silent: wedged.  Kill, then supervise
+                        # the corpse like any other crash.
+                        log_event(
+                            _log,
+                            "worker_wedged",
+                            level=logging.WARNING,
+                            worker=slot.index,
+                            heartbeat_age=round(now - slot.last_heartbeat, 3),
+                        )
+                        slot.process.kill()
+                        slot.process.join(timeout=5.0)
+                        self._on_death(slot, now, cause="wedged")
+                    elif (
+                        not slot.stable_marked
+                        and slot.started_at is not None
+                        and now - slot.started_at >= self.config.stable_after_s
+                    ):
+                        slot.breaker.record_success()
+                        slot.stable_marked = True
+                elif now >= slot.next_restart_at and slot.breaker.allow():
+                    self._spawn(slot)
+                    slot.restarts += 1
+                if slot.breaker.state == "open":
+                    open_breakers += 1
+            self._storm_gauge.set(float(open_breakers))
+            self._alive_gauge.set(
+                float(sum(1 for slot in self._slots if slot.alive))
+            )
+
+    def _drain_heartbeats(self, slot: WorkerSlot, now: float) -> None:
+        conn = slot.conn
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                slot.last_payload = conn.recv()
+                slot.last_heartbeat = now
+        except (EOFError, OSError):
+            pass  # sender side closed; process liveness is tracked separately
+
+    def _on_death(self, slot: WorkerSlot, now: float, cause: str) -> None:
+        slot.last_exit = slot.process.exitcode if cause == "crash" else cause
+        self._close_conn(slot)
+        slot.process = None
+        slot.breaker.record_failure()
+        delay = slot.backoff()
+        slot.next_restart_at = now + delay
+        self._restarts_total.inc(worker=str(slot.index), cause=cause)
+        log_event(
+            _log,
+            "worker_died",
+            level=logging.WARNING,
+            worker=slot.index,
+            cause=cause,
+            exitcode=slot.last_exit,
+            consecutive_failures=slot.breaker.consecutive_failures,
+            restart_in=round(delay, 3),
+            storm_open=slot.breaker.state == "open",
+        )
+
+    def _spawn(self, slot: WorkerSlot) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(
+                slot.index,
+                self._service_factory,
+                self.config,
+                self._sock,
+                child_conn,
+            ),
+            name=f"repro-worker-{slot.index}",
+        )
+        process.start()
+        child_conn.close()
+        now = self._clock()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.started_at = now
+        slot.last_heartbeat = now  # grace period until the first beat
+        slot.stable_marked = False
+        log_event(_log, "worker_spawned", worker=slot.index, pid=process.pid)
+
+    @staticmethod
+    def _close_conn(slot: WorkerSlot) -> None:
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+            slot.conn = None

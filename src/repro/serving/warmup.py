@@ -1,0 +1,61 @@
+"""Warm-start fixtures: pre-train a snapshot for a worker pool to serve.
+
+A pool's workers are constructed *from the snapshot store*, so anything
+that boots a pool — the chaos harness, the serving benchmark, tests, an
+operator bootstrapping a fresh box — first needs a store holding at
+least one trained generation.  This module builds that in one call, on
+the paper's standard configuration (a QuadHist over a 2-D projection of
+the power-like dataset), plus a helper that yields JSON-encoded query
+payloads for driving HTTP traffic at the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import QuadHistConfig
+from repro.core.quadhist import QuadHist
+from repro.data.io import range_to_dict
+from repro.data.selectivity import label_queries
+from repro.data.synthetic import power_like
+from repro.data.workloads import WorkloadSpec, generate_workload
+from repro.persistence.snapshots import SnapshotStore
+
+__all__ = ["pretrain_snapshot", "sample_query_payloads"]
+
+
+def pretrain_snapshot(
+    snapshot_dir: str | os.PathLike,
+    rows: int = 4_000,
+    train_queries: int = 120,
+    tau: float = 0.01,
+    seed: int = 7,
+    generation: int = 1,
+) -> Path:
+    """Fit a small QuadHist and persist it as ``generation`` in
+    ``snapshot_dir``; returns the artifact path.
+
+    Every worker whose service factory points at the same directory then
+    warm-starts from this artifact instead of cold-fitting.
+    """
+    dataset = power_like(rows=rows).project([0, 3])
+    rng = np.random.default_rng(seed)
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    queries = generate_workload(train_queries, 2, rng, spec=spec, dataset=dataset)
+    labels = label_queries(dataset, queries)
+    model = QuadHist.from_config(QuadHistConfig(tau=tau))
+    model.fit(queries, labels)
+    store = SnapshotStore(snapshot_dir, keep=None)
+    return store.save(model, generation, training=(queries, labels))
+
+
+def sample_query_payloads(n: int, seed: int = 0, dim: int = 2) -> list[dict]:
+    """``n`` random box queries in the tagged JSON encoding the HTTP
+    surface accepts — traffic fuel for benches and chaos runs."""
+    rng = np.random.default_rng(seed)
+    spec = WorkloadSpec(query_kind="box", center_kind="random")
+    queries = generate_workload(n, dim, rng, spec=spec)
+    return [range_to_dict(query) for query in queries]

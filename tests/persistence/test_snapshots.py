@@ -86,3 +86,62 @@ def test_foreign_files_ignored(tmp_path, fitted):
     (tmp_path / "notes.txt").write_text("hi")
     (tmp_path / "gen-bad.rma").write_text("nope")
     assert store.generations() == [7]
+
+
+class TestPruneLock:
+    """Advisory O_EXCL lockfile serializing prunes across processes."""
+
+    def test_lock_released_after_prune(self, tmp_path, fitted):
+        store = SnapshotStore(tmp_path, keep=1)
+        store.save(fitted, 1)
+        store.save(fitted, 2)
+        assert store.generations() == [2]  # prune ran ...
+        assert not store.lock_path.exists()  # ... and released the lock
+
+    def test_contended_prune_is_skipped_then_converges(self, tmp_path, fitted):
+        store = SnapshotStore(tmp_path, keep=1)
+        store.save(fitted, 1)
+        # A live sibling pruner holds the lock: this save's prune must
+        # skip instead of racing it.
+        store.lock_path.write_text("4242")
+        store.save(fitted, 2)
+        assert store.generations() == [1, 2]  # retention exceeded, not pruned
+        assert store.lock_path.read_text() == "4242"  # not our lock: untouched
+        # Holder releases; the next save converges retention.
+        store.lock_path.unlink()
+        store.save(fitted, 3)
+        assert store.generations() == [3]
+
+    def test_stale_lock_taken_over(self, tmp_path, fitted):
+        import os
+
+        store = SnapshotStore(tmp_path, keep=1, stale_lock_seconds=30.0)
+        store.save(fitted, 1)
+        # A pruner died mid-prune long ago, leaving its lockfile behind.
+        store.lock_path.write_text("dead")
+        old = 1_000_000.0
+        os.utime(store.lock_path, (old, old))
+        store.save(fitted, 2)
+        assert store.generations() == [2]  # takeover happened, prune ran
+        assert not store.lock_path.exists()
+
+    def test_fresh_lock_not_stolen(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        store.directory.mkdir(exist_ok=True)
+        store.lock_path.write_text("live")
+        assert store._try_lock() is False
+        assert store.lock_path.read_text() == "live"
+
+    def test_try_lock_writes_pid_and_unlock_removes(self, tmp_path):
+        import os
+
+        store = SnapshotStore(tmp_path, keep=1)
+        store.directory.mkdir(exist_ok=True)
+        assert store._try_lock() is True
+        assert store.lock_path.read_text() == str(os.getpid())
+        store._unlock()
+        assert not store.lock_path.exists()
+
+    def test_stale_lock_seconds_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="stale_lock_seconds"):
+            SnapshotStore(tmp_path, stale_lock_seconds=-1.0)

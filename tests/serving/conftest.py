@@ -1,0 +1,25 @@
+"""Shared fixtures for the serving-layer tests.
+
+Pool tests fork worker processes that warm-start from a snapshot store;
+pre-training that store once per session keeps every pool boot cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.warmup import pretrain_snapshot, sample_query_payloads
+
+
+@pytest.fixture(scope="session")
+def pool_snapshot_dir(tmp_path_factory):
+    """A snapshot store holding one pre-trained generation."""
+    directory = tmp_path_factory.mktemp("pool-snapshots")
+    pretrain_snapshot(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def query_payloads():
+    """JSON-encoded box-query payloads for HTTP traffic."""
+    return sample_query_payloads(16, seed=3)

@@ -1,0 +1,114 @@
+"""Admission control: slots, bounded waiting room, shedding, deadlines."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.robustness import Deadline, DeadlineExceededError, OverloadedError
+from repro.serving import AdmissionController
+
+
+def _controller(**kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    return AdmissionController(**kwargs)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError, match="max_concurrency"):
+        _controller(max_concurrency=0)
+    with pytest.raises(ValueError, match="queue_depth"):
+        _controller(queue_depth=-1)
+
+
+def test_pass_through_under_capacity():
+    controller = _controller(max_concurrency=2)
+    with controller.admit():
+        assert controller.executing == 1
+        with controller.admit():
+            assert controller.executing == 2
+    assert controller.executing == 0
+
+
+def test_sheds_with_429_and_retry_after_when_queue_full():
+    registry = MetricsRegistry()
+    controller = _controller(
+        max_concurrency=1, queue_depth=0, shed_retry_after_s=2.0, registry=registry
+    )
+    with controller.admit():
+        with pytest.raises(OverloadedError) as excinfo:
+            with controller.admit():
+                pass
+    assert excinfo.value.http_status == 429
+    assert excinfo.value.http_headers == {"Retry-After": "2"}
+    shed = registry.counter(
+        "repro_requests_shed_total",
+        "Requests shed with 429 because the admission queue was full",
+        labels=("worker",),
+    )
+    assert shed.value(worker="0") == 1.0
+
+
+def test_queued_request_fails_504_when_deadline_expires():
+    controller = _controller(max_concurrency=1, queue_depth=4)
+    with controller.admit():
+        with pytest.raises(DeadlineExceededError):
+            with controller.admit(Deadline(0.05)):
+                pass
+    # The expired waiter must not leak its queue slot.
+    assert controller.waiting == 0
+    assert controller.executing == 0
+
+
+def test_already_expired_deadline_rejected_before_queueing():
+    controller = _controller(max_concurrency=1)
+    expired = Deadline(0.0)
+    with pytest.raises(DeadlineExceededError, match="before admission"):
+        with controller.admit(expired):
+            pass
+
+
+def test_waiter_proceeds_when_slot_frees():
+    controller = _controller(max_concurrency=1, queue_depth=4)
+    entered = threading.Event()
+    release = threading.Event()
+    results = []
+
+    def _holder():
+        with controller.admit():
+            entered.set()
+            release.wait(5.0)
+
+    def _waiter():
+        with controller.admit(Deadline(5.0)):
+            results.append("ran")
+
+    holder = threading.Thread(target=_holder)
+    holder.start()
+    assert entered.wait(5.0)
+    waiter = threading.Thread(target=_waiter)
+    waiter.start()
+    # The waiter is queued behind the held slot, not shed.
+    deadline = Deadline(5.0)
+    while controller.waiting == 0 and not deadline.expired():
+        pass
+    assert controller.waiting == 1
+    release.set()
+    waiter.join(5.0)
+    holder.join(5.0)
+    assert results == ["ran"]
+    assert controller.executing == 0 and controller.waiting == 0
+
+
+def test_snapshot_shape():
+    controller = _controller(max_concurrency=3, queue_depth=7)
+    with controller.admit():
+        snap = controller.snapshot()
+    assert snap == {
+        "executing": 1,
+        "waiting": 0,
+        "max_concurrency": 3,
+        "queue_depth": 7,
+    }

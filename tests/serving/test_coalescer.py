@@ -1,0 +1,192 @@
+"""Coalescer: concurrent single queries fold into one ``estimate_many``.
+
+The concurrency-correctness contract under test: K threads submitting
+overlapping single queries inside one flush window each receive exactly
+the answer ``estimate_many`` gives for their query, at least one actual
+coalesced flush happens, and the service's prediction-cache accounting
+stays exact (hits + misses == queries submitted).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import QuadHist
+from repro.observability import MetricsRegistry
+from repro.robustness import Deadline, DeadlineExceededError
+from repro.serving import PredictCoalescer
+from repro.server import EstimatorService
+
+
+@pytest.fixture
+def trained_service(power2d_box_workload):
+    train_q, train_s, _, _ = power2d_box_workload
+    service = EstimatorService(
+        lambda: QuadHist(tau=0.02), min_feedback=20, registry=MetricsRegistry()
+    )
+    for query, label in zip(train_q[:50], train_s[:50]):
+        service.feedback(query, label)
+    service.retrain()
+    return service
+
+
+def test_k_threads_overlapping_queries_get_exact_answers(
+    trained_service, power2d_box_workload
+):
+    _, _, test_q, _ = power2d_box_workload
+    k = 8
+    # Overlapping on purpose: 8 threads share 4 distinct queries.
+    queries = [test_q[i % 4] for i in range(k)]
+    expected = trained_service.estimate_many(queries)
+    hits_before = trained_service.status()["prediction_cache"]["hits"]
+    misses_before = trained_service.status()["prediction_cache"]["misses"]
+
+    registry = MetricsRegistry()
+    coalescer = PredictCoalescer(
+        trained_service.estimate_many,
+        flush_ms=100.0,  # generous window so every thread lands in one batch
+        worker="t",
+        registry=registry,
+    )
+    barrier = threading.Barrier(k)
+    results: list[float | None] = [None] * k
+    errors: list[BaseException] = []
+
+    def _submit(index: int) -> None:
+        try:
+            barrier.wait(5.0)
+            results[index] = coalescer.submit(queries[index], Deadline(10.0))
+        except BaseException as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_submit, args=(i,)) for i in range(k)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(15.0)
+
+    assert not errors
+    assert results == pytest.approx(list(expected))
+
+    batches = registry.counter(
+        "repro_coalesced_batches_total",
+        "Coalesced predict_many flushes executed",
+        labels=("worker",),
+    ).value(worker="t")
+    coalesced = registry.counter(
+        "repro_coalesced_queries_total",
+        "Queries answered through the coalescer",
+        labels=("worker",),
+    ).value(worker="t")
+    assert batches >= 1
+    assert batches < k  # folding happened: fewer flushes than callers
+    assert coalesced == k
+
+    # Cache accounting is untouched by coalescing: every submitted query
+    # still counts exactly one hit or one miss.
+    cache = trained_service.status()["prediction_cache"]
+    new_hits = cache["hits"] - hits_before
+    new_misses = cache["misses"] - misses_before
+    assert new_hits + new_misses == k
+
+
+def test_results_are_positionally_sliced_per_caller(trained_service, power2d_box_workload):
+    _, _, test_q, _ = power2d_box_workload
+    coalescer = PredictCoalescer(
+        trained_service.estimate_many, flush_ms=50.0, registry=MetricsRegistry()
+    )
+    expected = trained_service.estimate_many(test_q[:6])
+    outcome: dict[str, list[float]] = {}
+    barrier = threading.Barrier(2)
+
+    def _batch_caller():
+        barrier.wait(5.0)
+        outcome["batch"] = coalescer.submit_many(test_q[:4], Deadline(10.0))
+
+    def _single_caller():
+        barrier.wait(5.0)
+        outcome["single"] = coalescer.submit_many(test_q[4:6], Deadline(10.0))
+
+    threads = [
+        threading.Thread(target=_batch_caller),
+        threading.Thread(target=_single_caller),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(15.0)
+    assert outcome["batch"] == pytest.approx(list(expected[:4]))
+    assert outcome["single"] == pytest.approx(list(expected[4:6]))
+
+
+def test_empty_submission_returns_empty():
+    coalescer = PredictCoalescer(lambda qs: [], registry=MetricsRegistry())
+    assert coalescer.submit_many([]) == []
+
+
+def test_max_batch_flushes_immediately(trained_service, power2d_box_workload):
+    _, _, test_q, _ = power2d_box_workload
+    coalescer = PredictCoalescer(
+        trained_service.estimate_many,
+        flush_ms=10_000.0,  # would hang the test if max_batch didn't cut it
+        max_batch=3,
+        registry=MetricsRegistry(),
+    )
+    expected = trained_service.estimate_many(test_q[:3])
+    got = coalescer.submit_many(test_q[:3], Deadline(10.0))
+    assert got == pytest.approx(list(expected))
+
+
+def test_backend_error_propagates_to_every_caller():
+    boom = RuntimeError("backend down")
+
+    def _failing(queries):
+        raise boom
+
+    coalescer = PredictCoalescer(_failing, flush_ms=50.0, registry=MetricsRegistry())
+    failures = []
+    barrier = threading.Barrier(3)
+
+    def _submit():
+        barrier.wait(5.0)
+        try:
+            coalescer.submit({"x": 1}, Deadline(10.0))
+        except RuntimeError as exc:
+            failures.append(exc)
+
+    threads = [threading.Thread(target=_submit) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(15.0)
+    assert len(failures) == 3
+    assert all(exc is boom for exc in failures)
+
+
+def test_follower_deadline_expires_during_flush_window():
+    coalescer = PredictCoalescer(
+        lambda queries: [0.5] * len(queries),
+        flush_ms=1_000.0,  # leader holds the window far past the follower's budget
+        registry=MetricsRegistry(),
+    )
+    leader_result: list[float] = []
+
+    def _leader():
+        leader_result.append(coalescer.submit({"q": 0}, Deadline(10.0)))
+
+    leader = threading.Thread(target=_leader)
+    leader.start()
+    # Wait for the leader to open a batch, then join it with a budget far
+    # smaller than the remaining flush window.
+    ready = Deadline(5.0)
+    while coalescer._pending is None and not ready.expired():
+        pass
+    assert coalescer._pending is not None
+    with pytest.raises(DeadlineExceededError, match="coalesced flush"):
+        coalescer.submit({"q": 1}, Deadline(0.05))
+    leader.join(15.0)
+    # The follower's expiry never poisons the batch: the leader still
+    # flushed and got its answer.
+    assert leader_result == [0.5]

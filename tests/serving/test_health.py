@@ -1,0 +1,134 @@
+"""Degraded-health reporting: breaker open, stale serving generation.
+
+``/health`` stays HTTP 200 in every state — an unhealthy worker is still
+alive — but the body flips to ``degraded`` with machine-readable reasons
+so load balancers and the supervisor can weight away from it.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core import QuadHist
+from repro.observability import MetricsRegistry
+from repro.server import EstimatorService, serve
+from repro.serving import pretrain_snapshot
+
+
+class _ExplodingEstimator:
+    def fit(self, queries, selectivities, **kwargs):
+        raise RuntimeError("fit exploded")
+
+
+def _feed(service, workload, n=30):
+    train_q, train_s, _, _ = workload
+    for query, label in zip(train_q[:n], train_s[:n]):
+        service.feedback(query, label)
+
+
+def test_health_ok_when_serving_normally(power2d_box_workload):
+    service = EstimatorService(
+        lambda: QuadHist(tau=0.02), min_feedback=20, registry=MetricsRegistry()
+    )
+    _feed(service, power2d_box_workload)
+    service.retrain()
+    health = service.health()
+    assert health["status"] == "ok"
+    assert health["reasons"] == []
+    assert health["trained"] is True
+    assert health["breaker"] == "closed"
+
+
+def test_degraded_when_breaker_open(power2d_box_workload):
+    service = EstimatorService(
+        lambda: _ExplodingEstimator(),
+        min_feedback=20,
+        breaker_threshold=1,
+        registry=MetricsRegistry(),
+    )
+    _feed(service, power2d_box_workload)
+    with pytest.raises(RuntimeError, match="fit exploded"):
+        service.retrain()
+    health = service.health()
+    assert health["status"] == "degraded"
+    assert health["reasons"] == ["breaker_open"]
+    assert health["breaker"] == "open"
+
+
+def test_degraded_when_generation_stale(tmp_path):
+    pretrain_snapshot(tmp_path, generation=1)
+    service = EstimatorService(
+        lambda: QuadHist(tau=0.01),
+        snapshot_dir=tmp_path,
+        health_stale_after=2,
+        registry=MetricsRegistry(),
+    )
+    assert service.health()["status"] == "ok"  # serving the newest generation
+
+    # A sibling worker (or operator) writes generations this one hasn't
+    # picked up yet.  One generation behind is routine retrain churn ...
+    pretrain_snapshot(tmp_path, generation=2)
+    health = service.health()
+    assert health["status"] == "ok"
+    assert health["snapshot_lag"] == 1
+
+    # ... two behind crosses health_stale_after: rolling reloads are broken.
+    pretrain_snapshot(tmp_path, generation=3)
+    health = service.health()
+    assert health["status"] == "degraded"
+    assert health["reasons"] == ["stale_generation"]
+    assert health["snapshot_lag"] == 2
+
+    # Catching up (what GenerationReloader does) clears the flag.
+    service.restore()
+    assert service.health()["status"] == "ok"
+
+
+def test_stale_check_disabled_with_none(tmp_path):
+    pretrain_snapshot(tmp_path, generation=1)
+    service = EstimatorService(
+        lambda: QuadHist(tau=0.01),
+        snapshot_dir=tmp_path,
+        health_stale_after=None,
+        registry=MetricsRegistry(),
+    )
+    pretrain_snapshot(tmp_path, generation=9)
+    health = service.health()
+    assert health["status"] == "ok"
+    assert health["snapshot_lag"] is None
+
+
+def test_health_stale_after_validation():
+    with pytest.raises(ValueError, match="health_stale_after"):
+        EstimatorService(
+            lambda: QuadHist(tau=0.01),
+            health_stale_after=0,
+            registry=MetricsRegistry(),
+        )
+
+
+def test_http_health_degraded_is_still_200(power2d_box_workload):
+    service = EstimatorService(
+        lambda: _ExplodingEstimator(),
+        min_feedback=20,
+        breaker_threshold=1,
+        registry=MetricsRegistry(),
+    )
+    _feed(service, power2d_box_workload)
+    with pytest.raises(RuntimeError):
+        service.retrain()
+    server = serve(service, port=0)
+    try:
+        host, port = server.server_address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/health", timeout=5
+        ) as response:
+            assert response.status == 200
+            body = json.loads(response.read())
+        assert body["status"] == "degraded"
+        assert body["reasons"] == ["breaker_open"]
+    finally:
+        server.shutdown()

@@ -1,0 +1,175 @@
+"""Pool integration: supervision, restarts, drain, rolling reloads.
+
+These tests fork real worker processes over a shared socket.  Budgets
+are generous (single-core CI boxes) but every wait polls, so the happy
+path stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import QuadHist
+from repro.observability import MetricsRegistry
+from repro.server import DEADLINE_HEADER, EstimatorService
+from repro.serving import ServingConfig, Supervisor, pretrain_snapshot
+from repro.serving.chaos import run_kill_workers_scenario
+from repro.serving.worker import GenerationReloader
+
+
+def _factory_for(snapshot_dir):
+    def factory():
+        return EstimatorService(
+            lambda: QuadHist(tau=0.01), snapshot_dir=str(snapshot_dir)
+        )
+
+    return factory
+
+
+def _post(base, path, payload, timeout=10.0, headers=None):
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(base, path, timeout=10.0):
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _wait_until(predicate, budget_s, interval=0.05):
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def pool(pool_snapshot_dir):
+    config = ServingConfig(
+        workers=2,
+        restart_backoff_s=0.05,
+        stable_after_s=0.5,
+        drain_timeout_s=15.0,
+        reload_check_s=0.2,
+        deadline_ms=10_000.0,
+    )
+    supervisor = Supervisor(
+        _factory_for(pool_snapshot_dir), config=config, registry=MetricsRegistry()
+    )
+    host, port = supervisor.start()
+    yield supervisor, f"http://{host}:{port}"
+    if supervisor._sock is not None:
+        supervisor.stop(drain=False)
+
+
+class TestSupervisedPool:
+    def test_boot_serve_kill_recover_drain(self, pool, query_payloads):
+        supervisor, base = pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 2, 20.0)
+
+        # Warm-started workers serve immediately (no cold fit).
+        status, body = _post(base, "/v1/estimate", {"query": query_payloads[0]})
+        assert status == 200
+        assert 0.0 <= body["selectivity"] <= 1.0
+        status, health = _get(base, "/health")
+        assert status == 200 and health["trained"] is True
+
+        # SIGKILL one worker; the supervisor respawns it warm.
+        victim = next(slot for slot in supervisor._slots if slot.alive)
+        os.kill(victim.process.pid, signal.SIGKILL)
+        assert _wait_until(
+            lambda: victim.restarts >= 1 and supervisor.status()["alive"] == 2,
+            30.0,
+        )
+        status, _ = _post(base, "/v1/estimate", {"query": query_payloads[1]})
+        assert status == 200
+
+        # Graceful drain: every worker exits 0, nothing is SIGKILLed.
+        report = supervisor.stop(drain=True)
+        assert report["killed"] == []
+        assert sorted(report["drained"]) == [0, 1]
+
+    def test_deadline_header_yields_504(self, pool, query_payloads):
+        supervisor, base = pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 2, 20.0)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                base,
+                "/v1/estimate",
+                {"query": query_payloads[0]},
+                headers={DEADLINE_HEADER: "0"},
+            )
+        assert excinfo.value.code == 504
+        body = json.loads(excinfo.value.read())
+        assert body["type"] == "DeadlineExceededError"
+
+    def test_status_reports_admission_and_workers(self, pool):
+        supervisor, base = pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 2, 20.0)
+        # Heartbeats carry health + admission state into the supervisor.
+        assert _wait_until(
+            lambda: all(
+                slot.last_payload is not None for slot in supervisor._slots
+            ),
+            10.0,
+        )
+        payload = supervisor._slots[0].last_payload
+        assert payload["status"] == "ready"
+        assert payload["health"]["trained"] is True
+        assert payload["admission"]["max_concurrency"] == 8
+        status = supervisor.status()
+        assert status["workers"] == 2
+        assert {slot["index"] for slot in status["slots"]} == {0, 1}
+
+
+class TestRollingReload:
+    def test_reloader_installs_newer_store_generation(self, tmp_path):
+        pretrain_snapshot(tmp_path, generation=1)
+        service = EstimatorService(
+            lambda: QuadHist(tau=0.01),
+            snapshot_dir=tmp_path,
+            registry=MetricsRegistry(),
+        )
+        assert service.store_generation == 1
+        reloader = GenerationReloader(service, interval=60.0)
+        assert reloader.poll_once() is False  # already newest
+
+        pretrain_snapshot(tmp_path, generation=4, seed=11)
+        assert reloader.poll_once() is True
+        assert service.store_generation == 4
+        assert reloader.reloads == 1
+        assert service.health()["status"] == "ok"
+        assert reloader.poll_once() is False  # idempotent once caught up
+
+
+@pytest.mark.slow
+class TestChaos:
+    def test_scaled_down_kill_scenario_passes(self, pool_snapshot_dir):
+        report = run_kill_workers_scenario(
+            workers=2,
+            duration_s=4.0,
+            kill_every_s=1.5,
+            clients=3,
+            recovery_budget_s=30.0,
+            drain_budget_s=20.0,
+            snapshot_dir=str(pool_snapshot_dir),
+        )
+        assert report["kills"] >= 1
+        assert report["http_5xx"] == 0, report["responses"]
+        assert report["recovered"] is True
+        assert report["probe_ok"] == 20
+        assert report["passed"] is True, report

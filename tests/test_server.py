@@ -395,11 +395,14 @@ class TestObservabilityEndpoints:
         with urllib.request.urlopen(f"http://{host}:{port}{path}") as response:
             return response.status, response.headers, response.read()
 
-    def test_health_is_constant_ok(self, server):
+    def test_health_reports_ok(self, server):
         status, headers, body = self._get_raw(server, "/health")
         assert status == 200
         assert headers["Content-Type"] == "application/json"
-        assert json.loads(body) == {"status": "ok"}
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["reasons"] == []
+        assert payload["breaker"] == "closed"
 
     def test_health_works_before_training(self, server):
         # Liveness must not depend on model state (409s are for /estimate).
