@@ -163,6 +163,7 @@ def _run_pool(snapshot_dir, workers, flush_ms, clients, duration_s, payloads):
 
 
 def run(config: dict) -> dict:
+    cpu_count = os.cpu_count() or 1
     tmp = tempfile.TemporaryDirectory(prefix="bench-serving-")
     pretrain_snapshot(tmp.name)
     payloads = sample_query_payloads(64, seed=5)
@@ -178,16 +179,22 @@ def run(config: dict) -> dict:
             payloads=payloads,
         )
         baseline = scaling[0]["requests_per_second"] if scaling else None
-        point["speedup_vs_1_worker"] = (
-            round(point["requests_per_second"] / baseline, 2)
-            if baseline
-            else 1.0
-        )
+        if cpu_count == 1 and workers > 1:
+            # A single core cannot demonstrate worker scaling: publishing
+            # a ratio here would just report scheduler noise as a claim.
+            point["speedup_vs_1_worker"] = None
+        else:
+            point["speedup_vs_1_worker"] = (
+                round(point["requests_per_second"] / baseline, 2)
+                if baseline
+                else 1.0
+            )
         scaling.append(point)
+        speedup = point["speedup_vs_1_worker"]
+        speedup_txt = "n/a (1 cpu)" if speedup is None else f"{speedup}x"
         print(
             f"workers={workers}: {point['requests_per_second']} req/s "
-            f"(speedup {point['speedup_vs_1_worker']}x, "
-            f"failed {point['failed']})"
+            f"(speedup {speedup_txt}, failed {point['failed']})"
         )
 
     coalesce = {}
@@ -214,12 +221,19 @@ def run(config: dict) -> dict:
     )
     tmp.cleanup()
 
-    return {
+    # cpu_count leads the report: every number below is conditioned on it.
+    result = {
+        "cpu_count": cpu_count,
         "config": config,
-        "cpu_count": os.cpu_count(),
         "scaling": scaling,
         "coalescing": coalesce,
     }
+    if cpu_count == 1:
+        result["scaling_note"] = (
+            "single-core host: worker-scaling speedups are not claimable "
+            "and are reported as null"
+        )
+    return result
 
 
 def main() -> None:
@@ -240,9 +254,12 @@ def main() -> None:
     args.output.write_text(json.dumps(result, indent=2) + "\n")
 
     top = result["scaling"][-1]
+    if top["speedup_vs_1_worker"] is None:
+        scaling_txt = "worker scaling not claimable on 1 cpu"
+    else:
+        scaling_txt = f"{top['workers']}-worker speedup: {top['speedup_vs_1_worker']}x"
     print(
-        f"cpu_count={result['cpu_count']}  "
-        f"{top['workers']}-worker speedup: {top['speedup_vs_1_worker']}x  "
+        f"cpu_count={result['cpu_count']}  {scaling_txt}  "
         f"coalescing speedup: {result['coalescing']['speedup']}x"
     )
     print(f"wrote {args.output}")

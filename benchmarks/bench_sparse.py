@@ -1,0 +1,211 @@
+"""Sub-linear predict: sparse coverage kernels vs. the dense PR-2 path.
+
+The spatial bucket index (:mod:`repro.geometry.index`) plus the sparse
+coverage kernels (:mod:`repro.geometry.sparse`) replace the dense
+``O(n x m)`` prediction contraction with work proportional to the number
+of (query, bucket) pairs that actually overlap.  This bench sweeps the
+two axes that decide the win:
+
+* **leaf count** ``m`` — a QuadHist refined to 1k/4k/16k leaves on a
+  Power-like 2-D marginal (index build time is recorded; it is paid once
+  at fit time and amortised over every predict call),
+* **query extent** — small ranges touch few buckets (sparse wins big),
+  wide ranges approach all-pairs density, where the crossover heuristic
+  must hand the call back to the dense kernel instead of losing.
+
+For each cell we time ``predict_many`` with the index attached vs.
+stripped (``est._index = None`` restores the exact PR-2 dense path) and
+record the measured candidate density, the chosen path, and the max
+absolute prediction difference (acceptance: ``<= 1e-12``).  A second
+section times the Eq. (8) design-matrix build that dominates
+ISOMER / arrangement-ERM fits, sparse vs. dense, on the same bucket sets.
+
+Results land in ``benchmarks/results/BENCH_sparse.json``::
+
+    PYTHONPATH=src python benchmarks/bench_sparse.py          # full
+    PYTHONPATH=src python benchmarks/bench_sparse.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.quadhist import QuadHist
+from repro.data.selectivity import label_queries
+from repro.data.synthetic import power_like
+from repro.data.workloads import WorkloadSpec, generate_workload
+from repro.geometry.batch import coverage_matrix
+from repro.geometry.index import build_bucket_index
+from repro.geometry.ranges import Box
+from repro.geometry.sparse import sparse_coverage_matrix
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FULL = {
+    "mode": "full",
+    "rows": 25_000,
+    "train_queries": 800,
+    "leaf_counts": [1024, 4096, 16384],
+    "extents": [0.01, 0.05, 0.2],
+    "eval_queries": 2_000,
+    "design_queries": 800,
+}
+SMOKE = {
+    "mode": "smoke",
+    "rows": 4_000,
+    "train_queries": 150,
+    "leaf_counts": [256, 1024],
+    "extents": [0.05, 0.2],
+    "eval_queries": 300,
+    "design_queries": 150,
+}
+
+
+def _best_of(repeats: int, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _fixed_extent_queries(rng, n: int, extent: float) -> list[Box]:
+    """``n`` square boxes of side ``extent`` with uniform centers."""
+    lows = rng.uniform(0.0, 1.0 - extent, size=(n, 2))
+    return [Box(low, low + extent) for low in lows]
+
+
+def _fit_quadhist(config: dict, max_leaves: int) -> QuadHist:
+    rng = np.random.default_rng(20220612)
+    data = power_like(rows=config["rows"], seed=7).project([0, 3])
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    train = generate_workload(
+        config["train_queries"], data.dim, rng, spec=spec, dataset=data
+    )
+    labels = label_queries(data, train)
+    est = QuadHist(tau=1e-9, max_leaves=max_leaves)
+    est.fit(train, labels)
+    return est
+
+
+def _measured_density(index, queries: list[Box]) -> float:
+    lows = np.stack([q.lows for q in queries])
+    highs = np.stack([q.highs for q in queries])
+    found = index.candidates_for_boxes(lows, highs)
+    return float(found[0][-1]) / (len(queries) * index.m)
+
+
+def run(config: dict) -> dict:
+    rng = np.random.default_rng(99)
+    sweep = []
+    design = []
+    for max_leaves in config["leaf_counts"]:
+        est = _fit_quadhist(config, max_leaves)
+        m = est.model_size
+        index = est._index
+        t_build, _ = _best_of(
+            2, lambda: build_bucket_index(index.b_lows, index.b_highs)
+        )
+        print(f"m={m} leaves (requested {max_leaves}), index={index.kind}, "
+              f"build {t_build * 1e3:.1f}ms")
+
+        for extent in config["extents"]:
+            queries = _fixed_extent_queries(rng, config["eval_queries"], extent)
+            density = _measured_density(index, queries)
+
+            est._index = index
+            t_sparse, p_sparse = _best_of(3, lambda: est.predict_many(queries))
+            est._index = None
+            t_dense, p_dense = _best_of(3, lambda: est.predict_many(queries))
+            est._index = index
+
+            diff = float(np.max(np.abs(np.asarray(p_sparse) - np.asarray(p_dense))))
+            point = {
+                "leaves": m,
+                "index_kind": index.kind,
+                "index_build_seconds": round(t_build, 4),
+                "extent": extent,
+                "queries": len(queries),
+                "candidate_density": round(density, 5),
+                "sparse_seconds": round(t_sparse, 4),
+                "dense_seconds": round(t_dense, 4),
+                "speedup": round(t_dense / t_sparse, 2),
+                "max_abs_diff": diff,
+            }
+            sweep.append(point)
+            print(
+                f"  extent={extent}: density={density:.4f}  "
+                f"sparse {t_sparse:.3f}s vs dense {t_dense:.3f}s  "
+                f"speedup {point['speedup']}x  maxdiff {diff:.1e}"
+            )
+
+        # Eq. (8) design-matrix build — the cost that dominates the
+        # ISOMER / arrangement-ERM weight-estimation fits.
+        fit_queries = _fixed_extent_queries(rng, config["design_queries"], 0.05)
+        volumes = np.prod(index.b_highs - index.b_lows, axis=1)
+        t_sp, a_sp = _best_of(
+            2, lambda: sparse_coverage_matrix(fit_queries, index, volumes)
+        )
+        t_de, a_de = _best_of(
+            2, lambda: coverage_matrix(fit_queries, index.b_lows, index.b_highs, volumes)
+        )
+        design_point = {
+            "leaves": m,
+            "queries": len(fit_queries),
+            "sparse_seconds": round(t_sp, 4),
+            "dense_seconds": round(t_de, 4),
+            "speedup": round(t_de / t_sp, 2),
+            "max_abs_diff": float(np.max(np.abs(a_sp - a_de))),
+        }
+        design.append(design_point)
+        print(
+            f"  design matrix: sparse {t_sp:.3f}s vs dense {t_de:.3f}s  "
+            f"speedup {design_point['speedup']}x"
+        )
+
+    big = [p for p in sweep if p["leaves"] >= 10_000]
+    headline = max((p["speedup"] for p in big), default=None)
+    return {
+        "config": config,
+        "headline_speedup_at_10k_leaves": headline,
+        "max_abs_diff": max(p["max_abs_diff"] for p in sweep),
+        "predict_sweep": sweep,
+        "design_matrix": design,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_sparse.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    result = run(SMOKE if args.smoke else FULL)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    if result["headline_speedup_at_10k_leaves"] is not None:
+        print(
+            f"best predict_many speedup at >=10k leaves: "
+            f"{result['headline_speedup_at_10k_leaves']}x"
+        )
+    print(f"max sparse-vs-dense prediction diff: {result['max_abs_diff']:.2e}")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,7 +31,9 @@ from repro.core.config import IsomerConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
-from repro.geometry.batch import coverage_dot, coverage_matrix
+from repro.geometry.batch import coverage_dot
+from repro.geometry.index import BucketIndex, build_bucket_index
+from repro.geometry.sparse import sparse_coverage_dot, sparse_coverage_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
 from repro.solvers.maxent import fit_maxent_weights
@@ -71,6 +73,7 @@ class Isomer(SelectivityEstimator):
         self._bucket_lows: np.ndarray | None = None
         self._bucket_highs: np.ndarray | None = None
         self._bucket_volumes: np.ndarray | None = None
+        self._index: BucketIndex | None = None
         self._weights: np.ndarray | None = None
         self._distribution: HistogramDistribution | None = None
 
@@ -82,8 +85,9 @@ class Isomer(SelectivityEstimator):
         self._bucket_lows = np.stack([b.lows for b in buckets])
         self._bucket_highs = np.stack([b.highs for b in buckets])
         self._bucket_volumes = np.prod(self._bucket_highs - self._bucket_lows, axis=1)
-        design = coverage_matrix(
-            training.queries, self._bucket_lows, self._bucket_highs, self._bucket_volumes
+        self._index = build_bucket_index(self._bucket_lows, self._bucket_highs)
+        design = sparse_coverage_matrix(
+            training.queries, self._index, self._bucket_volumes
         )
         weights = fit_maxent_weights(design, training.selectivities, slack=self.slack)
         self._weights = weights
@@ -121,6 +125,10 @@ class Isomer(SelectivityEstimator):
         return float(self._fraction_row(query) @ self._weights)
 
     def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        if self._index is not None:
+            return sparse_coverage_dot(
+                queries, self._index, self._bucket_volumes, self._weights
+            )
         return coverage_dot(
             queries, self._bucket_lows, self._bucket_highs, self._bucket_volumes, self._weights
         )
@@ -152,6 +160,9 @@ class Isomer(SelectivityEstimator):
         self._bucket_highs = np.asarray(state["bucket_highs"], dtype=float)
         self._bucket_volumes = np.asarray(state["bucket_volumes"], dtype=float)
         self._weights = np.asarray(state["weights"], dtype=float)
+        # Rebuilt deterministically from the persisted bucket arrays; the
+        # index itself is never serialised.
+        self._index = build_bucket_index(self._bucket_lows, self._bucket_highs)
         self._distribution = HistogramDistribution.from_state(
             {
                 key.split(".", 1)[1]: value

@@ -35,6 +35,11 @@ from repro.core.config import QuickSelConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.geometry.batch import coverage_dot, intersection_volume_matrix
+from repro.geometry.index import BucketIndex, build_bucket_index
+from repro.geometry.sparse import (
+    sparse_coverage_dot,
+    sparse_intersection_volume_matrix,
+)
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
 
@@ -76,6 +81,7 @@ class QuickSel(SelectivityEstimator):
         self._kernel_lows: np.ndarray | None = None
         self._kernel_highs: np.ndarray | None = None
         self._kernel_volumes: np.ndarray | None = None
+        self._index: BucketIndex | None = None
         self._weights: np.ndarray | None = None
 
     def _fit(self, training: TrainingSet) -> None:
@@ -86,6 +92,7 @@ class QuickSel(SelectivityEstimator):
         self._kernel_lows = np.stack([k.lows for k in kernels])
         self._kernel_highs = np.stack([k.highs for k in kernels])
         self._kernel_volumes = np.prod(self._kernel_highs - self._kernel_lows, axis=1)
+        self._index = build_bucket_index(self._kernel_lows, self._kernel_highs)
 
         variance = self._variance_matrix()
         design = self._coverage_matrix(training.queries)
@@ -111,7 +118,14 @@ class QuickSel(SelectivityEstimator):
 
     def _coverage_matrix(self, queries: Sequence[Range]) -> np.ndarray:
         """``Vol(G_j ∩ R_i) / Vol(G_j)`` for a whole workload at once."""
-        overlaps = intersection_volume_matrix(queries, self._kernel_lows, self._kernel_highs)
+        if self._index is not None:
+            overlaps = sparse_intersection_volume_matrix(
+                queries, self._index, self._kernel_volumes
+            )
+        else:
+            overlaps = intersection_volume_matrix(
+                queries, self._kernel_lows, self._kernel_highs, self._kernel_volumes
+            )
         return np.clip(overlaps / self._kernel_volumes[None, :], 0.0, 1.0)
 
     def _solve_qp(self, variance: np.ndarray, design: np.ndarray, s: np.ndarray) -> np.ndarray:
@@ -144,6 +158,10 @@ class QuickSel(SelectivityEstimator):
         # Raw mixture estimates; predict_many applies the [0, 1] clip.
         # (All kernels have positive volume, so coverage_dot's zero-volume
         # guard never fires and the result matches _coverage_row exactly.)
+        if self._index is not None:
+            return sparse_coverage_dot(
+                queries, self._index, self._kernel_volumes, self._weights
+            )
         return coverage_dot(
             queries, self._kernel_lows, self._kernel_highs, self._kernel_volumes, self._weights
         )
@@ -171,3 +189,6 @@ class QuickSel(SelectivityEstimator):
         self._kernel_highs = np.asarray(state["kernel_highs"], dtype=float)
         self._kernel_volumes = np.asarray(state["kernel_volumes"], dtype=float)
         self._weights = np.asarray(state["weights"], dtype=float)
+        # Rebuilt deterministically from the persisted kernel arrays; the
+        # index itself is never serialised.
+        self._index = build_bucket_index(self._kernel_lows, self._kernel_highs)

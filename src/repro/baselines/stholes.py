@@ -43,7 +43,9 @@ import numpy as np
 from repro.core.config import STHolesConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
+from repro.geometry.index import BucketIndex, build_bucket_index
 from repro.geometry.ranges import Box, Range, unit_box
+from repro.geometry.sparse import sparse_intersection_volume_matrix
 
 __all__ = ["STHoles"]
 
@@ -92,6 +94,7 @@ class STHoles(SelectivityEstimator):
         self.domain = domain
         self._root: _Bucket | None = None
         self._count = 0
+        self._index: BucketIndex | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -267,6 +270,7 @@ class STHoles(SelectivityEstimator):
         self._box_lows = np.stack([b.box.lows for b in self._buckets])
         self._box_highs = np.stack([b.box.highs for b in self._buckets])
         self._region_volumes = np.array([b.region_volume() for b in self._buckets])
+        self._index = build_bucket_index(self._box_lows, self._box_highs)
         design = self._region_fraction_matrix(training.queries)
         self._weights = fit_simplex_weights(design, training.selectivities)
 
@@ -295,7 +299,12 @@ class STHoles(SelectivityEstimator):
         """
         from repro.geometry.batch import intersection_volume_matrix
 
-        box_overlaps = intersection_volume_matrix(queries, self._box_lows, self._box_highs)
+        if self._index is not None:
+            box_overlaps = sparse_intersection_volume_matrix(queries, self._index)
+        else:
+            box_overlaps = intersection_volume_matrix(
+                queries, self._box_lows, self._box_highs
+            )
         region_overlaps = box_overlaps.copy()
         for i, children in enumerate(self._child_index):
             for c in children:
@@ -374,3 +383,6 @@ class STHoles(SelectivityEstimator):
         for bucket in buckets:
             self._child_index.append([index_of[id(c)] for c in bucket.children])
         self._count = len(buckets)
+        # Rebuilt deterministically from the persisted bucket arrays; the
+        # index itself is never serialised.
+        self._index = build_bucket_index(self._box_lows, self._box_highs)

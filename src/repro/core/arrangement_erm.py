@@ -27,7 +27,13 @@ from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.histogram import HistogramDistribution
 from repro.geometry.arrangement import box_arrangement_cells, sign_vector_cells
-from repro.geometry.batch import containment_matrix, coverage_dot, coverage_matrix
+from repro.geometry.batch import coverage_dot
+from repro.geometry.index import BucketIndex, build_bucket_index
+from repro.geometry.sparse import (
+    sparse_containment_matrix,
+    sparse_coverage_dot,
+    sparse_coverage_matrix,
+)
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import batch_intersection_volumes
 from repro.core._solve import solve_weights
@@ -84,6 +90,7 @@ class ArrangementERM(SelectivityEstimator):
         self._cell_lows: np.ndarray | None = None
         self._cell_highs: np.ndarray | None = None
         self._cell_volumes: np.ndarray | None = None
+        self._index: BucketIndex | None = None
         self._weights: np.ndarray | None = None
 
     def _fit(self, training: TrainingSet) -> None:
@@ -100,12 +107,10 @@ class ArrangementERM(SelectivityEstimator):
             self._cell_lows = np.stack([c.lows for c in cells])
             self._cell_highs = np.stack([c.highs for c in cells])
             self._cell_volumes = np.prod(self._cell_highs - self._cell_lows, axis=1)
+            self._index = build_bucket_index(self._cell_lows, self._cell_highs)
             with span("fit/design-matrix", rows=len(training), buckets=len(cells)):
-                design = coverage_matrix(
-                    training.queries,
-                    self._cell_lows,
-                    self._cell_highs,
-                    self._cell_volumes,
+                design = sparse_coverage_matrix(
+                    training.queries, self._index, self._cell_volumes
                 )
             weights, self.solve_report_ = solve_weights(
                 design, training.selectivities, solver=self.solver
@@ -119,12 +124,14 @@ class ArrangementERM(SelectivityEstimator):
                     list(training.queries), rng, domain=domain, samples=self.samples
                 )
                 partition_span.annotate(cells=len(points))
+            point_index = build_bucket_index(points, points)
             with span("fit/design-matrix", rows=len(training), buckets=len(points)):
-                design = containment_matrix(training.queries, points)
+                design = sparse_containment_matrix(training.queries, point_index)
             weights, self.solve_report_ = solve_weights(
                 design, training.selectivities, solver=self.solver
             )
             self._discrete = DiscreteDistribution(points, weights)
+            self._discrete._index = point_index
 
     def _fraction_row(self, query: Range) -> np.ndarray:
         overlaps = batch_intersection_volumes(self._cell_lows, self._cell_highs, query)
@@ -139,6 +146,10 @@ class ArrangementERM(SelectivityEstimator):
 
     def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
         if self.mode == "histogram":
+            if self._index is not None:
+                return sparse_coverage_dot(
+                    queries, self._index, self._cell_volumes, self._weights
+                )
             return coverage_dot(
                 queries, self._cell_lows, self._cell_highs, self._cell_volumes, self._weights
             )
@@ -184,6 +195,10 @@ class ArrangementERM(SelectivityEstimator):
             self._cell_highs = np.asarray(state["cell_highs"], dtype=float)
             self._cell_volumes = np.asarray(state["cell_volumes"], dtype=float)
             self._weights = np.asarray(state["weights"], dtype=float)
+            # Rebuilt deterministically from the persisted cell arrays; the
+            # index itself is never serialised.
+            self._index = build_bucket_index(self._cell_lows, self._cell_highs)
             self._histogram = HistogramDistribution.from_state(nested)
         else:
             self._discrete = DiscreteDistribution.from_state(nested)
+            self._discrete.attach_index()

@@ -29,7 +29,9 @@ from repro.core.config import KdHistConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
-from repro.geometry.batch import coverage_dot, coverage_matrix
+from repro.geometry.batch import coverage_dot
+from repro.geometry.index import BucketIndex, build_bucket_index
+from repro.geometry.sparse import sparse_coverage_dot, sparse_coverage_matrix
 from repro.observability.tracing import span
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import (
@@ -116,6 +118,7 @@ class KdHist(SelectivityEstimator):
         self._leaf_lows: np.ndarray | None = None
         self._leaf_highs: np.ndarray | None = None
         self._leaf_volumes: np.ndarray | None = None
+        self._index: BucketIndex | None = None
         self._weights: np.ndarray | None = None
 
     def _fit(self, training: TrainingSet) -> None:
@@ -137,9 +140,10 @@ class KdHist(SelectivityEstimator):
         self._leaf_lows = np.stack([leaf.box.lows for leaf in leaves])
         self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
         self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
+        self._index = build_bucket_index(self._leaf_lows, self._leaf_highs)
         with span("fit/design-matrix", rows=len(training), buckets=len(leaves)):
-            design = coverage_matrix(
-                training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
+            design = sparse_coverage_matrix(
+                training.queries, self._index, self._leaf_volumes
             )
         with span("fit/solve", objective=self.objective, rows=len(training)):
             if self.objective == "linf":
@@ -177,6 +181,10 @@ class KdHist(SelectivityEstimator):
         return float(self._fraction_row(query) @ self._weights)
 
     def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        if self._index is not None:
+            return sparse_coverage_dot(
+                queries, self._index, self._leaf_volumes, self._weights
+            )
         return coverage_dot(
             queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes, self._weights
         )
@@ -213,6 +221,9 @@ class KdHist(SelectivityEstimator):
         self._leaf_highs = np.asarray(state["leaf_highs"], dtype=float)
         self._leaf_volumes = np.asarray(state["leaf_volumes"], dtype=float)
         self._weights = np.asarray(state["weights"], dtype=float)
+        # Rebuilt deterministically from the persisted bucket arrays; the
+        # index itself is never serialised.
+        self._index = build_bucket_index(self._leaf_lows, self._leaf_highs)
         self._distribution = HistogramDistribution.from_state(
             {
                 key.split(".", 1)[1]: value

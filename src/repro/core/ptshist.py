@@ -25,7 +25,8 @@ from repro.core.config import PtsHistConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
-from repro.geometry.batch import containment_matrix
+from repro.geometry.index import build_bucket_index
+from repro.geometry.sparse import sparse_containment_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.sampling import rejection_sample, sample_in_box
 from repro.core._solve import solve_weights
@@ -90,12 +91,14 @@ class PtsHist(SelectivityEstimator):
         rng = np.random.default_rng(self.seed)
         with span("fit/partition", size=self.size):
             points = self._design_buckets(training, domain, rng)
+        index = build_bucket_index(points, points)
         with span("fit/design-matrix", rows=len(training), buckets=len(points)):
-            design = containment_matrix(training.queries, points)
+            design = sparse_containment_matrix(training.queries, index)
         weights, self.solve_report_ = solve_weights(
             design, training.selectivities, objective=self.objective, solver=self.solver
         )
         self._distribution = DiscreteDistribution(points, weights)
+        self._distribution._index = index
 
     def _design_buckets(
         self, training: TrainingSet, domain: Box, rng: np.random.Generator
@@ -159,3 +162,5 @@ class PtsHist(SelectivityEstimator):
                 if key.startswith("distribution.")
             }
         )
+        # Spatial index over the support points: rebuilt, never persisted.
+        self._distribution.attach_index()

@@ -32,7 +32,9 @@ from repro.core.config import QuadHistConfig
 from repro.core.estimator import SelectivityEstimator
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
-from repro.geometry.batch import coverage_dot, coverage_matrix
+from repro.geometry.batch import coverage_dot
+from repro.geometry.index import BucketIndex, build_bucket_index
+from repro.geometry.sparse import sparse_coverage_dot, sparse_coverage_matrix
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import (
     batch_intersection_volumes,
@@ -128,6 +130,7 @@ class QuadHist(SelectivityEstimator):
         self._leaf_lows: np.ndarray | None = None
         self._leaf_highs: np.ndarray | None = None
         self._leaf_volumes: np.ndarray | None = None
+        self._index: BucketIndex | None = None
         self._weights: np.ndarray | None = None
 
     # ------------------------------------------------------------------
@@ -197,6 +200,7 @@ class QuadHist(SelectivityEstimator):
         self._leaf_lows = np.stack([leaf.box.lows for leaf in leaves])
         self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
         self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
+        self._index = build_bucket_index(self._leaf_lows, self._leaf_highs)
         target = reestimate_on if reestimate_on is not None else training
         self._estimate_weights(target, [leaf.box for leaf in leaves])
 
@@ -221,8 +225,8 @@ class QuadHist(SelectivityEstimator):
 
     def _estimate_weights(self, training: TrainingSet, buckets: Sequence[Box]) -> None:
         with span("fit/design-matrix", rows=len(training), buckets=len(buckets)):
-            design = coverage_matrix(
-                training.queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes
+            design = sparse_coverage_matrix(
+                training.queries, self._index, self._leaf_volumes
             )
         weights, self.solve_report_ = solve_weights(
             design, training.selectivities, objective=self.objective, solver=self.solver
@@ -245,6 +249,10 @@ class QuadHist(SelectivityEstimator):
         return float(self._fraction_row(query) @ self._weights)
 
     def _predict_batch(self, queries: Sequence[Range]) -> np.ndarray:
+        if self._index is not None:
+            return sparse_coverage_dot(
+                queries, self._index, self._leaf_volumes, self._weights
+            )
         return coverage_dot(
             queries, self._leaf_lows, self._leaf_highs, self._leaf_volumes, self._weights
         )
@@ -285,6 +293,9 @@ class QuadHist(SelectivityEstimator):
         self._leaf_highs = np.asarray(state["leaf_highs"], dtype=float)
         self._leaf_volumes = np.asarray(state["leaf_volumes"], dtype=float)
         self._weights = np.asarray(state["weights"], dtype=float)
+        # Rebuilt deterministically from the persisted bucket arrays; the
+        # index itself is never serialised.
+        self._index = build_bucket_index(self._leaf_lows, self._leaf_highs)
         self._distribution = HistogramDistribution.from_state(
             {
                 key.split(".", 1)[1]: value

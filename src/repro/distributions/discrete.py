@@ -13,7 +13,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry.batch import containment_matrix
+from repro.geometry.index import BucketIndex, build_bucket_index
 from repro.geometry.ranges import Range
+from repro.geometry.sparse import sparse_containment_dot, sparse_containment_matrix
 
 __all__ = ["DiscreteDistribution"]
 
@@ -40,6 +42,7 @@ class DiscreteDistribution:
             raise ValueError(f"weights must sum to 1 (got {total}); normalise first")
         self.points = pts
         self.weights = weight_arr / total
+        self._index: BucketIndex | None = None
 
     @property
     def dim(self) -> int:
@@ -64,6 +67,7 @@ class DiscreteDistribution:
         self = cls.__new__(cls)
         self.points = np.asarray(state["points"], dtype=float)
         self.weights = np.asarray(state["weights"], dtype=float)
+        self._index = None
         return self
 
     def selectivity(self, range_: Range) -> float:
@@ -71,8 +75,21 @@ class DiscreteDistribution:
         inside = np.asarray(range_.contains(self.points))
         return float(np.clip(self.weights[inside].sum(), 0.0, 1.0))
 
+    def attach_index(self) -> "DiscreteDistribution":
+        """Build (or rebuild) the spatial index over the support points.
+
+        Estimators call this once after fit/load; batch selectivity then
+        routes through the sparse membership kernels.  Never serialised —
+        rebuilt deterministically from the points.
+        """
+        self._index = build_bucket_index(self.points, self.points)
+        return self
+
     def selectivity_many(self, ranges: Sequence[Range]) -> np.ndarray:
         """``s_D(R_i)`` for a whole workload via one batch membership matrix."""
+        if self._index is not None:
+            dots = sparse_containment_dot(ranges, self._index, self.weights)
+            return np.clip(dots, 0.0, 1.0)
         matrix = containment_matrix(ranges, self.points)
         return np.clip(matrix @ self.weights, 0.0, 1.0)
 
@@ -82,6 +99,8 @@ class DiscreteDistribution:
 
     def membership_matrix(self, ranges: Sequence[Range]) -> np.ndarray:
         """Indicator matrix ``1(B_j in R_i)`` — the Eq. (7) design matrix."""
+        if self._index is not None:
+            return sparse_containment_matrix(ranges, self._index)
         return containment_matrix(ranges, self.points)
 
     def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:

@@ -17,8 +17,10 @@ from repro.geometry.batch import (
     containment_matrix,
     coverage_matrix,
 )
+from repro.geometry.index import BucketIndex, build_bucket_index
 from repro.geometry.ranges import Box, Range
 from repro.geometry.sampling import sample_in_box
+from repro.geometry.sparse import sparse_coverage_dot
 from repro.geometry.volume import batch_intersection_volumes
 
 __all__ = ["HistogramDistribution"]
@@ -62,6 +64,7 @@ class HistogramDistribution:
         degenerate = self._volumes <= 0.0
         if np.any(self.weights[degenerate] > 1e-12):
             raise ValueError("zero-volume buckets cannot carry weight in a histogram")
+        self._index: BucketIndex | None = None
 
     @property
     def dim(self) -> int:
@@ -102,6 +105,7 @@ class HistogramDistribution:
         self._lows = lows
         self._highs = highs
         self._volumes = np.asarray(state["volumes"], dtype=float)
+        self._index = None
         return self
 
     def selectivity(self, range_: Range) -> float:
@@ -113,8 +117,20 @@ class HistogramDistribution:
         )
         return float(min(1.0, max(0.0, total)))
 
+    def attach_index(self) -> "HistogramDistribution":
+        """Build (or rebuild) the spatial index over the bucket boxes.
+
+        Batch selectivity then routes through the sparse coverage kernels.
+        Never serialised — rebuilt deterministically from the buckets.
+        """
+        self._index = build_bucket_index(self._lows, self._highs)
+        return self
+
     def selectivity_many(self, ranges: Sequence[Range]) -> np.ndarray:
         """``s_D(R_i)`` for a whole workload via one coverage matrix."""
+        if self._index is not None:
+            dots = sparse_coverage_dot(ranges, self._index, self._volumes, self.weights)
+            return np.clip(dots, 0.0, 1.0)
         fractions = coverage_matrix(ranges, self._lows, self._highs, self._volumes)
         return np.clip(fractions @ self.weights, 0.0, 1.0)
 

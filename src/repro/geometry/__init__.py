@@ -46,6 +46,21 @@ from repro.geometry.batch import (
     coverage_matrix,
     intersection_volume_matrix,
 )
+from repro.geometry.index import (
+    BucketIndex,
+    PackedRTreeIndex,
+    UniformGridIndex,
+    build_bucket_index,
+)
+from repro.geometry.sparse import (
+    coverage_matrix_csr,
+    intersection_volume_matrix_csr,
+    sparse_containment_dot,
+    sparse_containment_matrix,
+    sparse_coverage_dot,
+    sparse_coverage_matrix,
+    sparse_intersection_volume_matrix,
+)
 
 __all__ = [
     "Ball",
@@ -75,4 +90,15 @@ __all__ = [
     "intersection_volume_matrix",
     "coverage_matrix",
     "containment_matrix",
+    "BucketIndex",
+    "UniformGridIndex",
+    "PackedRTreeIndex",
+    "build_bucket_index",
+    "sparse_coverage_dot",
+    "sparse_coverage_matrix",
+    "sparse_intersection_volume_matrix",
+    "coverage_matrix_csr",
+    "intersection_volume_matrix_csr",
+    "sparse_containment_dot",
+    "sparse_containment_matrix",
 ]

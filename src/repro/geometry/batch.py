@@ -143,7 +143,11 @@ def box_box_volume_matrix(
 
 
 def box_halfspace_volume_matrix(
-    normals: np.ndarray, offsets: np.ndarray, b_lows: np.ndarray, b_highs: np.ndarray
+    normals: np.ndarray,
+    offsets: np.ndarray,
+    b_lows: np.ndarray,
+    b_highs: np.ndarray,
+    b_volumes: np.ndarray | None = None,
 ) -> np.ndarray:
     """Exact ``Vol(B_j ∩ {a_i.x >= b_i})`` for all (box, halfspace) pairs.
 
@@ -151,6 +155,8 @@ def box_halfspace_volume_matrix(
     :func:`repro.geometry.volume.box_halfspace_intersection_volume` is
     evaluated with one extra broadcast axis over queries:
     ``O(n · m · 2^d · d)`` work with no Python loop over either axis.
+    ``b_volumes`` lets callers with cached box volumes skip the per-call
+    ``prod`` recomputation.
     """
     normals = np.asarray(normals, dtype=float)
     offsets = np.asarray(offsets, dtype=float)
@@ -159,7 +165,10 @@ def box_halfspace_volume_matrix(
     n = normals.shape[0]
     m = b_lows.shape[0]
     widths = b_highs - b_lows
-    box_volumes = np.prod(widths, axis=1)
+    if b_volumes is None:
+        box_volumes = np.prod(widths, axis=1)
+    else:
+        box_volumes = np.asarray(b_volumes, dtype=float)
     thresholds_all = offsets[:, None] - normals @ b_lows.T  # (n, m)
     # Mirror the per-query kernel: dimensions with a (near-)zero normal
     # component are projected out exactly (the inclusion–exclusion identity
@@ -240,9 +249,17 @@ def _halfspace_group_matrix(
 
 
 def box_ball_volume_matrix(
-    centers: np.ndarray, radii: np.ndarray, b_lows: np.ndarray, b_highs: np.ndarray
+    centers: np.ndarray,
+    radii: np.ndarray,
+    b_lows: np.ndarray,
+    b_highs: np.ndarray,
+    b_volumes: np.ndarray | None = None,
 ) -> np.ndarray:
-    """``Vol(B_j ∩ ball_i)`` for all pairs: exact for d ≤ 2, chunked QMC above."""
+    """``Vol(B_j ∩ ball_i)`` for all pairs: exact for d ≤ 2, chunked QMC above.
+
+    ``b_volumes`` (cached box volumes) only matters for the d > 2 QMC path,
+    which needs them for its full-containment shortcut.
+    """
     centers = np.asarray(centers, dtype=float)
     radii = np.asarray(radii, dtype=float)
     b_lows = np.asarray(b_lows, dtype=float)
@@ -279,13 +296,17 @@ def box_ball_volume_matrix(
     # The QMC path materialises several (c, m, d) temporaries up front.
     for start, stop in _query_chunks(n, m * d):
         out[start:stop] = _box_ball_qmc_matrix(
-            centers[start:stop], radii[start:stop], b_lows, b_highs
+            centers[start:stop], radii[start:stop], b_lows, b_highs, b_volumes
         )
     return out
 
 
 def _box_ball_qmc_matrix(
-    centers: np.ndarray, radii: np.ndarray, b_lows: np.ndarray, b_highs: np.ndarray
+    centers: np.ndarray,
+    radii: np.ndarray,
+    b_lows: np.ndarray,
+    b_highs: np.ndarray,
+    b_volumes: np.ndarray | None = None,
 ) -> np.ndarray:
     """Quasi-MC ball kernel for d > 2, mirroring the scalar decision tree.
 
@@ -297,7 +318,10 @@ def _box_ball_qmc_matrix(
     """
     n, d = centers.shape
     m = b_lows.shape[0]
-    box_volumes = np.prod(b_highs - b_lows, axis=1)
+    if b_volumes is None:
+        box_volumes = np.prod(b_highs - b_lows, axis=1)
+    else:
+        box_volumes = np.asarray(b_volumes, dtype=float)
     ball_lows = centers - radii[:, None]
     ball_highs = centers + radii[:, None]
     clip_lows = np.maximum(b_lows[None, :, :], ball_lows[:, None, :])  # (n, m, d)
@@ -353,14 +377,19 @@ def _group_by_kind(queries: Sequence[Range]):
 
 
 def intersection_volume_matrix(
-    queries: Sequence[Range], b_lows: np.ndarray, b_highs: np.ndarray
+    queries: Sequence[Range],
+    b_lows: np.ndarray,
+    b_highs: np.ndarray,
+    b_volumes: np.ndarray | None = None,
 ) -> np.ndarray:
     """``Vol(B_j ∩ R_i)`` for a mixed workload against one bucket set.
 
     Queries are grouped by range type, each group runs through its batch
     kernel, and rows are stitched back into workload order.  Range types
     without a batch kernel (unions, semi-algebraic sets) fall back to the
-    per-query vectorised path, so any workload is accepted.
+    per-query vectorised path, so any workload is accepted.  ``b_volumes``
+    (cached box volumes) is forwarded to the kernels that would otherwise
+    recompute it per call.
     """
     queries = list(queries)
     b_lows = np.asarray(b_lows, dtype=float)
@@ -376,11 +405,13 @@ def intersection_volume_matrix(
     if halfspaces:
         normals = np.stack([queries[i].normal for i in halfspaces])
         offsets = np.array([queries[i].offset for i in halfspaces])
-        out[halfspaces] = box_halfspace_volume_matrix(normals, offsets, b_lows, b_highs)
+        out[halfspaces] = box_halfspace_volume_matrix(
+            normals, offsets, b_lows, b_highs, b_volumes
+        )
     if balls:
         centers = np.stack([queries[i].ball_center for i in balls])
         radii = np.array([queries[i].radius for i in balls])
-        out[balls] = box_ball_volume_matrix(centers, radii, b_lows, b_highs)
+        out[balls] = box_ball_volume_matrix(centers, radii, b_lows, b_highs, b_volumes)
     for i in other:
         out[i] = batch_intersection_volumes(b_lows, b_highs, queries[i])
     return out
@@ -403,7 +434,7 @@ def coverage_matrix(
         b_volumes = np.prod(b_highs - b_lows, axis=1)
     else:
         b_volumes = np.asarray(b_volumes, dtype=float)
-    overlaps = intersection_volume_matrix(queries, b_lows, b_highs)
+    overlaps = intersection_volume_matrix(queries, b_lows, b_highs, b_volumes)
     with np.errstate(divide="ignore", invalid="ignore"):
         fractions = np.where(b_volumes[None, :] > 0, overlaps / b_volumes[None, :], 0.0)
     return np.clip(fractions, 0.0, 1.0)
@@ -450,7 +481,9 @@ def coverage_dot(
     _KERNEL_CHUNKS.inc(-(-n // step) if n else 0, kernel="coverage_dot")
     for start in range(0, n, step):
         stop = min(n, start + step)
-        overlaps = intersection_volume_matrix(queries[start:stop], b_lows, b_highs)
+        overlaps = intersection_volume_matrix(
+            queries[start:stop], b_lows, b_highs, b_volumes
+        )
         with np.errstate(divide="ignore", invalid="ignore"):
             np.divide(overlaps, b_volumes[None, :], out=overlaps)
         if any_zero:

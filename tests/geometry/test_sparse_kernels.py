@@ -1,0 +1,189 @@
+"""Sparse coverage kernels agree with the dense oracle (repro.geometry.sparse).
+
+The dense kernels in :mod:`repro.geometry.batch` are the correctness
+oracle; every sparse entry point must reproduce them to ``<= 1e-12`` on
+mixed box/halfspace/ball workloads, including the edge cases the index
+can manufacture: zero-volume buckets, queries with empty candidate sets,
+and both index implementations.  The module-level knobs are forced so the
+tests exercise the sparse path even at test-sized bucket counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import sparse as sparse_mod
+from repro.geometry.batch import (
+    containment_matrix,
+    coverage_dot,
+    coverage_matrix,
+    intersection_volume_matrix,
+)
+from repro.geometry.index import PackedRTreeIndex, UniformGridIndex
+from repro.geometry.ranges import Ball, Box, Halfspace
+from repro.geometry.sparse import (
+    coverage_matrix_csr,
+    intersection_volume_matrix_csr,
+    sparse_containment_dot,
+    sparse_containment_matrix,
+    sparse_coverage_dot,
+    sparse_coverage_matrix,
+    sparse_intersection_volume_matrix,
+)
+
+TOL = 1e-12
+
+
+@pytest.fixture(autouse=True)
+def force_sparse():
+    """Exercise the sparse path regardless of bucket count or density."""
+    prev_min = sparse_mod.set_min_sparse_buckets(0)
+    prev_cross = sparse_mod.set_crossover_threshold(1.0)
+    yield
+    sparse_mod.set_min_sparse_buckets(prev_min)
+    sparse_mod.set_crossover_threshold(prev_cross)
+
+
+def _buckets(rng, m=120, d=2):
+    lows = rng.uniform(0, 0.9, size=(m, d))
+    widths = rng.uniform(0.02, 0.12, size=(m, d))
+    highs = np.minimum(lows + widths, 1.0)
+    return lows, highs
+
+
+def _mixed_queries(rng, n=40, d=2):
+    queries = []
+    for i in range(n):
+        kind = i % 3
+        if kind == 0:
+            lo = rng.uniform(0, 0.7, size=d)
+            queries.append(Box(lo, lo + rng.uniform(0.05, 0.3, size=d)))
+        elif kind == 1:
+            queries.append(
+                Halfspace(rng.normal(size=d), float(rng.uniform(-0.2, 0.8)))
+            )
+        else:
+            queries.append(
+                Ball(rng.uniform(0.2, 0.8, size=d), float(rng.uniform(0.05, 0.3)))
+            )
+    return queries
+
+
+@pytest.mark.parametrize("cls", [UniformGridIndex, PackedRTreeIndex])
+def test_intersection_volumes_match_dense(cls):
+    rng = np.random.default_rng(0)
+    b_lows, b_highs = _buckets(rng)
+    queries = _mixed_queries(rng)
+    index = cls(b_lows, b_highs)
+    dense = intersection_volume_matrix(queries, b_lows, b_highs)
+    got = sparse_intersection_volume_matrix(queries, index)
+    assert np.max(np.abs(got - dense)) <= TOL
+
+
+@pytest.mark.parametrize("cls", [UniformGridIndex, PackedRTreeIndex])
+def test_coverage_matrix_matches_dense(cls):
+    rng = np.random.default_rng(1)
+    b_lows, b_highs = _buckets(rng)
+    b_volumes = np.prod(b_highs - b_lows, axis=1)
+    queries = _mixed_queries(rng)
+    index = cls(b_lows, b_highs)
+    dense = coverage_matrix(queries, b_lows, b_highs, b_volumes)
+    got = sparse_coverage_matrix(queries, index, b_volumes)
+    assert np.max(np.abs(got - dense)) <= TOL
+
+
+@pytest.mark.parametrize("cls", [UniformGridIndex, PackedRTreeIndex])
+def test_coverage_dot_matches_dense(cls):
+    rng = np.random.default_rng(2)
+    b_lows, b_highs = _buckets(rng)
+    b_volumes = np.prod(b_highs - b_lows, axis=1)
+    weights = rng.dirichlet(np.ones(b_lows.shape[0]))
+    queries = _mixed_queries(rng)
+    index = cls(b_lows, b_highs)
+    dense = coverage_dot(queries, b_lows, b_highs, b_volumes, weights)
+    got = sparse_coverage_dot(queries, index, b_volumes, weights)
+    assert np.max(np.abs(got - dense)) <= TOL
+
+
+def test_csr_variants_match_dense():
+    rng = np.random.default_rng(3)
+    b_lows, b_highs = _buckets(rng)
+    b_volumes = np.prod(b_highs - b_lows, axis=1)
+    queries = _mixed_queries(rng)
+    index = UniformGridIndex(b_lows, b_highs)
+    ivm = intersection_volume_matrix_csr(queries, index).toarray()
+    assert np.max(np.abs(ivm - intersection_volume_matrix(queries, b_lows, b_highs))) <= TOL
+    cov = coverage_matrix_csr(queries, index, b_volumes).toarray()
+    assert np.max(np.abs(cov - coverage_matrix(queries, b_lows, b_highs, b_volumes))) <= TOL
+
+
+def test_zero_volume_buckets_contribute_zero():
+    # Degenerate (point) buckets have Vol(B) = 0: coverage is defined as 0
+    # in both paths, never NaN/inf.
+    rng = np.random.default_rng(4)
+    b_lows, b_highs = _buckets(rng, m=60)
+    b_lows[:10] = b_highs[:10]  # ten zero-volume buckets
+    b_volumes = np.prod(b_highs - b_lows, axis=1)
+    weights = rng.dirichlet(np.ones(60))
+    queries = _mixed_queries(rng, n=24)
+    index = UniformGridIndex(b_lows, b_highs)
+    dense = coverage_matrix(queries, b_lows, b_highs, b_volumes)
+    got = sparse_coverage_matrix(queries, index, b_volumes)
+    assert np.isfinite(got).all()
+    assert np.max(np.abs(got - dense)) <= TOL
+    assert np.all(got[:, :10] == 0.0)
+    dot = sparse_coverage_dot(queries, index, b_volumes, weights)
+    assert np.max(np.abs(dot - dense @ weights)) <= TOL
+
+
+def test_empty_candidate_sets_give_zero_rows():
+    # Queries disjoint from every bucket must produce exactly-zero rows.
+    rng = np.random.default_rng(5)
+    b_lows, b_highs = _buckets(rng, m=80)
+    b_lows *= 0.45
+    b_highs = b_lows + 0.02  # confined to the lower-left corner
+    index = UniformGridIndex(b_lows, b_highs)
+    queries = [Box([0.9, 0.9], [0.99, 0.99]), Ball([0.95, 0.95], 0.02)]
+    got = sparse_intersection_volume_matrix(queries, index)
+    assert np.all(got == 0.0)
+    dot = sparse_coverage_dot(queries, index, None, np.ones(80) / 80)
+    assert np.all(dot == 0.0)
+
+
+@pytest.mark.parametrize("cls", [UniformGridIndex, PackedRTreeIndex])
+def test_containment_matches_dense(cls):
+    rng = np.random.default_rng(6)
+    points = rng.uniform(0, 1, size=(200, 2))
+    weights = rng.dirichlet(np.ones(200))
+    queries = _mixed_queries(rng, n=30)
+    index = cls(points, points)
+    dense = containment_matrix(queries, points)
+    got = sparse_containment_matrix(queries, index)
+    assert np.array_equal(got, dense)
+    dot = sparse_containment_dot(queries, index, weights)
+    assert np.max(np.abs(dot - dense @ weights)) <= TOL
+
+
+def test_min_buckets_short_circuit_is_bitwise():
+    # Below the floor the sparse entry points delegate to the dense
+    # kernels on the identical arrays — results are bitwise equal.
+    sparse_mod.set_min_sparse_buckets(10**6)
+    rng = np.random.default_rng(7)
+    b_lows, b_highs = _buckets(rng, m=50)
+    queries = _mixed_queries(rng, n=15)
+    index = UniformGridIndex(b_lows, b_highs)
+    dense = intersection_volume_matrix(queries, b_lows, b_highs)
+    got = sparse_intersection_volume_matrix(queries, index)
+    assert np.array_equal(got, dense)
+
+
+def test_knob_validation_and_restore():
+    with pytest.raises(ValueError):
+        sparse_mod.set_crossover_threshold(-0.1)
+    with pytest.raises(ValueError):
+        sparse_mod.set_crossover_threshold(1.5)
+    with pytest.raises(ValueError):
+        sparse_mod.set_min_sparse_buckets(-1)
+    prev = sparse_mod.set_crossover_threshold(0.5)
+    assert sparse_mod.get_crossover_threshold() == 0.5
+    sparse_mod.set_crossover_threshold(prev)
+    assert sparse_mod.get_crossover_threshold() == prev
