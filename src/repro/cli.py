@@ -39,11 +39,23 @@ The subcommands cover the paper's workflow end to end:
     SIGTERM/SIGINT: stop accepting, flush in-flight requests, snapshot,
     exit 0.  ``--log-json`` switches the structured logger to JSON lines
     (and enables span-trace logging); ``--access-log`` emits one log
-    line per HTTP request.
+    line per HTTP request.  With a pool, ``--ops-port`` additionally
+    starts the supervisor's ops endpoint — aggregated fleet ``/metrics``
+    (cross-worker counter sums with reset tracking), ``/workers``, and
+    fleet ``/health``.
 
 ``metrics``
     Fetch and print the Prometheus text exposition from a running
     sidecar's ``GET /metrics`` endpoint (see ``docs/observability.md``).
+    ``--aggregate`` scrapes the supervisor ops endpoint instead (default
+    port 9090), returning the merged fleet-wide exposition; ``--lint``
+    runs the exposition linter (:mod:`repro.observability.expolint`) on
+    whatever was scraped and fails on malformed output.
+
+``top``
+    One-shot fleet dashboard against a pool's ops endpoint: per-worker
+    liveness, restarts, incarnations, admission queue depth, and the
+    headline fleet counters from the aggregated registry.
 
 Examples
 --------
@@ -61,8 +73,10 @@ Examples
     python -m repro.cli serve --method quadhist --port 8080 \\
         --sanitize drop --retrain-every 50 --snapshot-dir ./snapshots
     python -m repro.cli serve --workers 4 --snapshot-dir ./snapshots \\
-        --deadline-ms 250 --queue-depth 64 --flush-ms 2
+        --deadline-ms 250 --queue-depth 64 --flush-ms 2 --ops-port 9090
     python -m repro.cli metrics --port 8080
+    python -m repro.cli metrics --aggregate --port 9090 --lint
+    python -m repro.cli top --port 9090
 """
 
 from __future__ import annotations
@@ -278,6 +292,15 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_SPARSE_CROSSOVER or 0.02)",
     )
     srv.add_argument(
+        "--ops-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="supervisor ops endpoint with aggregated fleet /metrics, "
+        "/workers and /health (pool mode only; 0 picks a free port; "
+        "default: disabled)",
+    )
+    srv.add_argument(
         "--log-json",
         action="store_true",
         help="emit structured logs as JSON lines (also logs span traces)",
@@ -299,7 +322,36 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--host", default="127.0.0.1")
     met.add_argument("--port", type=int, default=8080)
     met.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="scrape the supervisor ops endpoint (fleet-wide aggregated "
+        "exposition) instead of one worker's /metrics",
+    )
+    met.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the exposition linter on the scraped page; non-zero "
+        "exit on problems",
+    )
+    met.add_argument(
         "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
+
+    top = sub.add_parser(
+        "top", help="one-shot fleet dashboard from a pool's ops endpoint"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--port",
+        type=int,
+        default=9090,
+        help="supervisor ops port (see serve --ops-port; default: 9090)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
+    top.add_argument(
+        "--json", action="store_true", help="emit raw JSON instead of a table"
     )
     return parser
 
@@ -491,6 +543,13 @@ def _cmd_serve(args) -> int:
             seed=args.seed if hasattr(args, "seed") else 0,
         )
 
+    if args.ops_port is not None and args.workers <= 1:
+        print(
+            "error: --ops-port requires --workers > 1 (the ops endpoint "
+            "is served by the pool supervisor)",
+            file=sys.stderr,
+        )
+        return 2
     config = ServingConfig(
         workers=max(1, args.workers),
         max_concurrency=args.max_concurrency,
@@ -499,6 +558,7 @@ def _cmd_serve(args) -> int:
         flush_ms=args.flush_ms,
         drain_timeout_s=args.drain_timeout,
         access_log=args.access_log,
+        ops_port=args.ops_port,
     )
     banner = (
         f"(sanitize={args.sanitize}, breaker k={args.breaker_threshold}, "
@@ -515,6 +575,12 @@ def _cmd_serve(args) -> int:
             f"serving {args.method} on http://{host}:{port} with "
             f"{args.workers} workers {banner}"
         )
+        if args.ops_port is not None:
+            ops_host, ops_port = supervisor.ops_address
+            print(
+                f"ops endpoint on http://{ops_host}:{ops_port} "
+                "(aggregated /metrics, /workers, /health)"
+            )
         report = supervisor.run_forever()  # blocks until SIGTERM/SIGINT
         print(
             f"pool drained (clean: {report['drained']}, "
@@ -536,18 +602,102 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_metrics(args) -> int:
-    import urllib.error
+def _scrape(url: str, timeout: float) -> str:
     import urllib.request
 
-    url = args.url if args.url else f"http://{args.host}:{args.port}/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def _cmd_metrics(args) -> int:
+    import urllib.error
+
+    if args.url:
+        url = args.url
+    else:
+        # --aggregate targets the supervisor ops endpoint, which serves
+        # the merged fleet exposition on the same /metrics path.
+        url = f"http://{args.host}:{args.port}/metrics"
     try:
-        with urllib.request.urlopen(url, timeout=args.timeout) as response:
-            body = response.read().decode("utf-8")
+        body = _scrape(url, args.timeout)
     except (urllib.error.URLError, OSError) as exc:
         print(f"error: could not scrape {url}: {exc}", file=sys.stderr)
         return 1
     sys.stdout.write(body)
+    if args.lint:
+        from repro.observability import lint_exposition
+
+        problems = lint_exposition(body)
+        for problem in problems:
+            print(f"lint: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"# lint ok ({url})", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import json
+    import urllib.error
+
+    from repro.observability import parse_exposition
+
+    base = f"http://{args.host}:{args.port}"
+    try:
+        workers = json.loads(_scrape(f"{base}/workers", args.timeout))
+        health = json.loads(_scrape(f"{base}/health", args.timeout))
+        exposition = _scrape(f"{base}/metrics", args.timeout)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(
+            f"error: could not reach ops endpoint {base}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    families, _ = parse_exposition(exposition)
+    if args.json:
+        print(json.dumps({"health": health, "workers": workers}, indent=2))
+        return 0
+
+    status = health.get("status", "?")
+    alive = health.get("alive", "?")
+    total = health.get("workers", "?")
+    print(f"fleet: {status}  workers {alive}/{total}")
+    for reason in health.get("reasons", []):
+        print(f"  ! {reason}")
+
+    slots = workers.get("slots", [])
+    print(
+        f"{'id':>3} {'pid':>7} {'alive':>5} {'status':>9} {'inc':>4} "
+        f"{'restarts':>8} {'executing':>9} {'waiting':>7}"
+    )
+    for slot in slots:
+        payload = slot.get("last_payload") or {}
+        admission = payload.get("admission") or {}
+        print(
+            f"{slot.get('index', '?'):>3} {slot.get('pid') or '-':>7} "
+            f"{str(slot.get('alive')):>5} {payload.get('status') or '?':>9} "
+            f"{slot.get('incarnation', 0):>4} {slot.get('restarts', 0):>8} "
+            f"{admission.get('executing', 0):>9} {admission.get('waiting', 0):>7}"
+        )
+
+    headline = (
+        ("queries", "repro_service_queries_total"),
+        ("cache_hits", "repro_prediction_cache_hits_total"),
+        ("cache_misses", "repro_prediction_cache_misses_total"),
+        ("shed", "repro_requests_shed_total"),
+        ("retrains", "repro_retrain_total"),
+    )
+    parts = []
+    for label, metric in headline:
+        family = families.get(metric)
+        if family is None or family.get("type") == "histogram":
+            continue
+        # The aggregated page carries per-worker series; the fleet total
+        # is their sum.
+        value = sum(sample[2] for sample in family["samples"])
+        parts.append(f"{label}={value:g}")
+    if parts:
+        print("fleet counters: " + "  ".join(parts))
     return 0
 
 
@@ -564,6 +714,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "top":
+            return _cmd_top(args)
         return _cmd_evaluate(args)
     except ReproError as exc:
         print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)

@@ -28,10 +28,19 @@ See ``docs/observability.md`` for the metric catalogue and the span
 naming convention.
 """
 
+from repro.observability.aggregate import (
+    FleetAggregator,
+    merge_snapshots,
+    snapshot_registries,
+    snapshot_registry,
+)
+from repro.observability.expolint import lint_exposition, parse_exposition
 from repro.observability.logs import (
     JsonFormatter,
     KeyValueFormatter,
+    bind_request_id,
     configure_logging,
+    current_request_id,
     get_logger,
     log_event,
     reset_logging,
@@ -45,6 +54,8 @@ from repro.observability.metrics import (
     default_registry,
     enabled,
     set_enabled,
+    set_worker_label,
+    worker_label,
 )
 from repro.observability.tracing import (
     Span,
@@ -66,6 +77,16 @@ __all__ = [
     "default_registry",
     "set_enabled",
     "enabled",
+    "set_worker_label",
+    "worker_label",
+    "FleetAggregator",
+    "snapshot_registry",
+    "snapshot_registries",
+    "merge_snapshots",
+    "lint_exposition",
+    "parse_exposition",
+    "bind_request_id",
+    "current_request_id",
     "Span",
     "span",
     "current_span",

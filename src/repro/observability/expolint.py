@@ -1,0 +1,281 @@
+"""Prometheus text-exposition linter for the aggregated ops endpoint.
+
+A scrape that silently violates the exposition grammar is worse than no
+scrape: Prometheus drops the whole target.  This module validates the
+subset of the 0.0.4 text format the repo emits — metric-name and label
+grammar, ``HELP``/``TYPE`` pairing and ordering, histogram structural
+invariants (cumulative non-decreasing buckets ending in ``+Inf``,
+``_count`` == the ``+Inf`` bucket) — and doubles as a parser for tests
+that need structured access to a rendered page.
+
+Run as a script it lints a file or a live endpoint::
+
+    python -m repro.observability.expolint --url http://127.0.0.1:9090/metrics
+    python -m repro.observability.expolint page.txt
+
+Exit status 0 when clean, 1 with one problem per line otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+import urllib.request
+
+__all__ = ["lint_exposition", "parse_exposition", "main"]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name{labels} value  (labels optional; no timestamp —
+# the repo never emits one).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+_VALUE_RE = re.compile(r"^(?:[+-]?Inf|NaN|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)$")
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\x00", "\\")
+    )
+
+
+def _parse_labels(raw: str, problems: list[str], lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = _LABEL_PAIR_RE.match(rest)
+        if match is None:
+            problems.append(f"line {lineno}: malformed label segment {rest!r}")
+            return labels
+        name = match.group("name")
+        if name.startswith("__"):
+            problems.append(f"line {lineno}: reserved label name {name!r}")
+        if name in labels:
+            problems.append(f"line {lineno}: duplicate label name {name!r}")
+        labels[name] = _unescape(match.group("value"))
+        rest = rest[match.end() :]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            problems.append(f"line {lineno}: expected ',' in labels at {rest!r}")
+            return labels
+    return labels
+
+
+def parse_exposition(text: str) -> tuple[dict, list[str]]:
+    """Parse a text-format page into ``(families, problems)``.
+
+    ``families`` maps each base metric name to::
+
+        {"help": str | None, "type": str | None,
+         "samples": [(sample_name, labels_dict, value_float, lineno)]}
+
+    Histogram ``_bucket``/``_sum``/``_count`` samples are grouped under
+    the base name when a ``TYPE <base> histogram`` declaration precedes
+    them.  ``problems`` collects grammar violations; structural checks
+    live in :func:`lint_exposition`.
+    """
+    families: dict[str, dict] = {}
+    problems: list[str] = []
+    histogram_bases: set[str] = set()
+
+    def family(name: str) -> dict:
+        return families.setdefault(
+            name, {"help": None, "type": None, "samples": []}
+        )
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            name = parts[0]
+            if not _METRIC_NAME_RE.match(name):
+                problems.append(f"line {lineno}: invalid metric name {name!r} in HELP")
+                continue
+            entry = family(name)
+            if entry["help"] is not None:
+                problems.append(f"line {lineno}: duplicate HELP for {name!r}")
+            entry["help"] = parts[1] if len(parts) > 1 else ""
+        elif line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2:
+                problems.append(f"line {lineno}: malformed TYPE line {line!r}")
+                continue
+            name, kind = parts
+            if not _METRIC_NAME_RE.match(name):
+                problems.append(f"line {lineno}: invalid metric name {name!r} in TYPE")
+                continue
+            if kind not in {"counter", "gauge", "histogram", "summary", "untyped"}:
+                problems.append(f"line {lineno}: unknown TYPE {kind!r} for {name!r}")
+            entry = family(name)
+            if entry["type"] is not None:
+                problems.append(f"line {lineno}: duplicate TYPE for {name!r}")
+            if entry["samples"]:
+                problems.append(
+                    f"line {lineno}: TYPE for {name!r} after its samples"
+                )
+            entry["type"] = kind
+            if kind == "histogram":
+                histogram_bases.add(name)
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            match = _SAMPLE_RE.match(line)
+            if match is None:
+                problems.append(f"line {lineno}: unparseable sample {line!r}")
+                continue
+            sample_name = match.group("name")
+            base = sample_name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample_name.endswith(suffix):
+                    candidate = sample_name[: -len(suffix)]
+                    if candidate in histogram_bases:
+                        base = candidate
+                        break
+            labels = _parse_labels(match.group("labels") or "", problems, lineno)
+            for label_name in labels:
+                if not _LABEL_NAME_RE.match(label_name):
+                    problems.append(
+                        f"line {lineno}: invalid label name {label_name!r}"
+                    )
+            raw_value = match.group("value")
+            if not _VALUE_RE.match(raw_value):
+                problems.append(f"line {lineno}: invalid value {raw_value!r}")
+                value = math.nan
+            else:
+                value = float(raw_value)
+            family(base)["samples"].append((sample_name, labels, value, lineno))
+    return families, problems
+
+
+def lint_exposition(text: str) -> list[str]:
+    """All format/structure problems in ``text`` (empty when clean)."""
+    families, problems = parse_exposition(text)
+    for name, entry in sorted(families.items()):
+        if entry["samples"] and entry["type"] is None:
+            problems.append(f"metric {name!r}: samples without a TYPE line")
+        if entry["samples"] and entry["help"] is None:
+            problems.append(f"metric {name!r}: samples without a HELP line")
+        if entry["type"] is None:
+            continue
+        if entry["type"] == "counter":
+            for sample_name, _labels, value, lineno in entry["samples"]:
+                if value < 0:
+                    problems.append(
+                        f"line {lineno}: counter {sample_name!r} is negative"
+                    )
+        if entry["type"] == "histogram":
+            problems.extend(_lint_histogram(name, entry["samples"]))
+        else:
+            for sample_name, labels, _value, lineno in entry["samples"]:
+                if sample_name != name:
+                    problems.append(
+                        f"line {lineno}: sample {sample_name!r} under "
+                        f"{entry['type']} family {name!r}"
+                    )
+                if "le" in labels:
+                    problems.append(
+                        f"line {lineno}: reserved label 'le' on non-histogram "
+                        f"{sample_name!r}"
+                    )
+    return problems
+
+
+def _series_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def _lint_histogram(name: str, samples: list) -> list[str]:
+    problems: list[str] = []
+    buckets: dict[tuple, list] = {}
+    counts: dict[tuple, float] = {}
+    sums_seen: set[tuple] = set()
+    for sample_name, labels, value, lineno in samples:
+        key = _series_key(labels)
+        if sample_name == f"{name}_bucket":
+            le = labels.get("le")
+            if le is None:
+                problems.append(f"line {lineno}: bucket sample missing 'le'")
+                continue
+            try:
+                bound = float(le)
+            except ValueError:
+                problems.append(f"line {lineno}: invalid le={le!r}")
+                continue
+            buckets.setdefault(key, []).append((bound, value, lineno))
+        elif sample_name == f"{name}_count":
+            counts[key] = value
+        elif sample_name == f"{name}_sum":
+            sums_seen.add(key)
+        else:
+            problems.append(
+                f"line {lineno}: unexpected sample {sample_name!r} in "
+                f"histogram {name!r}"
+            )
+    for key, series in sorted(buckets.items()):
+        ordered = sorted(series, key=lambda item: item[0])
+        if not ordered or not math.isinf(ordered[-1][0]):
+            problems.append(f"histogram {name!r} {dict(key)}: no '+Inf' bucket")
+        previous = -math.inf
+        for bound, value, lineno in ordered:
+            if value < previous:
+                problems.append(
+                    f"line {lineno}: histogram {name!r} bucket le={bound} "
+                    f"not cumulative ({value} < {previous})"
+                )
+            previous = value
+        if key in counts and ordered and math.isinf(ordered[-1][0]):
+            if counts[key] != ordered[-1][1]:
+                problems.append(
+                    f"histogram {name!r} {dict(key)}: _count {counts[key]} "
+                    f"!= '+Inf' bucket {ordered[-1][1]}"
+                )
+        if key not in counts:
+            problems.append(f"histogram {name!r} {dict(key)}: missing _count")
+        if key not in sums_seen:
+            problems.append(f"histogram {name!r} {dict(key)}: missing _sum")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Lint a Prometheus text-exposition page."
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("path", nargs="?", help="file containing a rendered page")
+    source.add_argument("--url", help="scrape and lint a live endpoint")
+    args = parser.parse_args(argv)
+
+    if args.url:
+        with urllib.request.urlopen(args.url, timeout=10) as response:
+            text = response.read().decode("utf-8")
+    else:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+    problems = lint_exposition(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    families, _ = parse_exposition(text)
+    sample_count = sum(len(entry["samples"]) for entry in families.values())
+    print(
+        f"{'FAIL' if problems else 'OK'}: {len(families)} metric families, "
+        f"{sample_count} samples, {len(problems)} problems"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,10 +11,12 @@ object per line for a log pipeline to ingest.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import sys
-from typing import IO
+import threading
+from typing import IO, Iterator
 
 __all__ = [
     "JsonFormatter",
@@ -23,10 +25,40 @@ __all__ = [
     "reset_logging",
     "get_logger",
     "log_event",
+    "bind_request_id",
+    "current_request_id",
 ]
 
 _ROOT_NAME = "repro"
 _HANDLER_FLAG = "_repro_observability_handler"
+
+_REQUEST_CONTEXT = threading.local()
+
+
+@contextlib.contextmanager
+def bind_request_id(request_id: str | None) -> Iterator[None]:
+    """Attach ``request_id`` to every :func:`log_event` on this thread.
+
+    The HTTP handler binds the request's ``X-Request-Id`` for the
+    duration of dispatch, so admission waits, coalescer flushes and
+    kernel spans logged anywhere down-stack carry the id without
+    plumbing it through each call signature.  Nestable; ``None`` is a
+    no-op binding (inherits whatever is already bound).
+    """
+    if request_id is None:
+        yield
+        return
+    previous = getattr(_REQUEST_CONTEXT, "request_id", None)
+    _REQUEST_CONTEXT.request_id = str(request_id)
+    try:
+        yield
+    finally:
+        _REQUEST_CONTEXT.request_id = previous
+
+
+def current_request_id() -> str | None:
+    """The request id bound on this thread (``None`` outside a request)."""
+    return getattr(_REQUEST_CONTEXT, "request_id", None)
 
 
 class JsonFormatter(logging.Formatter):
@@ -108,8 +140,15 @@ def log_event(
     level: int = logging.INFO,
     **fields,
 ) -> None:
-    """Log ``event`` with structured ``fields`` attached to the record."""
+    """Log ``event`` with structured ``fields`` attached to the record.
+
+    A request id bound via :func:`bind_request_id` is injected as a
+    ``request_id`` field unless the caller already supplied one.
+    """
     if isinstance(logger, str):
         logger = get_logger(logger)
     if logger.isEnabledFor(level):
+        request_id = current_request_id()
+        if request_id is not None and "request_id" not in fields:
+            fields["request_id"] = request_id
         logger.log(level, event, extra={"fields": fields})

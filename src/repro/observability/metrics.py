@@ -42,6 +42,8 @@ __all__ = [
     "default_registry",
     "set_enabled",
     "enabled",
+    "set_worker_label",
+    "worker_label",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -82,6 +84,32 @@ def set_enabled(flag: bool) -> bool:
 def enabled() -> bool:
     """Is metric recording currently enabled?"""
     return _ENABLED
+
+
+_WORKER_LABEL: str | None = None
+
+
+def set_worker_label(label: str | None) -> str | None:
+    """Attribute every exposed series in this process to one worker.
+
+    Supervised pool workers call this with their ``REPRO_WORKER_ID`` so
+    even a direct scrape through the kernel-balanced shared socket is
+    attributable to a slot.  The label is injected at *render* time —
+    observation hot paths pay nothing — and metrics that already declare
+    a ``worker`` label are left untouched.  Single-process serving never
+    sets it, keeping existing dashboards and tests label-free.
+
+    Returns the previous value (``None`` when unset) for restore.
+    """
+    global _WORKER_LABEL
+    previous = _WORKER_LABEL
+    _WORKER_LABEL = None if label is None else str(label)
+    return previous
+
+
+def worker_label() -> str | None:
+    """The process-wide worker attribution label (``None`` when unset)."""
+    return _WORKER_LABEL
 
 
 def _escape_label_value(value: str) -> str:
@@ -144,6 +172,29 @@ class _Metric:
         with self._lock:
             return sorted(self._series.items())
 
+    def reset_values(self) -> None:
+        """Zero every series in place; the metric stays registered.
+
+        Cached handles remain valid — only the recorded values are
+        dropped.  Forked pool workers reset the inherited process-global
+        registry so a new incarnation reports only its own work (see
+        :meth:`MetricsRegistry.reset`).
+        """
+        with self._lock:
+            self._series.clear()
+            self._seed()
+
+    def _seed(self) -> None:
+        """Re-create any series exposed before the first event."""
+
+    def _exposed_labels(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """``(label_names, value_prefix)`` with the process worker label
+        injected — unless unset or the metric already declares one."""
+        worker = _WORKER_LABEL
+        if worker is None or "worker" in self.label_names:
+            return self.label_names, ()
+        return ("worker",) + self.label_names, (worker,)
+
     def render(self) -> str:
         lines = [
             f"# HELP {self.name} {_escape_help(self.help)}",
@@ -163,6 +214,9 @@ class Counter(_Metric):
 
     def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
         super().__init__(name, help, label_names)
+        self._seed()
+
+    def _seed(self) -> None:
         if not self.label_names:
             self._series[()] = 0.0  # expose 0 before the first event
 
@@ -181,9 +235,10 @@ class Counter(_Metric):
             return float(self._series.get(key, 0.0))
 
     def _sample_lines(self) -> Iterator[str]:
+        names, prefix = self._exposed_labels()
         for key, value in self.series():
             yield (
-                f"{self.name}{_format_labels(self.label_names, key)} "
+                f"{self.name}{_format_labels(names, prefix + key)} "
                 f"{_format_value(float(value))}"
             )
 
@@ -195,6 +250,9 @@ class Gauge(_Metric):
 
     def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
         super().__init__(name, help, label_names)
+        self._seed()
+
+    def _seed(self) -> None:
         if not self.label_names:
             self._series[()] = 0.0
 
@@ -221,9 +279,10 @@ class Gauge(_Metric):
             return float(self._series.get(key, 0.0))
 
     def _sample_lines(self) -> Iterator[str]:
+        names, prefix = self._exposed_labels()
         for key, value in self.series():
             yield (
-                f"{self.name}{_format_labels(self.label_names, key)} "
+                f"{self.name}{_format_labels(names, prefix + key)} "
                 f"{_format_value(float(value))}"
             )
 
@@ -285,8 +344,11 @@ class Histogram(_Metric):
         if any(not math.isfinite(b) for b in edges):
             raise ValueError("bucket bounds must be finite (+Inf is implicit)")
         self.buckets = edges
+        self._seed()
+
+    def _seed(self) -> None:
         if not self.label_names:
-            self._series[()] = _HistogramState(len(edges))
+            self._series[()] = _HistogramState(len(self.buckets))
 
     def observe(self, value: float, **labels) -> None:
         if not _ENABLED:
@@ -367,8 +429,9 @@ class Histogram(_Metric):
         return self.buckets[-1]
 
     def _sample_lines(self) -> Iterator[str]:
-        label_names = self.label_names
+        label_names, prefix = self._exposed_labels()
         for key, state in self.series():
+            key = prefix + key
             cumulative = 0
             for bound, count in zip(self.buckets, state.counts):
                 cumulative += count
@@ -413,6 +476,22 @@ class MetricsRegistry:
                 return metric
         self._check_compatible(existing, Histogram, name, labels)
         return existing
+
+    def reset(self) -> None:
+        """Zero every registered metric in place.
+
+        Metric objects (and therefore every handle modules have cached)
+        stay registered — only their recorded values are dropped.  A
+        forked pool worker calls this on the inherited process-global
+        registry before serving: whatever the parent recorded (warmup
+        traffic, an earlier incarnation, a test harness) must not be
+        re-reported by the new process, or fleet aggregation would count
+        it once per worker.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset_values()
 
     def _get_or_create(self, cls, name: str, help: str, labels: Sequence[str]):
         with self._lock:

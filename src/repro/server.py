@@ -83,6 +83,7 @@ import json
 import logging
 import threading
 import time
+import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -94,9 +95,11 @@ from repro.eval.drift import DriftDetector
 from repro.geometry.ranges import Range
 from repro.observability import (
     MetricsRegistry,
+    bind_request_id,
     default_registry,
     get_logger,
     log_event,
+    snapshot_registries,
 )
 from repro.observability.tracing import span
 from repro.persistence.artifact import load_manifest, load_model
@@ -118,7 +121,13 @@ from repro.robustness.sanitize import (
     sanitize_training_data,
 )
 
-__all__ = ["EstimatorService", "make_server", "serve", "DEADLINE_HEADER"]
+__all__ = [
+    "EstimatorService",
+    "make_server",
+    "serve",
+    "DEADLINE_HEADER",
+    "REQUEST_ID_HEADER",
+]
 
 _BREAKER_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
@@ -404,7 +413,6 @@ class EstimatorService:
 
     def _estimate_many(self, queries) -> list[float]:
         queries = list(queries)
-        self._metrics.queries.inc(len(queries))
         hits = misses = 0
         with self._lock:
             if self._model is None:
@@ -428,10 +436,16 @@ class EstimatorService:
                     self._cache_misses += 1
                     misses += 1
                     miss_idx.append(i)
-        if hits:
-            self._metrics.cache_hits.inc(hits)
-        if misses:
-            self._metrics.cache_misses.inc(misses)
+            # All three counters move in the same lock hold so a
+            # metrics_snapshot() (heartbeat piggyback) can never observe
+            # queries without their hit/miss classification — the fleet
+            # identity `hits + misses == queries` stays exact even when
+            # a snapshot lands mid-request.
+            self._metrics.queries.inc(len(queries))
+            if hits:
+                self._metrics.cache_hits.inc(hits)
+            if misses:
+                self._metrics.cache_misses.inc(misses)
         if miss_idx:
             predicted = model.predict_many([queries[i] for i in miss_idx])
             with self._lock:
@@ -812,6 +826,19 @@ class EstimatorService:
         """The shared snapshot store backing this service (or None)."""
         return self._snapshots
 
+    def metrics_snapshot(self) -> dict:
+        """Mergeable snapshot of this service's registries (see
+        :mod:`repro.observability.aggregate`).
+
+        Taken under the service state lock, so the query/hit/miss
+        counters are captured between requests, never mid-update — the
+        consistency the fleet aggregator's ``hits + misses == queries``
+        identity relies on.  The service registry wins metric-name
+        collisions with the process-global one, mirroring ``/metrics``.
+        """
+        with self._lock:
+            return snapshot_registries(self.registry, default_registry())
+
     @property
     def store_generation(self) -> int:
         """Store generation of the serving model (0 = never persisted)."""
@@ -1018,15 +1045,46 @@ _UNGATED = frozenset({"/health", "/metrics", "/v1/status"})
 #: Request header carrying the caller's per-request deadline budget.
 DEADLINE_HEADER = "X-Deadline-Ms"
 
+#: Correlation header: echoed when the caller supplies one, generated
+#: otherwise.  Every response carries it, and every structured log line
+#: emitted while handling the request (admission wait, coalescer flush,
+#: kernel spans, access line) is tagged with the same id via
+#: :func:`repro.observability.bind_request_id`.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+_REQUEST_ID_MAX_LEN = 128
+
+
+def _clean_request_id(raw: str | None) -> str:
+    """Echo the caller's id (sanitised) or mint a fresh one."""
+    if raw:
+        cleaned = "".join(ch for ch in raw if ch.isprintable()).strip()
+        if cleaned:
+            return cleaned[:_REQUEST_ID_MAX_LEN]
+    return uuid.uuid4().hex[:16]
+
 
 def _render_metrics(service: EstimatorService) -> str:
     """Exposition text: the service registry plus (if distinct) the
-    process-global registry carrying solver/kernel instrumentation."""
-    text = service.registry.render()
+    process-global registry carrying solver/kernel instrumentation.
+
+    Families the service registry already exposes are skipped from the
+    shared registry — a family may appear once per page (one HELP/TYPE),
+    and the service's own series are the authoritative ones.
+    """
+    registry = service.registry
     shared = default_registry()
-    if service.registry is not shared:
-        text += shared.render()
-    return text
+    if registry is shared:
+        return registry.render()
+    chunks = [registry.render().rstrip("\n")]
+    seen = set(registry.names())
+    chunks.extend(
+        metric.render()
+        for metric in shared.collect()
+        if metric.name not in seen
+    )
+    chunks = [chunk for chunk in chunks if chunk]
+    return "\n".join(chunks) + ("\n" if chunks else "")
 
 
 def _make_handler(
@@ -1059,6 +1117,12 @@ def _make_handler(
         "HTTP request handling latency in seconds",
         labels=("endpoint",),
     )
+    stage_seconds = registry.histogram(
+        "repro_request_stage_seconds",
+        "Per-request latency breakdown: queue (admission wait), coalesce "
+        "(flush-window + sibling wait), kernel (estimate_many call), total",
+        labels=("stage",),
+    )
     access_logger = get_logger("http.access")
 
     class Handler(BaseHTTPRequestHandler):
@@ -1088,6 +1152,9 @@ def _make_handler(
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            request_id = getattr(self, "_request_id", None)
+            if request_id is not None:
+                self.send_header(REQUEST_ID_HEADER, request_id)
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
             if getattr(self, "_deprecated", False):
@@ -1135,49 +1202,74 @@ def _make_handler(
 
         def _guarded(self, handler) -> None:
             """Run ``handler``; render any failure as structured JSON and
-            record the per-endpoint request metrics either way."""
+            record the per-endpoint request metrics either way.
+
+            Also owns the request's tracing context: generate-or-echo
+            the ``X-Request-Id`` (bound to the thread so every log line
+            down-stack carries it) and collect the per-stage latency
+            breakdown (queue wait here, coalesce/kernel from the
+            coalescer or the direct service call) into
+            ``repro_request_stage_seconds`` and the access line.
+            """
             self._status_code = 0
             self._canonical = _LEGACY_ALIASES.get(self.path, self.path)
             self._deprecated = self._canonical != self.path
+            self._request_id = _clean_request_id(
+                self.headers.get(REQUEST_ID_HEADER)
+            )
+            self._stages: dict[str, float] = {}
             endpoint = self._canonical if self._canonical in _ENDPOINTS else "other"
+            gated = endpoint not in _UNGATED
             start = time.perf_counter()
             try:
-                try:
-                    if endpoint in _UNGATED:
-                        self._deadline = Deadline(None)
-                        handler()
-                    else:
-                        if draining is not None and draining.is_set():
-                            # Graceful shutdown: turn work away, stay
-                            # polite to probes (handled above).
-                            self._reply(
-                                503,
-                                {"error": "worker draining", "type": "Draining"},
-                                headers={"Retry-After": "1"},
-                            )
-                            return
-                        self._deadline = self._request_deadline()
-                        self._deadline.check()
-                        if admission is not None:
-                            with admission.admit(self._deadline):
-                                handler()
-                        else:
+                with bind_request_id(self._request_id):
+                    try:
+                        if not gated:
+                            self._deadline = Deadline(None)
                             handler()
-                except ReproError as exc:
-                    self._reply(
-                        exc.http_status,
-                        exc.to_dict(),
-                        headers=getattr(exc, "http_headers", None),
-                    )
-                except (KeyError, TypeError, ValueError) as exc:
-                    self._reply(400, {"error": str(exc), "type": type(exc).__name__})
-                except RuntimeError as exc:
-                    self._reply(409, {"error": str(exc), "type": type(exc).__name__})
-                except Exception as exc:  # never a traceback page / hung socket
-                    self._reply(
-                        500,
-                        {"error": "internal server error", "type": type(exc).__name__},
-                    )
+                        else:
+                            if draining is not None and draining.is_set():
+                                # Graceful shutdown: turn work away, stay
+                                # polite to probes (handled above).
+                                self._reply(
+                                    503,
+                                    {"error": "worker draining", "type": "Draining"},
+                                    headers={"Retry-After": "1"},
+                                )
+                                return
+                            self._deadline = self._request_deadline()
+                            self._deadline.check()
+                            if admission is not None:
+                                admit_start = time.perf_counter()
+                                with admission.admit(self._deadline):
+                                    self._stages["queue"] = (
+                                        time.perf_counter() - admit_start
+                                    )
+                                    handler()
+                            else:
+                                handler()
+                    except ReproError as exc:
+                        self._reply(
+                            exc.http_status,
+                            exc.to_dict(),
+                            headers=getattr(exc, "http_headers", None),
+                        )
+                    except (KeyError, TypeError, ValueError) as exc:
+                        self._reply(
+                            400, {"error": str(exc), "type": type(exc).__name__}
+                        )
+                    except RuntimeError as exc:
+                        self._reply(
+                            409, {"error": str(exc), "type": type(exc).__name__}
+                        )
+                    except Exception as exc:  # never a traceback / hung socket
+                        self._reply(
+                            500,
+                            {
+                                "error": "internal server error",
+                                "type": type(exc).__name__,
+                            },
+                        )
             finally:
                 elapsed = time.perf_counter() - start
                 status = self._status_code or 500
@@ -1187,6 +1279,12 @@ def _make_handler(
                     endpoint=endpoint,
                     status=f"{status // 100}xx",
                 )
+                if gated:
+                    # Probes/scrapes are excluded: their totals would
+                    # swamp the breakdown with non-request noise.
+                    self._stages["total"] = elapsed
+                    for stage, seconds in self._stages.items():
+                        stage_seconds.observe(seconds, stage=stage)
                 if access_log:
                     log_event(
                         access_logger,
@@ -1196,6 +1294,11 @@ def _make_handler(
                         status=status,
                         seconds=round(elapsed, 6),
                         client=self.address_string(),
+                        request_id=self._request_id,
+                        stages={
+                            stage: round(seconds, 6)
+                            for stage, seconds in self._stages.items()
+                        },
                     )
 
         def do_GET(self):
@@ -1229,9 +1332,15 @@ def _make_handler(
                     data = self._read_json()
                     query = range_from_dict(data["query"])
                     if coalescer is not None:
-                        value = coalescer.submit(query, deadline=self._deadline)
+                        value = coalescer.submit(
+                            query, deadline=self._deadline, stages=self._stages
+                        )
                     else:
+                        kernel_start = time.perf_counter()
                         value = service.estimate(query)
+                        self._stages["kernel"] = (
+                            time.perf_counter() - kernel_start
+                        )
                     self._reply(200, {"selectivity": value})
                 elif path == "/v1/predict":
                     data = self._read_json()
@@ -1243,10 +1352,14 @@ def _make_handler(
                     queries = [range_from_dict(item) for item in encoded]
                     if coalescer is not None:
                         estimates = coalescer.submit_many(
-                            queries, deadline=self._deadline
+                            queries, deadline=self._deadline, stages=self._stages
                         )
                     else:
+                        kernel_start = time.perf_counter()
                         estimates = service.estimate_many(queries)
+                        self._stages["kernel"] = (
+                            time.perf_counter() - kernel_start
+                        )
                     self._reply(
                         200, {"selectivities": estimates, "count": len(estimates)}
                     )

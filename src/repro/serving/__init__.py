@@ -7,7 +7,11 @@ this package scales and hardens it into a supervised pre-fork pool:
   carrying every pool/admission/coalescing/supervision knob;
 * :mod:`~repro.serving.supervisor` — binds the listening socket, forks
   N workers over it, restarts crashed or wedged workers with exponential
-  backoff behind a per-slot restart-storm circuit breaker;
+  backoff behind a per-slot restart-storm circuit breaker, merges the
+  workers' heartbeat metric snapshots into one fleet registry
+  (:class:`~repro.observability.FleetAggregator`), and optionally serves
+  an ops endpoint — aggregated ``/metrics``, ``/workers``, fleet
+  ``/health`` (``ServingConfig.ops_port``);
 * :mod:`~repro.serving.worker` — one worker process: warm-start from the
   shared :class:`~repro.persistence.SnapshotStore`, heartbeats, rolling
   generation reloads, SIGTERM graceful drain;

@@ -23,6 +23,14 @@ The pass condition mirrors the PR's acceptance criterion: **zero HTTP
 (counted separately as ``conn_errors``; that is the unavoidable budget
 of SIGKILL) but no request may ever receive a garbage or 5xx *answer* —
 plus full recovery and a clean drain inside the wall-clock budget.
+
+The scenario also gates the *fleet aggregation* invariants under the
+restart path: the supervisor's merged ``repro_service_queries_total``
+is sampled throughout the kill storm and must never decrease (counter
+reset tracking across incarnations), the final aggregate must satisfy
+``cache hits + misses == queries`` exactly, and one aggregated
+``/metrics`` page must pass the exposition linter
+(:mod:`repro.observability.expolint`).
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from collections import Counter
 from http.client import HTTPException
 
 from repro.core.quadhist import QuadHist
+from repro.observability import MetricsRegistry, lint_exposition
 from repro.server import EstimatorService
 from repro.serving.config import ServingConfig
 from repro.serving.supervisor import Supervisor
@@ -118,6 +127,7 @@ def run_kill_workers_scenario(
             stable_after_s=0.5,
             drain_timeout_s=drain_budget_s,
             reload_check_s=5.0,
+            ops_port=0,  # aggregated /metrics scraped + linted below
         )
 
     def factory():
@@ -126,7 +136,10 @@ def run_kill_workers_scenario(
             snapshot_dir=snapshot_dir,
         )
 
-    supervisor = Supervisor(factory, config=config)
+    # Own registry: the scenario is embeddable (tests run it in-process),
+    # and its restart storm must not bleed supervisor counters into the
+    # caller's process-global registry.
+    supervisor = Supervisor(factory, config=config, registry=MetricsRegistry())
     counts: Counter = Counter()
     lock = threading.Lock()
     stop = threading.Event()
@@ -148,8 +161,19 @@ def run_kill_workers_scenario(
 
         chaos_end = time.monotonic() + duration_s
         next_kill = time.monotonic() + kill_every_s
+        # Fleet-counter monotonicity: the merged total must never go
+        # backwards, even in the instant a killed worker's zeroed
+        # replacement starts reporting.
+        fleet_samples = 0
+        monotone_violations = 0
+        last_total = supervisor.aggregator.total("repro_service_queries_total")
         while time.monotonic() < chaos_end:
             time.sleep(0.05)
+            total = supervisor.aggregator.total("repro_service_queries_total")
+            fleet_samples += 1
+            if total < last_total:
+                monotone_violations += 1
+            last_total = max(last_total, total)
             if time.monotonic() >= next_kill:
                 next_kill += kill_every_s
                 live = [s for s in supervisor._slots if s.alive]
@@ -184,9 +208,31 @@ def run_kill_workers_scenario(
             except Exception:
                 pass
 
+        # One aggregated exposition page, scraped over the ops endpoint
+        # when enabled (else rendered directly), must lint clean.
+        if config.ops_port is not None:
+            ops_host, ops_port = supervisor.ops_address
+            with urllib.request.urlopen(
+                f"http://{ops_host}:{ops_port}/metrics", timeout=request_timeout_s
+            ) as response:
+                exposition = response.read().decode("utf-8")
+        else:
+            exposition = supervisor.render_metrics()
+        lint_problems = lint_exposition(exposition)
+
         drain_start = time.monotonic()
         drain = supervisor.stop(drain=True)
         drain_seconds = time.monotonic() - drain_start
+
+        # Post-drain the fleet is quiescent and every worker's final
+        # snapshot is folded in: the cache identity must hold exactly.
+        fleet_queries = supervisor.aggregator.total("repro_service_queries_total")
+        fleet_hits = supervisor.aggregator.total(
+            "repro_prediction_cache_hits_total"
+        )
+        fleet_misses = supervisor.aggregator.total(
+            "repro_prediction_cache_misses_total"
+        )
 
         total = sum(counts.values())
         http_5xx = sum(v for k, v in counts.items() if k == "5xx")
@@ -203,6 +249,16 @@ def run_kill_workers_scenario(
                 "drain_seconds": round(drain_seconds, 3),
                 "drained_clean": len(drain["killed"]) == 0,
                 "restarts": sum(s.restarts for s in supervisor._slots),
+                "fleet": {
+                    "samples": fleet_samples,
+                    "monotone_violations": monotone_violations,
+                    "queries_total": fleet_queries,
+                    "cache_hits": fleet_hits,
+                    "cache_misses": fleet_misses,
+                    "cache_identity": fleet_queries == fleet_hits + fleet_misses,
+                    "final_total": last_total,
+                    "lint_problems": lint_problems,
+                },
             }
         )
         report["passed"] = (
@@ -211,6 +267,9 @@ def run_kill_workers_scenario(
             and probe_ok == 20
             and drain_seconds <= drain_budget_s
             and report["drained_clean"]
+            and monotone_violations == 0
+            and report["fleet"]["cache_identity"]
+            and not lint_problems
         )
         return report
     finally:

@@ -40,7 +40,7 @@ __all__ = ["PredictCoalescer"]
 class _Batch:
     """One forming/flushing batch; immutable once detached."""
 
-    __slots__ = ("queries", "done", "full", "results", "error")
+    __slots__ = ("queries", "done", "full", "results", "error", "kernel_seconds")
 
     def __init__(self):
         self.queries: list = []
@@ -48,6 +48,7 @@ class _Batch:
         self.full = threading.Event()
         self.results: list | None = None
         self.error: BaseException | None = None
+        self.kernel_seconds: float = 0.0
 
 
 class PredictCoalescer:
@@ -105,22 +106,40 @@ class PredictCoalescer:
             labels=("worker",),
         )
 
-    def submit(self, query, deadline: Deadline | None = None) -> float:
+    def submit(
+        self,
+        query,
+        deadline: Deadline | None = None,
+        stages: dict | None = None,
+    ) -> float:
         """Answer one query through the current flush window."""
-        return self.submit_many([query], deadline=deadline)[0]
+        return self.submit_many([query], deadline=deadline, stages=stages)[0]
 
-    def submit_many(self, queries, deadline: Deadline | None = None) -> list[float]:
+    def submit_many(
+        self,
+        queries,
+        deadline: Deadline | None = None,
+        stages: dict | None = None,
+    ) -> list[float]:
         """Answer a list of queries; blocks until the owning batch flushes.
 
         Returns results in input order.  Raises
         :class:`DeadlineExceededError` if ``deadline`` expires before the
         flush completes, or whatever ``estimate_many`` raised for the
         whole batch (e.g. ``ModelUnavailableError`` before first fit).
+
+        ``stages``, when given, receives this caller's latency breakdown:
+        ``stages["kernel"]`` is the batch's one ``estimate_many`` call and
+        ``stages["coalesce"]`` is the time this caller spent waiting on
+        the flush window and its siblings (elapsed minus kernel) — the
+        attribution the per-request tracing exposes as
+        ``repro_request_stage_seconds``.
         """
         queries = list(queries)
         if not queries:
             return []
         deadline = deadline if deadline is not None else Deadline(None)
+        start_ts = self._clock() if stages is not None else 0.0
         with self._lock:
             batch = self._pending
             leader = batch is None
@@ -130,10 +149,16 @@ class PredictCoalescer:
             batch.queries.extend(queries)
             if len(batch.queries) >= self.max_batch:
                 batch.full.set()
-        if leader:
-            self._lead(batch, deadline)
-        else:
-            self._follow(batch, deadline)
+        try:
+            if leader:
+                self._lead(batch, deadline)
+            else:
+                self._follow(batch, deadline)
+        finally:
+            if stages is not None:
+                elapsed = self._clock() - start_ts
+                stages["kernel"] = batch.kernel_seconds
+                stages["coalesce"] = max(0.0, elapsed - batch.kernel_seconds)
         if batch.error is not None:
             raise batch.error
         return batch.results[start : start + len(queries)]
@@ -149,11 +174,13 @@ class PredictCoalescer:
         with self._lock:
             if self._pending is batch:
                 self._pending = None
+        kernel_start = self._clock()
         try:
             batch.results = [float(v) for v in self._estimate_many(batch.queries)]
         except BaseException as exc:  # propagate to every caller in the batch
             batch.error = exc
         finally:
+            batch.kernel_seconds = self._clock() - kernel_start
             size = len(batch.queries)
             self._batches_total.inc(worker=self.worker)
             self._queries_total.inc(size, worker=self.worker)

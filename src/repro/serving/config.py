@@ -63,6 +63,10 @@ class ServingConfig:
     reload_check_s: float = 1.0
     #: Structured access log (one line per HTTP request) in each worker.
     access_log: bool = False
+    #: Supervisor ops endpoint port (aggregated ``/metrics``, ``/workers``,
+    #: fleet ``/health``).  ``None`` disables it; 0 picks a free port
+    #: (read :attr:`Supervisor.ops_address` after start).
+    ops_port: int | None = None
     #: Extra worker environment (merged over the inherited one).
     worker_env: dict = field(default_factory=dict)
 
@@ -93,6 +97,10 @@ class ServingConfig:
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(
                 f"deadline_ms must be positive or None, got {self.deadline_ms}"
+            )
+        if self.ops_port is not None and not 0 <= self.ops_port <= 65535:
+            raise ValueError(
+                f"ops_port must be in [0, 65535] or None, got {self.ops_port}"
             )
         for name, value in (
             ("heartbeat_interval_s", self.heartbeat_interval_s),

@@ -31,13 +31,16 @@ a ``drain_timeout_s`` budget, SIGKILL stragglers, close the socket.
 
 from __future__ import annotations
 
+import json
 import logging
 import multiprocessing
 import socket
 import threading
 import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.observability import (
+    FleetAggregator,
     MetricsRegistry,
     default_registry,
     get_logger,
@@ -53,10 +56,10 @@ __all__ = ["Supervisor", "WorkerSlot"]
 _log = get_logger("serving.supervisor")
 
 
-def _worker_entry(worker_id, service_factory, config, sock, conn):
+def _worker_entry(worker_id, service_factory, config, sock, conn, incarnation):
     # Child-side shim: a normal return exits 0 (clean drain); an escaping
     # exception exits 1 and the supervisor schedules a restart.
-    worker_main(worker_id, service_factory, config, sock, conn)
+    worker_main(worker_id, service_factory, config, sock, conn, incarnation)
 
 
 class WorkerSlot:
@@ -74,6 +77,7 @@ class WorkerSlot:
             clock=clock,
         )
         self.restarts = 0  # respawns after the initial start
+        self.spawns = 0  # incarnation counter: every fork of this slot
         self.started_at: float | None = None
         self.last_heartbeat: float | None = None
         self.last_payload: dict | None = None
@@ -98,6 +102,12 @@ class WorkerSlot:
             "alive": self.alive,
             "pid": self.process.pid if self.process is not None else None,
             "restarts": self.restarts,
+            "incarnation": self.spawns,
+            "next_restart_in": (
+                round(max(0.0, self.next_restart_at - now), 3)
+                if not self.alive and self.next_restart_at > now
+                else None
+            ),
             "uptime": (
                 round(now - self.started_at, 3)
                 if self.alive and self.started_at is not None
@@ -153,6 +163,10 @@ class Supervisor:
         self._monitor: threading.Thread | None = None
         self._started = False
         registry = registry if registry is not None else default_registry()
+        self._registry = registry
+        self.aggregator = FleetAggregator()
+        self._ops_server: ThreadingHTTPServer | None = None
+        self._ops_thread: threading.Thread | None = None
         self._restarts_total = registry.counter(
             "repro_worker_restarts_total",
             "Worker respawns by slot and cause",
@@ -175,6 +189,13 @@ class Supervisor:
         name = self._sock.getsockname()
         return name[0], name[1]
 
+    @property
+    def ops_address(self) -> tuple[str, int]:
+        if self._ops_server is None:
+            raise WorkerSupervisionError("ops endpoint is not running")
+        name = self._ops_server.socket.getsockname()
+        return name[0], name[1]
+
     def start(self) -> tuple[str, int]:
         """Bind, listen, fork the pool, start the monitor; returns the
         bound ``(host, port)``."""
@@ -192,6 +213,8 @@ class Supervisor:
         self._sock = sock
         for slot in self._slots:
             self._spawn(slot)
+        if self.config.ops_port is not None:
+            self._start_ops_server()
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="serving-monitor", daemon=True
         )
@@ -216,6 +239,11 @@ class Supervisor:
             self._monitor.join(timeout=5.0)
         drained: list[int] = []
         killed: list[int] = []
+        if self._ops_server is not None:
+            self._ops_server.shutdown()
+            self._ops_server.server_close()
+            self._ops_server = None
+            self._ops_thread = None
         live = [slot for slot in self._slots if slot.process is not None]
         for slot in live:
             if slot.process.is_alive():
@@ -235,6 +263,11 @@ class Supervisor:
             else:
                 killed.append(slot.index)
             slot.last_exit = slot.process.exitcode
+            # The worker's final "stopped" heartbeat (with its last metric
+            # snapshot) lands after the monitor thread already exited —
+            # drain once more so the fleet totals include requests served
+            # during the drain window.
+            self._drain_heartbeats(slot, self._clock())
             self._close_conn(slot)
             slot.process = None
         if self._sock is not None:
@@ -326,7 +359,15 @@ class Supervisor:
             return
         try:
             while conn.poll(0):
-                slot.last_payload = conn.recv()
+                payload = conn.recv()
+                snapshot = payload.pop("metrics", None)
+                if snapshot is not None:
+                    self.aggregator.observe(
+                        slot.index,
+                        payload.get("incarnation", slot.spawns),
+                        snapshot,
+                    )
+                slot.last_payload = payload
                 slot.last_heartbeat = now
         except (EOFError, OSError):
             pass  # sender side closed; process liveness is tracked separately
@@ -353,6 +394,7 @@ class Supervisor:
 
     def _spawn(self, slot: WorkerSlot) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        slot.spawns += 1
         process = self._ctx.Process(
             target=_worker_entry,
             args=(
@@ -361,6 +403,7 @@ class Supervisor:
                 self.config,
                 self._sock,
                 child_conn,
+                slot.spawns,
             ),
             name=f"repro-worker-{slot.index}",
         )
@@ -382,3 +425,102 @@ class Supervisor:
             except OSError:
                 pass
             slot.conn = None
+
+    # -- ops endpoint ------------------------------------------------------
+
+    def fleet_health(self) -> dict:
+        """Fleet-level health: ok only when every slot is alive and no
+        worker reports degraded; still HTTP 200 either way (degraded
+        means "look", not "stop routing")."""
+        alive = sum(1 for slot in self._slots if slot.alive)
+        reasons: list[str] = []
+        if alive < len(self._slots):
+            reasons.append("workers_down")
+        workers = {}
+        for slot in self._slots:
+            payload = slot.last_payload or {}
+            health = payload.get("health") or {}
+            workers[str(slot.index)] = {
+                "alive": slot.alive,
+                "status": payload.get("status"),
+                "health": health,
+            }
+            if slot.alive and health.get("status") == "degraded":
+                reasons.append(f"worker_{slot.index}_degraded")
+        if any(slot.breaker.state == "open" for slot in self._slots):
+            reasons.append("restart_storm")
+        return {
+            "status": "ok" if not reasons else "degraded",
+            "reasons": reasons,
+            "alive": alive,
+            "workers": len(self._slots),
+            "per_worker": workers,
+        }
+
+    def render_metrics(self) -> str:
+        """Aggregated fleet exposition plus the supervisor's own metrics
+        (restarts, alive gauge, storm breaker) for non-colliding names."""
+        return self.aggregator.render(extra=self._registry)
+
+    def _start_ops_server(self) -> None:
+        supervisor = self
+
+        class _OpsHandler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - stdlib handler contract
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                if path == "/metrics":
+                    body = supervisor.render_metrics().encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/workers":
+                    body = json.dumps(
+                        {
+                            "slots": [slot.to_dict() for slot in supervisor._slots],
+                            "aggregator": supervisor.aggregator.workers(),
+                        },
+                        sort_keys=True,
+                        default=str,
+                    ).encode("utf-8")
+                    ctype = "application/json"
+                elif path == "/health":
+                    body = json.dumps(
+                        supervisor.fleet_health(), sort_keys=True, default=str
+                    ).encode("utf-8")
+                    ctype = "application/json"
+                else:
+                    body = json.dumps(
+                        {"error": "not found", "endpoints": [
+                            "/metrics", "/workers", "/health"
+                        ]}
+                    ).encode("utf-8")
+                    self.send_response(404)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # quiet: ops scrapes
+                pass
+
+        server = ThreadingHTTPServer(
+            (self.host, int(self.config.ops_port)), _OpsHandler
+        )
+        server.daemon_threads = True
+        self._ops_server = server
+        self._ops_thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serving-ops",
+            daemon=True,
+        )
+        self._ops_thread.start()
+        log_event(
+            _log,
+            "ops_started",
+            address=f"{self.ops_address[0]}:{self.ops_address[1]}",
+        )

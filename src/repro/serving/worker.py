@@ -30,7 +30,12 @@ import signal
 import threading
 import time
 
-from repro.observability import get_logger, log_event
+from repro.observability import (
+    default_registry,
+    get_logger,
+    log_event,
+    set_worker_label,
+)
 from repro.server import EstimatorService, make_server
 from repro.serving.admission import AdmissionController
 from repro.serving.coalescer import PredictCoalescer
@@ -110,15 +115,31 @@ def worker_main(
     config: ServingConfig,
     sock,
     heartbeat_conn=None,
+    incarnation: int = 0,
 ) -> None:
     """Run one worker until SIGTERM (returns) or SIGKILL (doesn't).
 
     ``sock`` is the shared pre-bound listening socket; ``heartbeat_conn``
     (a write end of a ``multiprocessing.Pipe``) carries periodic liveness
-    payloads to the supervisor and is optional for embedded use.
+    payloads — plus compact metric-registry snapshots for the fleet
+    aggregator — to the supervisor and is optional for embedded use.
+    ``incarnation`` is the supervisor's spawn count for this slot; the
+    aggregator uses it to fold a dead incarnation's final counters into
+    a monotone base instead of letting fleet totals regress.
     """
     label = str(worker_id)
     os.environ["REPRO_WORKER_ID"] = label
+    if heartbeat_conn is not None:
+        # Supervised pool: attribute every exposed series to this slot so
+        # even direct scrapes through the shared socket are identifiable.
+        # Single-process serving (heartbeat_conn=None) stays label-free.
+        set_worker_label(label)
+        # The fork inherited the parent's process-global registry —
+        # warmup traffic, the supervisor's own counters, whatever ran
+        # before the pool started.  Each incarnation must report only
+        # its own work, or the fleet aggregate counts the parent's
+        # history once per worker.
+        default_registry().reset()
 
     # Latch SIGTERM/SIGINT before anything expensive (the warm restore in
     # service_factory takes milliseconds): a drain signal that lands while
@@ -189,10 +210,15 @@ def worker_main(
         payload = {
             "worker": worker_id,
             "pid": os.getpid(),
+            "incarnation": incarnation,
             "ts": time.time(),
             "status": status,
             "health": service.health(),
             "admission": admission.snapshot(),
+            # Registry snapshot piggybacked for the supervisor's fleet
+            # aggregator; taken under the service state lock so the
+            # query/hit/miss counters are captured between requests.
+            "metrics": service.metrics_snapshot(),
         }
         try:
             with send_lock:

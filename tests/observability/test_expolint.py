@@ -1,0 +1,174 @@
+"""Exposition parser/linter and the text-format edge cases it guards.
+
+The linter is the contract between this repo's hand-rolled exposition
+and real Prometheus scrapers: everything the registry or the fleet
+aggregator renders must parse and lint clean, and the linter must
+actually catch the malformations it claims to.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.observability import (
+    MetricsRegistry,
+    lint_exposition,
+    parse_exposition,
+    set_worker_label,
+)
+from repro.observability.expolint import main as expolint_main
+
+
+class TestParse:
+    def test_parses_families_and_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_q_total", "queries", labels=("kind",)).inc(
+            3, kind="box"
+        )
+        registry.gauge("repro_g", "gauge").set(1.5)
+        families, problems = parse_exposition(registry.render())
+        assert problems == []
+        assert families["repro_q_total"]["type"] == "counter"
+        name, labels, value, _ = families["repro_q_total"]["samples"][0]
+        assert (name, labels, value) == ("repro_q_total", {"kind": "box"}, 3.0)
+        assert families["repro_g"]["samples"][0][2] == 1.5
+
+    def test_histogram_samples_group_under_base_name(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h_seconds", "h", buckets=(0.1, 1.0)).observe(0.05)
+        families, problems = parse_exposition(registry.render())
+        assert problems == []
+        family = families["repro_h_seconds"]
+        assert family["type"] == "histogram"
+        sample_names = {sample[0] for sample in family["samples"]}
+        assert sample_names == {
+            "repro_h_seconds_bucket",
+            "repro_h_seconds_sum",
+            "repro_h_seconds_count",
+        }
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        gnarly = 'a\\b"c\nd'
+        registry.counter("repro_q_total", "q", labels=("p",)).inc(1, p=gnarly)
+        families, problems = parse_exposition(registry.render())
+        assert problems == []
+        assert families["repro_q_total"]["samples"][0][1] == {"p": gnarly}
+
+    def test_special_float_values_parse(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_g", "g", labels=("k",))
+        gauge.set(math.inf, k="pinf")
+        gauge.set(-math.inf, k="ninf")
+        gauge.set(math.nan, k="nan")
+        families, problems = parse_exposition(registry.render())
+        assert problems == []
+        values = {
+            labels["k"]: value
+            for _, labels, value, _ in families["repro_g"]["samples"]
+        }
+        assert values["pinf"] == math.inf
+        assert values["ninf"] == -math.inf
+        assert math.isnan(values["nan"])
+
+    def test_empty_registry_renders_empty_and_lints_clean(self):
+        registry = MetricsRegistry()
+        assert registry.render() == ""
+        families, problems = parse_exposition("")
+        assert families == {} and problems == []
+        assert lint_exposition("") == []
+
+    def test_garbage_line_reported(self):
+        families, problems = parse_exposition("!!! not exposition\n")
+        assert families == {}
+        assert problems and "1" in problems[0]
+
+
+class TestLint:
+    def test_registry_render_lints_clean(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_q_total", "q").inc(2)
+        registry.histogram("repro_h_seconds", "h").observe(0.3)
+        assert lint_exposition(registry.render()) == []
+
+    def test_worker_labelled_render_lints_clean(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_q_total", "q").inc(2)
+        registry.histogram("repro_h_seconds", "h").observe(0.3)
+        previous = set_worker_label("3")
+        try:
+            text = registry.render()
+        finally:
+            set_worker_label(previous)
+        assert lint_exposition(text) == []
+        families, _ = parse_exposition(text)
+        assert families["repro_q_total"]["samples"][0][1] == {"worker": "3"}
+
+    def test_sample_without_type_flagged(self):
+        problems = lint_exposition("repro_q_total 3\n")
+        assert any("TYPE" in p for p in problems)
+
+    def test_negative_counter_flagged(self):
+        text = (
+            "# HELP repro_q_total q\n"
+            "# TYPE repro_q_total counter\n"
+            "repro_q_total -1\n"
+        )
+        assert any("negative" in p for p in lint_exposition(text))
+
+    def test_non_cumulative_histogram_buckets_flagged(self):
+        text = (
+            "# HELP repro_h_seconds h\n"
+            "# TYPE repro_h_seconds histogram\n"
+            'repro_h_seconds_bucket{le="0.1"} 5\n'
+            'repro_h_seconds_bucket{le="1"} 3\n'
+            'repro_h_seconds_bucket{le="+Inf"} 3\n'
+            "repro_h_seconds_sum 1.0\n"
+            "repro_h_seconds_count 3\n"
+        )
+        assert any("cumulative" in p for p in lint_exposition(text))
+
+    def test_histogram_missing_inf_bucket_flagged(self):
+        text = (
+            "# HELP repro_h_seconds h\n"
+            "# TYPE repro_h_seconds histogram\n"
+            'repro_h_seconds_bucket{le="0.1"} 5\n'
+            "repro_h_seconds_sum 1.0\n"
+            "repro_h_seconds_count 5\n"
+        )
+        assert any("+Inf" in p for p in lint_exposition(text))
+
+    def test_histogram_count_bucket_mismatch_flagged(self):
+        text = (
+            "# HELP repro_h_seconds h\n"
+            "# TYPE repro_h_seconds histogram\n"
+            'repro_h_seconds_bucket{le="+Inf"} 5\n'
+            "repro_h_seconds_sum 1.0\n"
+            "repro_h_seconds_count 7\n"
+        )
+        assert any("_count" in p for p in lint_exposition(text))
+
+    def test_duplicate_type_flagged(self):
+        text = (
+            "# TYPE repro_q_total counter\n"
+            "# TYPE repro_q_total counter\n"
+            "repro_q_total 1\n"
+        )
+        assert any("duplicate" in p.lower() for p in lint_exposition(text))
+
+
+class TestCli:
+    def test_main_ok_on_clean_file(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("repro_q_total", "q").inc(1)
+        path = tmp_path / "metrics.txt"
+        path.write_text(registry.render())
+        assert expolint_main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_main_fails_on_problems(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        path.write_text("repro_q_total -3\n")
+        assert expolint_main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out

@@ -262,3 +262,32 @@ class TestEnabledSwitch:
             assert set_enabled(True) is True
         finally:
             set_enabled(previous)
+
+
+class TestReset:
+    def test_reset_zeroes_values_but_keeps_handles(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_q_total", "q", labels=("kind",))
+        counter.inc(5, kind="box")
+        bare = registry.counter("repro_b_total", "b")
+        bare.inc(2)
+        gauge = registry.gauge("repro_g", "g")
+        gauge.set(3.5)
+        histogram = registry.histogram("repro_h_seconds", "h", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+
+        registry.reset()
+
+        assert counter.value(kind="box") == 0.0
+        assert bare.value() == 0.0
+        assert gauge.value() == 0.0
+        assert histogram.snapshot()["count"] == 0
+        # Unlabelled metrics still expose a zero sample after reset.
+        assert "repro_b_total 0" in registry.render()
+        # Handles cached before the reset keep recording into the
+        # registry — reset drops values, not registrations.
+        counter.inc(1, kind="box")
+        assert counter.value(kind="box") == 1.0
+        assert registry.counter("repro_b_total", "b") is bare
+        histogram.observe(0.2)
+        assert histogram.snapshot()["count"] == 1

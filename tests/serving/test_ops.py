@@ -1,0 +1,241 @@
+"""Supervisor ops endpoint and fleet-wide metric aggregation over a
+real pre-fork pool.
+
+These tests exercise the full wire path the chaos harness relies on:
+worker registries → heartbeat snapshots → FleetAggregator → ops HTTP
+endpoint.  The equality assertions are exact — the kernel balances
+requests across workers arbitrarily, but the *sum* over workers must
+always equal the traffic generated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import QuadHist
+from repro.observability import (
+    MetricsRegistry,
+    default_registry,
+    lint_exposition,
+    parse_exposition,
+)
+from repro.server import REQUEST_ID_HEADER, EstimatorService
+from repro.serving import ServingConfig, Supervisor
+
+QUERIES_TOTAL = "repro_service_queries_total"
+HITS_TOTAL = "repro_prediction_cache_hits_total"
+MISSES_TOTAL = "repro_prediction_cache_misses_total"
+
+
+def _post(base, path, payload, timeout=10.0, headers=None):
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response, json.loads(response.read())
+
+
+def _get_text(base, path, timeout=10.0):
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def _wait_until(predicate, budget_s, interval=0.05):
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def ops_pool(pool_snapshot_dir):
+    config = ServingConfig(
+        workers=3,
+        restart_backoff_s=0.05,
+        stable_after_s=0.5,
+        drain_timeout_s=15.0,
+        deadline_ms=10_000.0,
+        heartbeat_interval_s=0.1,
+        ops_port=0,
+    )
+
+    def factory():
+        return EstimatorService(
+            lambda: QuadHist(tau=0.01), snapshot_dir=str(pool_snapshot_dir)
+        )
+
+    # Pollute the parent's process-global registry before forking: each
+    # worker inherits it verbatim, and must reset it on boot or the
+    # fleet aggregate counts this pre-fork history once per worker
+    # (exactly what un-isolated earlier tests in a full pytest run do).
+    default_registry().counter(
+        "repro_service_queries_total",
+        "Individual queries received via estimate/estimate_many",
+    ).inc(100)
+
+    supervisor = Supervisor(factory, config=config, registry=MetricsRegistry())
+    host, port = supervisor.start()
+    ops_host, ops_port = supervisor.ops_address
+    try:
+        yield supervisor, f"http://{host}:{port}", f"http://{ops_host}:{ops_port}"
+    finally:
+        if supervisor._sock is not None:
+            supervisor.stop(drain=False)
+        default_registry().reset()
+
+
+class TestFleetAggregation:
+    def test_aggregated_metrics_equal_generated_traffic(
+        self, ops_pool, query_payloads
+    ):
+        supervisor, base, ops = ops_pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 3, 20.0)
+
+        singles, batches, batch_size = 18, 4, 5
+        for i in range(singles):
+            _post(base, "/v1/estimate", {"query": query_payloads[i % 16]})
+        for i in range(batches):
+            batch = [query_payloads[(i + j) % 16] for j in range(batch_size)]
+            _post(base, "/v1/predict", {"queries": batch})
+        expected = singles + batches * batch_size
+
+        # However the kernel spread the requests, the fleet sum must
+        # converge on exactly the traffic generated (next heartbeats).
+        assert _wait_until(
+            lambda: supervisor.aggregator.total(QUERIES_TOTAL) == expected, 10.0
+        ), supervisor.aggregator.total(QUERIES_TOTAL)
+        hits = supervisor.aggregator.total(HITS_TOTAL)
+        misses = supervisor.aggregator.total(MISSES_TOTAL)
+        assert hits + misses == expected
+
+        # The ops endpoint serves the same numbers over HTTP, lint-clean.
+        text = _get_text(ops, "/metrics")
+        assert lint_exposition(text) == []
+        families, _ = parse_exposition(text)
+        scraped = sum(
+            value for _, _, value, _ in families[QUERIES_TOTAL]["samples"]
+        )
+        assert scraped == expected
+        # Supervisor's own registry rides along under its own names.
+        assert families["repro_workers_alive"]["samples"][0][2] == 3.0
+
+        # Per-request stage decomposition covers every gated request.
+        stage = families["repro_request_stage_seconds"]
+        counts = {
+            labels["stage"]: value
+            for name, labels, value, _ in stage["samples"]
+            if name.endswith("_count")
+        }
+        assert counts["total"] == singles + batches
+        assert counts["queue"] == singles + batches
+        assert counts["kernel"] >= 1
+
+    def test_totals_monotone_across_sigkill_respawn(self, ops_pool, query_payloads):
+        supervisor, base, _ = ops_pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 3, 20.0)
+        for i in range(10):
+            _post(base, "/v1/estimate", {"query": query_payloads[i % 16]})
+        assert _wait_until(
+            lambda: supervisor.aggregator.total(QUERIES_TOTAL) == 10, 10.0
+        )
+
+        victim = next(slot for slot in supervisor._slots if slot.alive)
+        os.kill(victim.process.pid, signal.SIGKILL)
+        assert _wait_until(
+            lambda: victim.restarts >= 1 and supervisor.status()["alive"] == 3, 30.0
+        )
+        # The respawned incarnation reports zeroed counters; the fold
+        # must keep the dead incarnation's contribution.
+        assert supervisor.aggregator.total(QUERIES_TOTAL) == 10
+
+        for i in range(5):
+            _post(base, "/v1/estimate", {"query": query_payloads[i % 16]})
+        assert _wait_until(
+            lambda: supervisor.aggregator.total(QUERIES_TOTAL) == 15, 10.0
+        ), supervisor.aggregator.total(QUERIES_TOTAL)
+
+    def test_drain_folds_final_snapshots(self, ops_pool, query_payloads):
+        supervisor, base, _ = ops_pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 3, 20.0)
+        for i in range(8):
+            _post(base, "/v1/estimate", {"query": query_payloads[i % 16]})
+        report = supervisor.stop(drain=True)
+        assert report["killed"] == []
+        # The "stopped" heartbeat each worker sends on drain carries its
+        # final registry snapshot; nothing served may be lost.
+        assert supervisor.aggregator.total(QUERIES_TOTAL) == 8
+
+
+class TestOpsEndpoint:
+    def test_workers_lists_slots_and_incarnations(self, ops_pool):
+        supervisor, _, ops = ops_pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 3, 20.0)
+        assert _wait_until(
+            lambda: all(s.last_payload is not None for s in supervisor._slots), 10.0
+        )
+        body = json.loads(_get_text(ops, "/workers"))
+        assert {slot["index"] for slot in body["slots"]} == {0, 1, 2}
+        assert all(slot["incarnation"] == 1 for slot in body["slots"])
+        assert set(body["aggregator"]) == {"0", "1", "2"}
+        assert all(v["has_snapshot"] for v in body["aggregator"].values())
+
+    def test_health_reports_fleet_status(self, ops_pool):
+        supervisor, _, ops = ops_pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 3, 20.0)
+        body = json.loads(_get_text(ops, "/health"))
+        assert body["status"] == "ok"
+        assert body["alive"] == 3 and body["workers"] == 3
+        assert body["reasons"] == []
+        assert set(body["per_worker"]) == {"0", "1", "2"}
+
+    def test_unknown_path_is_404_with_endpoint_list(self, ops_pool):
+        _, _, ops = ops_pool
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get_text(ops, "/nope")
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert "/metrics" in body["endpoints"]
+
+    def test_ops_address_requires_running_pool(self, pool_snapshot_dir):
+        def factory():
+            return EstimatorService(
+                lambda: QuadHist(tau=0.01), snapshot_dir=str(pool_snapshot_dir)
+            )
+
+        supervisor = Supervisor(
+            factory,
+            config=ServingConfig(workers=2, ops_port=0),
+            registry=MetricsRegistry(),
+        )
+        from repro.serving.supervisor import WorkerSupervisionError
+
+        with pytest.raises(WorkerSupervisionError):
+            supervisor.ops_address
+
+
+class TestPoolRequestIds:
+    def test_every_response_carries_a_request_id(self, ops_pool, query_payloads):
+        supervisor, base, _ = ops_pool
+        assert _wait_until(lambda: supervisor.status()["alive"] == 3, 20.0)
+        response, _ = _post(base, "/v1/estimate", {"query": query_payloads[0]})
+        generated = response.headers.get(REQUEST_ID_HEADER)
+        assert generated and len(generated) == 16
+
+        response, _ = _post(
+            base,
+            "/v1/estimate",
+            {"query": query_payloads[1]},
+            headers={REQUEST_ID_HEADER: "client-chosen-42"},
+        )
+        assert response.headers.get(REQUEST_ID_HEADER) == "client-chosen-42"

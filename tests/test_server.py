@@ -11,7 +11,7 @@ import pytest
 from repro.core import QuadHist
 from repro.data.io import range_to_dict
 from repro.geometry import Box
-from repro.observability import configure_logging, reset_logging
+from repro.observability import configure_logging, parse_exposition, reset_logging
 from repro.server import EstimatorService, serve
 
 
@@ -469,3 +469,125 @@ class TestAccessLog:
             server.shutdown()
             reset_logging()
         assert "http_request" not in stream.getvalue()
+
+
+class TestRequestTracing:
+    """X-Request-Id propagation and per-stage latency decomposition in
+    the single-process server (the pool path is covered by
+    ``tests/serving/test_ops.py``)."""
+
+    def _post(self, server, path, payload, headers=None):
+        host, port = server.server_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json", **(headers or {})},
+            method="POST",
+        )
+        return urllib.request.urlopen(request)
+
+    def _trained_server(self, labeled_feedback, **extras):
+        from repro.observability import MetricsRegistry
+
+        feedback, _ = labeled_feedback
+        service = _service(min_feedback=20, registry=MetricsRegistry())
+        for query, label in feedback[:30]:
+            service.feedback(query, label)
+        service.retrain()
+        return serve(service, port=0, **extras), service
+
+    def test_request_id_generated_and_echoed(self, labeled_feedback):
+        from repro.data.io import range_to_dict
+        from repro.server import REQUEST_ID_HEADER
+
+        feedback, _ = labeled_feedback
+        server, _ = self._trained_server(labeled_feedback)
+        try:
+            payload = {"query": range_to_dict(feedback[0][0])}
+            with self._post(server, "/v1/estimate", payload) as response:
+                generated = response.headers.get(REQUEST_ID_HEADER)
+            assert generated and len(generated) == 16
+
+            with self._post(
+                server,
+                "/v1/estimate",
+                payload,
+                headers={REQUEST_ID_HEADER: "trace-me-7"},
+            ) as response:
+                assert response.headers.get(REQUEST_ID_HEADER) == "trace-me-7"
+
+            # Garbage ids (control chars, oversized) are replaced, never
+            # echoed back verbatim into headers and logs.
+            with self._post(
+                server,
+                "/v1/estimate",
+                payload,
+                headers={REQUEST_ID_HEADER: "x" * 500},
+            ) as response:
+                cleaned = response.headers.get(REQUEST_ID_HEADER)
+            assert cleaned == "x" * 128
+        finally:
+            server.shutdown()
+
+    def test_access_log_carries_request_id_and_stages(self, labeled_feedback):
+        from repro.data.io import range_to_dict
+        from repro.server import REQUEST_ID_HEADER
+
+        feedback, _ = labeled_feedback
+        stream = io.StringIO()
+        configure_logging(json_mode=True, stream=stream)
+        server, _ = self._trained_server(labeled_feedback, access_log=True)
+        try:
+            payload = {"query": range_to_dict(feedback[0][0])}
+            self._post(
+                server,
+                "/v1/estimate",
+                payload,
+                headers={REQUEST_ID_HEADER: "staged-1"},
+            ).close()
+        finally:
+            server.shutdown()
+            reset_logging()
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        access = [line for line in lines if line["event"] == "http_request"]
+        assert len(access) == 1
+        assert access[0]["request_id"] == "staged-1"
+        stages = access[0]["stages"]
+        # No admission controller here, so no queue stage; the kernel
+        # and total decomposition must still be present and ordered.
+        assert set(stages) == {"kernel", "total"}
+        assert 0.0 <= stages["kernel"] <= stages["total"]
+
+    def test_stage_histogram_skips_probes_and_stays_unlabelled(
+        self, labeled_feedback
+    ):
+        from repro.data.io import range_to_dict
+
+        feedback, _ = labeled_feedback
+        server, service = self._trained_server(labeled_feedback)
+        try:
+            host, port = server.server_address
+            payload = {"query": range_to_dict(feedback[0][0])}
+            for _ in range(3):
+                self._post(server, "/v1/estimate", payload).close()
+            urllib.request.urlopen(f"http://{host}:{port}/health").read()
+            text = (
+                urllib.request.urlopen(f"http://{host}:{port}/metrics")
+                .read()
+                .decode()
+            )
+        finally:
+            server.shutdown()
+        hist = service.registry.get("repro_request_stage_seconds")
+        assert hist.snapshot(stage="total")["count"] == 3
+        assert hist.snapshot(stage="kernel")["count"] == 3
+        # Single-process serving stays worker-label-free: render-time
+        # injection happens only when a supervised pool sets the worker
+        # label.  Check the service's own families rather than the whole
+        # page — other components may legitimately *declare* a worker
+        # label (e.g. supervisor restart counters).
+        families, problems = parse_exposition(text)
+        assert problems == []
+        for family in ("repro_request_stage_seconds", "repro_service_queries_total"):
+            for _, labels, _, _ in families[family]["samples"]:
+                assert "worker" not in labels
