@@ -4,7 +4,20 @@ Shifted 2-D Gaussian box workloads with means (0.2,0.2)..(0.7,0.7) and
 covariance 0.033·I.  Paper shape: the diagonal (train == test distribution)
 has the smallest errors in most cases, and error grows with the shift
 between training and test means.
+
+Also runnable as a script for the incremental-maintenance comparison
+(see ``docs/online_learning.md``)::
+
+    PYTHONPATH=src python benchmarks/bench_fig16_workload_shift.py --incremental
+
+walks the heatmap's drift path (means 0.2 -> 0.7) feeding each new
+mean's queries as a feedback batch, and compares a model maintained by
+``partial_fit(warm_start=True)`` against refit-on-union: accuracy on the
+*current* workload vs. cumulative maintenance seconds (the regret of
+staying incremental).
 """
+
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,7 +27,14 @@ from repro.data import label_queries, shifted_gaussian_workload
 from repro.eval import rms_error
 from repro.eval.reporting import format_table
 
-from benchmarks.conftest import record_table
+try:
+    from benchmarks.conftest import record_table
+except ModuleNotFoundError:  # standalone script mode: no pytest rootdir
+    _RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+    def record_table(name: str, text: str) -> None:
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 MEANS = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
 TRAIN_SIZE = 200
@@ -67,3 +87,140 @@ def test_fig16_heatmap(heatmap, table_bench):
     near = heatmap[(0.6, 0.5)]
     far = heatmap[(0.6, 0.2)]
     assert near < far * 1.5
+
+
+# ---------------------------------------------------------------------------
+# Standalone --incremental mode: walk the drift path, compare maintenance
+# strategies (incremental partial_fit vs. refit-on-union).
+# ---------------------------------------------------------------------------
+
+
+def run_incremental_drift(
+    rows: int = 25_000,
+    batch_size: int = 100,
+    tau: float = 0.005,
+    seed: int = 20220612,
+) -> dict:
+    """Train at the first Figure-16 mean, then drift through the rest.
+
+    At each mean, ``batch_size`` newly-labeled queries arrive as
+    feedback.  One model absorbs them with ``partial_fit`` (warm-started
+    solver, appended design rows, local refinement); the other refits
+    from scratch on everything seen so far.  Both are scored on a fresh
+    test workload at the *current* mean — the distribution the system is
+    actually serving after the shift.
+    """
+    import time
+
+    from repro.core.config import QuadHistConfig
+    from repro.data import power_like
+
+    rng = np.random.default_rng(seed)
+    data = power_like(rows=rows).project([0, 3])
+
+    start_mean = MEANS[0]
+    train_q = shifted_gaussian_workload(TRAIN_SIZE, 2, start_mean, rng, dataset=data)
+    train_s = label_queries(data, train_q)
+    config = QuadHistConfig(tau=tau)
+    incremental = QuadHist.from_config(config).fit(train_q, train_s)
+
+    history_q, history_s = list(train_q), list(train_s)
+    update_time = refit_time = 0.0
+    steps = []
+    for mean in MEANS[1:]:
+        batch_q = shifted_gaussian_workload(batch_size, 2, mean, rng, dataset=data)
+        batch_s = label_queries(data, batch_q)
+        test_q = shifted_gaussian_workload(TEST_SIZE, 2, mean, rng, dataset=data)
+        test_s = label_queries(data, test_q)
+
+        stale_rms = rms_error(incremental.predict_many(test_q), test_s)
+        t0 = time.perf_counter()
+        incremental.partial_fit(batch_q, batch_s, warm_start=True)
+        update_time += time.perf_counter() - t0
+
+        history_q.extend(batch_q)
+        history_s.extend(batch_s)
+        refit = QuadHist.from_config(config)
+        t0 = time.perf_counter()
+        refit.fit(history_q, np.asarray(history_s))
+        refit_time += time.perf_counter() - t0
+
+        update_rms = rms_error(incremental.predict_many(test_q), test_s)
+        refit_rms = rms_error(refit.predict_many(test_q), test_s)
+        steps.append(
+            {
+                "mean": mean,
+                "stale_rms": round(stale_rms, 5),
+                "update_rms": round(update_rms, 5),
+                "refit_rms": round(refit_rms, 5),
+                "regret": round(update_rms - refit_rms, 5),
+                "update_cumulative_seconds": round(update_time, 4),
+                "refit_cumulative_seconds": round(refit_time, 4),
+            }
+        )
+    return {
+        "config": {
+            "rows": rows,
+            "train_size": TRAIN_SIZE,
+            "batch_size": batch_size,
+            "tau": tau,
+            "means": list(MEANS),
+        },
+        "steps": steps,
+        "update_total_seconds": round(update_time, 4),
+        "refit_total_seconds": round(refit_time, 4),
+        "speedup": round(refit_time / update_time, 2) if update_time else None,
+        "final_regret": steps[-1]["regret"],
+    }
+
+
+def main() -> None:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="compare incremental partial_fit vs refit-on-union along the "
+        "Figure-16 drift path",
+    )
+    parser.add_argument("--rows", type=int, default=25_000)
+    parser.add_argument("--batch-size", type=int, default=100)
+    parser.add_argument("--tau", type=float, default=0.005)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent
+        / "results"
+        / "BENCH_fig16_incremental.json",
+    )
+    args = parser.parse_args()
+    if not args.incremental:
+        parser.error(
+            "the heatmap itself runs under pytest; pass --incremental for "
+            "the maintenance-strategy comparison"
+        )
+
+    result = run_incremental_drift(
+        rows=args.rows, batch_size=args.batch_size, tau=args.tau
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    table = format_table(
+        result["steps"],
+        title="Fig 16 drift: incremental update vs refit-on-union (QuadHist)",
+    )
+    record_table("fig16_incremental_drift", table)
+    print(table)
+    print(
+        f"maintenance cost: update {result['update_total_seconds']}s vs "
+        f"refit {result['refit_total_seconds']}s "
+        f"({result['speedup']}x), final regret {result['final_regret']:+.5f}"
+    )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

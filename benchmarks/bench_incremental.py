@@ -1,0 +1,266 @@
+"""Incremental retrain: ``partial_fit`` update cost vs. a full refit.
+
+The online-learning loop (see ``docs/online_learning.md``) absorbs each
+feedback batch by refining the existing model in place — appending
+design-matrix rows for the new queries, splitting only the implicated
+partition leaves, and warm-starting the solver from the previous
+weights — where the baseline refits from scratch on the union workload.
+This bench pins the trade down on the paper's main configuration
+(QuadHist over Power 2-D) and records two curves:
+
+* **update-cost-vs-refit** on a stationary workload: per-batch wall time
+  for ``partial_fit(warm_start=True)`` against a fresh ``fit`` on the
+  concatenated history, with held-out RMS for both models after every
+  batch (the accuracy cost of incrementality, if any);
+* **accuracy-vs-time under workload shift** (the Figure-16 harness):
+  training starts on a shifted-Gaussian workload centred at one mean,
+  feedback batches arrive from another, and both maintenance strategies
+  are scored on the *new* workload after each batch — cumulative
+  maintenance seconds against RMS, i.e. how much accuracy per second of
+  training each strategy buys while the workload moves.
+
+Results land in ``benchmarks/results/BENCH_incremental.json``::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py          # full
+    PYTHONPATH=src python benchmarks/bench_incremental.py --smoke  # CI-sized
+
+``--assert-speedup X`` exits non-zero unless the mean per-batch update
+is at least ``X`` times faster than the refit — the CI perf-smoke job
+runs with ``--smoke --assert-speedup 10``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import QuadHistConfig
+from repro.core.quadhist import QuadHist
+from repro.data.selectivity import label_queries
+from repro.data.synthetic import power_like
+from repro.data.workloads import (
+    WorkloadSpec,
+    generate_workload,
+    shifted_gaussian_workload,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FULL = {
+    "mode": "full",
+    "rows": 25_000,
+    "initial_queries": 400,
+    "batches": 8,
+    "batch_size": 15,
+    "eval_queries": 500,
+    "tau": 0.003,
+    "shift_from": 0.3,
+    "shift_to": 0.6,
+}
+SMOKE = {
+    "mode": "smoke",
+    "rows": 12_000,
+    "initial_queries": 300,
+    "batches": 4,
+    "batch_size": 10,
+    "eval_queries": 200,
+    "tau": 0.005,
+    "shift_from": 0.3,
+    "shift_to": 0.6,
+}
+
+
+def _quadhist(config: dict) -> QuadHist:
+    return QuadHist.from_config(QuadHistConfig(tau=config["tau"]))
+
+
+def _rms(est, queries, labels) -> float:
+    return float(np.sqrt(np.mean((est.predict_many(queries) - labels) ** 2)))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _batched(queries, labels, config):
+    size = config["batch_size"]
+    for i in range(config["batches"]):
+        lo, hi = i * size, (i + 1) * size
+        yield queries[lo:hi], labels[lo:hi]
+
+
+def update_cost_curve(config: dict, data, rng) -> dict:
+    """Stationary workload: per-batch update cost vs. refit-on-union."""
+    spec = WorkloadSpec(query_kind="box", center_kind="data")
+    n_total = config["initial_queries"] + config["batches"] * config["batch_size"]
+    queries = generate_workload(n_total, data.dim, rng, spec=spec, dataset=data)
+    labels = label_queries(data, queries)
+    test = generate_workload(config["eval_queries"], data.dim, rng, spec=spec, dataset=data)
+    test_s = label_queries(data, test)
+
+    n0 = config["initial_queries"]
+    incremental = _quadhist(config)
+    _, t_initial = _timed(lambda: incremental.fit(queries[:n0], labels[:n0]))
+
+    seen = n0
+    batches = []
+    for batch_q, batch_s in _batched(queries[n0:], labels[n0:], config):
+        _, t_update = _timed(
+            lambda: incremental.partial_fit(batch_q, batch_s, warm_start=True)
+        )
+        seen += len(batch_q)
+        union_q, union_s = queries[:seen], labels[:seen]
+        refit = _quadhist(config)
+        _, t_refit = _timed(lambda: refit.fit(union_q, union_s))
+        report = incremental.update_report_
+        batches.append(
+            {
+                "history_rows": seen,
+                "update_seconds": round(t_update, 4),
+                "refit_seconds": round(t_refit, 4),
+                "speedup": round(t_refit / t_update, 2),
+                "rows_appended": report.rows_appended,
+                "leaves_split": report.leaves_split,
+                "columns_reused": report.columns_reused,
+                "buckets": incremental.model_size,
+                "update_rms": round(_rms(incremental, test, test_s), 5),
+                "refit_rms": round(_rms(refit, test, test_s), 5),
+            }
+        )
+    update_total = sum(b["update_seconds"] for b in batches)
+    refit_total = sum(b["refit_seconds"] for b in batches)
+    return {
+        "initial_fit_seconds": round(t_initial, 4),
+        "batches": batches,
+        "update_total_seconds": round(update_total, 4),
+        "refit_total_seconds": round(refit_total, 4),
+        "mean_speedup": round(
+            float(np.mean([b["speedup"] for b in batches])), 2
+        ),
+        "total_speedup": round(refit_total / update_total, 2),
+        "final_rms_gap": round(
+            batches[-1]["update_rms"] - batches[-1]["refit_rms"], 5
+        ),
+    }
+
+
+def workload_shift_curve(config: dict, data, rng) -> dict:
+    """Figure-16 harness: accuracy-vs-maintenance-time under drift."""
+    n0 = config["initial_queries"]
+    old_q = shifted_gaussian_workload(n0, data.dim, config["shift_from"], rng, dataset=data)
+    old_s = label_queries(data, old_q)
+    n_new = config["batches"] * config["batch_size"]
+    new_q = shifted_gaussian_workload(n_new, data.dim, config["shift_to"], rng, dataset=data)
+    new_s = label_queries(data, new_q)
+    test = shifted_gaussian_workload(
+        config["eval_queries"], data.dim, config["shift_to"], rng, dataset=data
+    )
+    test_s = label_queries(data, test)
+
+    incremental = _quadhist(config).fit(old_q, old_s)
+    rms_before = _rms(incremental, test, test_s)
+
+    history_q, history_s = list(old_q), list(old_s)
+    update_time = refit_time = 0.0
+    points = []
+    for batch_q, batch_s in _batched(new_q, new_s, config):
+        _, t_update = _timed(
+            lambda: incremental.partial_fit(batch_q, batch_s, warm_start=True)
+        )
+        update_time += t_update
+        history_q.extend(batch_q)
+        history_s.extend(batch_s)
+        refit = _quadhist(config)
+        _, t_refit = _timed(lambda: refit.fit(history_q, np.asarray(history_s)))
+        refit_time += t_refit
+        update_rms = _rms(incremental, test, test_s)
+        refit_rms = _rms(refit, test, test_s)
+        points.append(
+            {
+                "absorbed": len(history_q) - n0,
+                "update_cumulative_seconds": round(update_time, 4),
+                "refit_cumulative_seconds": round(refit_time, 4),
+                "update_rms": round(update_rms, 5),
+                "refit_rms": round(refit_rms, 5),
+                "regret": round(update_rms - refit_rms, 5),
+            }
+        )
+    return {
+        "shift": [config["shift_from"], config["shift_to"]],
+        "rms_on_shifted_before_feedback": round(rms_before, 5),
+        "points": points,
+        "update_total_seconds": round(update_time, 4),
+        "refit_total_seconds": round(refit_time, 4),
+        "final_regret": points[-1]["regret"],
+    }
+
+
+def run(config: dict) -> dict:
+    rng = np.random.default_rng(20220612)
+    data = power_like(rows=config["rows"], seed=7).project([0, 3])
+    cost = update_cost_curve(config, data, rng)
+    shift = workload_shift_curve(config, data, rng)
+    return {"config": config, "update_cost": cost, "workload_shift": shift}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless mean per-batch update is >= X times "
+        "faster than the full refit",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_incremental.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    result = run(SMOKE if args.smoke else FULL)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    cost = result["update_cost"]
+    print(
+        f"update vs refit: {cost['update_total_seconds']}s vs "
+        f"{cost['refit_total_seconds']}s over {len(cost['batches'])} batches "
+        f"(mean speedup {cost['mean_speedup']}x, total {cost['total_speedup']}x, "
+        f"final rms gap {cost['final_rms_gap']:+.5f})"
+    )
+    shift = result["workload_shift"]
+    print(
+        f"workload shift {shift['shift']}: rms "
+        f"{shift['rms_on_shifted_before_feedback']} -> "
+        f"update {shift['points'][-1]['update_rms']} / "
+        f"refit {shift['points'][-1]['refit_rms']} "
+        f"(regret {shift['final_regret']:+.5f}) in "
+        f"{shift['update_total_seconds']}s vs {shift['refit_total_seconds']}s"
+    )
+    print(f"wrote {args.output}")
+
+    if args.assert_speedup is not None and cost["mean_speedup"] < args.assert_speedup:
+        print(
+            f"FAIL: mean update speedup {cost['mean_speedup']}x < "
+            f"required {args.assert_speedup}x",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

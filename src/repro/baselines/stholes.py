@@ -36,16 +36,21 @@ this weakness of STHoles's online updates.)
 
 from __future__ import annotations
 
+import time
 from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
+from repro.core._solve import solve_weights
 from repro.core.config import STHolesConfig
 from repro.core.estimator import SelectivityEstimator
+from repro.core.incremental import UpdateReport, assemble_design
 from repro.core.workload import TrainingSet
 from repro.geometry.index import BucketIndex, build_bucket_index
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.sparse import sparse_intersection_volume_matrix
+from repro.observability.tracing import span
+from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["STHoles"]
 
@@ -92,9 +97,20 @@ class STHoles(SelectivityEstimator):
             raise ValueError(f"max_buckets must be >= 1, got {max_buckets}")
         self.max_buckets = int(max_buckets)
         self.domain = domain
+        #: How the last weight solve was produced (fallback ladder record).
+        self.solve_report_: SolveReport | None = None
+        #: What the last ``partial_fit`` did; None after a full fit.
+        self.update_report_: UpdateReport | None = None
         self._root: _Bucket | None = None
         self._count = 0
         self._index: BucketIndex | None = None
+        self._history: TrainingSet | None = None
+        #: Cached ``Vol(box_j ∩ R_i)`` matrix over the current history.
+        #: Bucket boxes are immutable once drilled (drilling only adds
+        #: holes, merging only removes buckets), so surviving columns stay
+        #: valid across updates; the region subtraction is re-derived from
+        #: it each solve.
+        self._overlap_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -106,6 +122,7 @@ class STHoles(SelectivityEstimator):
         domain = self.domain if self.domain is not None else unit_box(training.dim)
         self._root = _Bucket(domain, parent=None, frequency=1.0)
         self._count = 1
+        self._history = training
         for sample in training:
             if sample.query.volume() <= _MIN_VOLUME:
                 continue
@@ -113,6 +130,137 @@ class STHoles(SelectivityEstimator):
             if self._count > self.max_buckets:
                 self._merge_down_to_budget()
         self._estimate_weights(training)
+
+    def partial_fit(
+        self,
+        queries: Sequence[Range],
+        selectivities: Sequence[float],
+        warm_start: bool = False,
+    ) -> "STHoles":
+        """Incrementally absorb new query feedback.
+
+        STHoles is *defined* by one-sample-at-a-time drilling, so the
+        structure update is naturally incremental: the new batch drills
+        (and possibly merges) against the existing tree, exactly as a
+        refit on the concatenated history would — bucket boxes never
+        mutate after creation, so the cached box-overlap columns of
+        surviving buckets stay valid.  Only the new holes' columns and
+        the new queries' rows are computed; the region subtraction and
+        the Eq. (8) solve run on the assembled matrix, warm-started from
+        the previous weights when ``warm_start=True``.
+
+        Calling ``partial_fit`` on an unfitted estimator is equivalent
+        to ``fit``.
+        """
+        new = TrainingSet(queries, selectivities)
+        if not self._fitted:
+            self.fit(queries, selectivities)
+            return self
+        if self._history is None or self._overlap_cache is None:
+            raise RuntimeError(
+                "partial_fit needs the feedback history and overlap cache, "
+                "which persisted artifacts do not carry; refit from scratch "
+                "instead"
+            )
+        if not all(isinstance(q, Box) for q in new.queries):
+            raise TypeError("STHoles supports orthogonal-range (Box) queries only")
+        if new.dim != self._history.dim:
+            raise ValueError("partial_fit dimension mismatch with earlier feedback")
+        started = time.perf_counter()
+        combined = TrainingSet(
+            list(self._history.queries) + list(new.queries),
+            np.concatenate([self._history.selectivities, new.selectivities]),
+        )
+        old_buckets = self._buckets
+        old_col = {id(b): i for i, b in enumerate(old_buckets)}
+        old_weights = self._weights
+        cached = self._overlap_cache
+        n_new = len(new)
+        n_old = len(combined) - n_new
+
+        with span("fit/partition", incremental=True) as partition_span:
+            for sample in new:
+                if sample.query.volume() <= _MIN_VOLUME:
+                    continue
+                self._drill(self._root, sample.query, sample.selectivity)
+                if self._count > self.max_buckets:
+                    self._merge_down_to_budget()
+            partition_span.annotate(buckets=self._count)
+
+        # Flatten the updated tree and rebuild the per-bucket arrays (the
+        # order may have changed: new holes interleave in preorder).
+        self._buckets = list(self._root.walk())
+        self._child_index = []
+        index_of = {id(b): i for i, b in enumerate(self._buckets)}
+        for bucket in self._buckets:
+            self._child_index.append([index_of[id(c)] for c in bucket.children])
+        self._box_lows = np.stack([b.box.lows for b in self._buckets])
+        self._box_highs = np.stack([b.box.highs for b in self._buckets])
+        self._region_volumes = np.array([b.region_volume() for b in self._buckets])
+        self._index = build_bucket_index(self._box_lows, self._box_highs)
+
+        m_new = len(self._buckets)
+        reused = np.fromiter(
+            (id(b) in old_col for b in self._buckets), dtype=bool, count=m_new
+        )
+        origin = np.fromiter(
+            (old_col.get(id(b), -1) for b in self._buckets), dtype=np.int64, count=m_new
+        )
+        usable_cache = cached.shape == (n_old, len(old_buckets))
+        with span(
+            "fit/design-matrix",
+            rows=n_new,
+            buckets=m_new,
+            incremental=usable_cache,
+        ):
+            if usable_cache:
+                fresh = ~reused
+                n_fresh = int(fresh.sum())
+                if n_fresh and n_old:
+                    sub_index = build_bucket_index(
+                        self._box_lows[fresh], self._box_highs[fresh]
+                    )
+                    fresh_block = sparse_intersection_volume_matrix(
+                        combined.queries[:n_old], sub_index
+                    )
+                else:
+                    fresh_block = np.zeros((n_old, n_fresh))
+                if n_new:
+                    new_rows = sparse_intersection_volume_matrix(
+                        new.queries, self._index
+                    )
+                else:
+                    new_rows = np.zeros((0, m_new))
+                overlaps = assemble_design(cached, reused, origin, fresh_block, new_rows)
+            else:
+                overlaps = self._box_overlap_matrix(combined.queries)
+            self._overlap_cache = overlaps
+            design = self._fractions_from_overlaps(overlaps)
+        w0 = None
+        if warm_start:
+            w0 = np.zeros(m_new)
+            w0[reused] = old_weights[origin[reused]]
+            total = float(w0.sum())
+            w0 = w0 / total if total > 0.0 else np.full(m_new, 1.0 / m_new)
+        weights, self.solve_report_ = solve_weights(
+            design, combined.selectivities, warm_start=w0
+        )
+        self._weights = weights
+        self._history = combined
+        self.update_report_ = UpdateReport(
+            rows_appended=n_new,
+            rows_total=len(combined),
+            buckets_before=len(old_buckets),
+            buckets_after=m_new,
+            columns_reused=int(reused.sum()),
+            columns_recomputed=int((~reused).sum()),
+            warm_started=warm_start,
+            full_rebuild=not usable_cache,
+            seconds=time.perf_counter() - started,
+            residual=self.solve_report_.residual,
+            rung=self.solve_report_.rung,
+        )
+        return self
 
     def _drill(self, bucket: _Bucket, query: Box, selectivity: float) -> None:
         """Top-down drilling: children first, then this bucket's region."""
@@ -260,8 +408,6 @@ class STHoles(SelectivityEstimator):
     # ------------------------------------------------------------------
 
     def _estimate_weights(self, training: TrainingSet) -> None:
-        from repro.solvers.simplex_ls import fit_simplex_weights
-
         self._buckets = list(self._root.walk())
         self._child_index = []
         index_of = {id(b): i for i, b in enumerate(self._buckets)}
@@ -271,8 +417,12 @@ class STHoles(SelectivityEstimator):
         self._box_highs = np.stack([b.box.highs for b in self._buckets])
         self._region_volumes = np.array([b.region_volume() for b in self._buckets])
         self._index = build_bucket_index(self._box_lows, self._box_highs)
-        design = self._region_fraction_matrix(training.queries)
-        self._weights = fit_simplex_weights(design, training.selectivities)
+        overlaps = self._box_overlap_matrix(training.queries)
+        self._overlap_cache = overlaps
+        design = self._fractions_from_overlaps(overlaps)
+        self._weights, self.solve_report_ = solve_weights(
+            design, training.selectivities
+        )
 
     def _region_fraction_row(self, query: Range) -> np.ndarray:
         """Per-region coverage fractions ``Vol(region_j ∩ R)/Vol(region_j)``."""
@@ -291,20 +441,20 @@ class STHoles(SelectivityEstimator):
             )
         return np.clip(fractions, 0.0, 1.0)
 
-    def _region_fraction_matrix(self, queries: Sequence[Range]) -> np.ndarray:
-        """Per-region coverage fractions for a whole workload at once.
+    def _box_overlap_matrix(self, queries: Sequence[Range]) -> np.ndarray:
+        """``Vol(box_j ∩ R_i)`` per (query, bucket box) — the cacheable part."""
+        from repro.geometry.batch import intersection_volume_matrix
+
+        if self._index is not None:
+            return sparse_intersection_volume_matrix(queries, self._index)
+        return intersection_volume_matrix(queries, self._box_lows, self._box_highs)
+
+    def _fractions_from_overlaps(self, box_overlaps: np.ndarray) -> np.ndarray:
+        """Region subtraction + normalisation, from raw box overlaps.
 
         Child columns are subtracted in the same order as the scalar row
         loop so the two paths agree to floating-point identity.
         """
-        from repro.geometry.batch import intersection_volume_matrix
-
-        if self._index is not None:
-            box_overlaps = sparse_intersection_volume_matrix(queries, self._index)
-        else:
-            box_overlaps = intersection_volume_matrix(
-                queries, self._box_lows, self._box_highs
-            )
         region_overlaps = box_overlaps.copy()
         for i, children in enumerate(self._child_index):
             for c in children:
@@ -316,6 +466,10 @@ class STHoles(SelectivityEstimator):
                 0.0,
             )
         return np.clip(fractions, 0.0, 1.0)
+
+    def _region_fraction_matrix(self, queries: Sequence[Range]) -> np.ndarray:
+        """Per-region coverage fractions for a whole workload at once."""
+        return self._fractions_from_overlaps(self._box_overlap_matrix(queries))
 
     def _predict_one(self, query: Range) -> float:
         return float(self._region_fraction_row(query) @ self._weights)
@@ -386,3 +540,7 @@ class STHoles(SelectivityEstimator):
         # Rebuilt deterministically from the persisted bucket arrays; the
         # index itself is never serialised.
         self._index = build_bucket_index(self._box_lows, self._box_highs)
+        # Feedback history and the overlap cache are fit-time structures;
+        # a restored model cannot partial_fit.
+        self._history = None
+        self._overlap_cache = None

@@ -230,6 +230,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget per retrain in seconds",
     )
     srv.add_argument(
+        "--incremental",
+        action="store_true",
+        help="absorb feedback via the incremental update() fast path "
+        "(partial_fit with warm-started solves) instead of full refits; "
+        "falls back to a retrain when the model cannot update in place",
+    )
+    srv.add_argument(
+        "--update-budget",
+        type=float,
+        default=None,
+        metavar="RESIDUAL",
+        help="residual ceiling for accepting an incremental update; "
+        "above it the service falls back to a full retrain "
+        "(default: accept any residual)",
+    )
+    srv.add_argument(
         "--snapshot-dir",
         default=None,
         help="persist every retrain generation here and warm-start from "
@@ -538,6 +554,8 @@ def _cmd_serve(args) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
             retrain_timeout=args.retrain_timeout,
+            incremental_updates=args.incremental,
+            update_residual_budget=args.update_budget,
             snapshot_dir=args.snapshot_dir,
             snapshot_keep=args.snapshot_keep,
             seed=args.seed if hasattr(args, "seed") else 0,

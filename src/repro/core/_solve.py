@@ -60,8 +60,13 @@ def solve_weights(
     objective: str = "l2",
     solver: str = "penalty",
     deadline_seconds: float | None = None,
+    warm_start: np.ndarray | None = None,
 ) -> tuple[np.ndarray, SolveReport]:
     """Fit simplex weights under ``objective`` with full fallback.
+
+    ``warm_start`` resumes the solve from a previous weight vector
+    (already remapped to the current column order) — see
+    :func:`~repro.solvers.simplex_ls.fit_simplex_weights_robust`.
 
     Returns ``(weights, report)``; never raises on numerical failure.
     """
@@ -70,7 +75,9 @@ def solve_weights(
     ) as solve_span:
         if objective == "linf":
             try:
-                weights = fit_simplex_weights_linf(design, selectivities)
+                weights = fit_simplex_weights_linf(
+                    design, selectivities, warm_start=warm_start
+                )
                 if np.all(np.isfinite(weights)) and weights.size:
                     report = SolveReport(requested="linf", rung="linf")
                     report.attempts.append(
@@ -89,6 +96,7 @@ def solve_weights(
                     selectivities,
                     method=solver,
                     deadline_seconds=deadline_seconds,
+                    warm_start=warm_start,
                 )
                 report.requested = "linf"
                 report.fallback = True
@@ -99,7 +107,11 @@ def solve_weights(
                 _record(report, solve_span.start)
                 return weights, report
         weights, report = fit_simplex_weights_robust(
-            design, selectivities, method=solver, deadline_seconds=deadline_seconds
+            design,
+            selectivities,
+            method=solver,
+            deadline_seconds=deadline_seconds,
+            warm_start=warm_start,
         )
         solve_span.annotate(rung=report.rung, fallback=report.fallback)
         _record(report, solve_span.start)

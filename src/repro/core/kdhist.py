@@ -27,11 +27,12 @@ import numpy as np
 
 from repro.core.config import KdHistConfig
 from repro.core.estimator import SelectivityEstimator
+from repro.core.incremental import IncrementalTreeHistogram
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
 from repro.geometry.batch import coverage_dot
 from repro.geometry.index import BucketIndex, build_bucket_index
-from repro.geometry.sparse import sparse_coverage_dot, sparse_coverage_matrix
+from repro.geometry.sparse import sparse_coverage_dot
 from repro.observability.tracing import span
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import (
@@ -39,8 +40,7 @@ from repro.geometry.volume import (
     intersection_volume,
     range_volume,
 )
-from repro.solvers.linf import fit_simplex_weights_linf
-from repro.solvers.simplex_ls import fit_simplex_weights
+from repro.solvers.simplex_ls import SolveReport
 
 __all__ = ["KdHist"]
 
@@ -79,12 +79,17 @@ class _KdNode:
                 yield from child.leaves()
 
 
-class KdHist(SelectivityEstimator):
+class KdHist(IncrementalTreeHistogram, SelectivityEstimator):
     """Binary-split histogram: QuadHist's rule with kd-tree geometry.
 
     Parameters mirror :class:`~repro.core.quadhist.QuadHist`; ``max_depth``
     defaults higher because each level only halves one axis (depth ``d*k``
     in KdHist reaches the granularity of depth ``k`` in QuadHist).
+
+    Like QuadHist, KdHist supports incremental ``partial_fit`` (from
+    :class:`~repro.core.incremental.IncrementalTreeHistogram`): binary
+    splits are order-invariant under the same Lemma A.4 argument, so a
+    feedback batch refines the existing kd-tree in place.
     """
 
     Config: ClassVar = KdHistConfig
@@ -113,13 +118,18 @@ class KdHist(SelectivityEstimator):
         self.objective = objective
         self.solver = solver
         self.domain = domain
+        #: How the last weight solve was produced (fallback ladder record).
+        self.solve_report_: SolveReport | None = None
         self._root: _KdNode | None = None
+        self._history: TrainingSet | None = None
         self._distribution: HistogramDistribution | None = None
         self._leaf_lows: np.ndarray | None = None
         self._leaf_highs: np.ndarray | None = None
         self._leaf_volumes: np.ndarray | None = None
         self._index: BucketIndex | None = None
         self._weights: np.ndarray | None = None
+        self._design_cache: np.ndarray | None = None
+        self.update_report_ = None
 
     def _fit(self, training: TrainingSet) -> None:
         domain = self.domain if self.domain is not None else unit_box(training.dim)
@@ -127,6 +137,7 @@ class KdHist(SelectivityEstimator):
             raise ValueError("domain dimension does not match the training queries")
         self._root = _KdNode(domain, axis=0)
         self._leaf_count = 1
+        self._history = training
         with span("fit/partition") as partition_span:
             for sample in training:
                 volume = range_volume(sample.query, domain)
@@ -141,21 +152,7 @@ class KdHist(SelectivityEstimator):
         self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
         self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
         self._index = build_bucket_index(self._leaf_lows, self._leaf_highs)
-        with span("fit/design-matrix", rows=len(training), buckets=len(leaves)):
-            design = sparse_coverage_matrix(
-                training.queries, self._index, self._leaf_volumes
-            )
-        with span("fit/solve", objective=self.objective, rows=len(training)):
-            if self.objective == "linf":
-                weights = fit_simplex_weights_linf(design, training.selectivities)
-            else:
-                weights = fit_simplex_weights(
-                    design, training.selectivities, method=self.solver
-                )
-        self._weights = weights
-        self._distribution = HistogramDistribution(
-            [leaf.box for leaf in leaves], weights
-        )
+        self._estimate_weights(training)
 
     def _update(self, node: _KdNode, query: Range, density: float, depth: int) -> None:
         overlap = intersection_volume(node.box, query)
@@ -168,8 +165,12 @@ class KdHist(SelectivityEstimator):
                 return
             node.split()
             self._leaf_count += 1
+            self._note_split(node)
         for child in node.children:
             self._update(child, query, density, depth + 1)
+
+    # The shared incremental machinery descends via this alias.
+    _descend = _update
 
     def _fraction_row(self, query: Range) -> np.ndarray:
         overlaps = batch_intersection_volumes(self._leaf_lows, self._leaf_highs, query)
@@ -232,3 +233,5 @@ class KdHist(SelectivityEstimator):
             }
         )
         self._root = None
+        self._history = None
+        self._design_cache = None

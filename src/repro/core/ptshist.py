@@ -17,12 +17,14 @@ squares (Eq. 8) on the 0/1 membership design matrix (Eq. 7).
 
 from __future__ import annotations
 
+import time
 from typing import ClassVar, Dict, Sequence
 
 import numpy as np
 
 from repro.core.config import PtsHistConfig
 from repro.core.estimator import SelectivityEstimator
+from repro.core.incremental import UpdateReport
 from repro.core.workload import TrainingSet
 from repro.distributions.discrete import DiscreteDistribution
 from repro.geometry.index import build_bucket_index
@@ -82,7 +84,11 @@ class PtsHist(SelectivityEstimator):
         self.domain = domain
         #: How the last weight solve was produced (fallback ladder record).
         self.solve_report_: SolveReport | None = None
+        #: What the last ``partial_fit`` did; None after a full fit.
+        self.update_report_: UpdateReport | None = None
         self._distribution: DiscreteDistribution | None = None
+        self._history: TrainingSet | None = None
+        self._design_cache: np.ndarray | None = None
 
     def _fit(self, training: TrainingSet) -> None:
         domain = self.domain if self.domain is not None else unit_box(training.dim)
@@ -94,11 +100,90 @@ class PtsHist(SelectivityEstimator):
         index = build_bucket_index(points, points)
         with span("fit/design-matrix", rows=len(training), buckets=len(points)):
             design = sparse_containment_matrix(training.queries, index)
+        self._history = training
+        self._design_cache = design
         weights, self.solve_report_ = solve_weights(
             design, training.selectivities, objective=self.objective, solver=self.solver
         )
         self._distribution = DiscreteDistribution(points, weights)
         self._distribution._index = index
+
+    def partial_fit(
+        self,
+        queries: Sequence[Range],
+        selectivities: Sequence[float],
+        warm_start: bool = False,
+    ) -> "PtsHist":
+        """Incrementally absorb new query feedback.
+
+        The point support is frozen at the initial fit (it was sampled
+        from the first training workload), so an update only appends the
+        new queries' 0/1 membership rows to the cached design matrix and
+        re-solves the weights — with ``warm_start=True`` resuming from
+        the current weight vector.  Unlike the tree histograms this is
+        *not* equivalent to a refit on the union workload (a refit would
+        re-sample the support); it trades that for an update cost
+        independent of history size.
+
+        Calling ``partial_fit`` on an unfitted estimator is equivalent
+        to ``fit``.
+        """
+        new = TrainingSet(queries, selectivities)
+        if not self._fitted:
+            self.fit(queries, selectivities)
+            return self
+        if self._history is None or self._design_cache is None:
+            raise RuntimeError(
+                "partial_fit needs the feedback history and design cache, "
+                "which persisted artifacts do not carry; refit from scratch "
+                "instead"
+            )
+        if new.dim != self._history.dim:
+            raise ValueError("partial_fit dimension mismatch with earlier feedback")
+        started = time.perf_counter()
+        combined = TrainingSet(
+            list(self._history.queries) + list(new.queries),
+            np.concatenate([self._history.selectivities, new.selectivities]),
+        )
+        index = self._distribution._index
+        if index is None:
+            index = build_bucket_index(
+                self._distribution.points, self._distribution.points
+            )
+            self._distribution._index = index
+        with span(
+            "fit/design-matrix", rows=len(new), buckets=self._distribution.size,
+            incremental=True,
+        ):
+            new_rows = sparse_containment_matrix(new.queries, index)
+        design = np.concatenate([self._design_cache, new_rows], axis=0)
+        w0 = self._distribution.weights if warm_start else None
+        weights, self.solve_report_ = solve_weights(
+            design,
+            combined.selectivities,
+            objective=self.objective,
+            solver=self.solver,
+            warm_start=w0,
+        )
+        self._history = combined
+        self._design_cache = design
+        size = self._distribution.size
+        self._distribution = DiscreteDistribution(self._distribution.points, weights)
+        self._distribution._index = index
+        self.update_report_ = UpdateReport(
+            rows_appended=len(new),
+            rows_total=len(combined),
+            buckets_before=size,
+            buckets_after=size,
+            columns_reused=size,
+            columns_recomputed=0,
+            warm_started=warm_start,
+            full_rebuild=False,
+            seconds=time.perf_counter() - started,
+            residual=self.solve_report_.residual,
+            rung=self.solve_report_.rung,
+        )
+        return self
 
     def _design_buckets(
         self, training: TrainingSet, domain: Box, rng: np.random.Generator
@@ -164,3 +249,7 @@ class PtsHist(SelectivityEstimator):
         )
         # Spatial index over the support points: rebuilt, never persisted.
         self._distribution.attach_index()
+        # Feedback history and cached design rows are fit-time structures;
+        # a restored model cannot partial_fit.
+        self._history = None
+        self._design_cache = None

@@ -30,18 +30,18 @@ import numpy as np
 
 from repro.core.config import QuadHistConfig
 from repro.core.estimator import SelectivityEstimator
+from repro.core.incremental import IncrementalTreeHistogram
 from repro.core.workload import TrainingSet
 from repro.distributions.histogram import HistogramDistribution
 from repro.geometry.batch import coverage_dot
 from repro.geometry.index import BucketIndex, build_bucket_index
-from repro.geometry.sparse import sparse_coverage_dot, sparse_coverage_matrix
+from repro.geometry.sparse import sparse_coverage_dot
 from repro.geometry.ranges import Box, Range, unit_box
 from repro.geometry.volume import (
     batch_intersection_volumes,
     intersection_volume,
     range_volume,
 )
-from repro.core._solve import solve_weights
 from repro.observability.tracing import span
 from repro.solvers.simplex_ls import SolveReport
 
@@ -72,7 +72,7 @@ class _Node:
                 yield from child.leaves()
 
 
-class QuadHist(SelectivityEstimator):
+class QuadHist(IncrementalTreeHistogram, SelectivityEstimator):
     """The paper's QuadHist estimator.
 
     Parameters
@@ -132,10 +132,15 @@ class QuadHist(SelectivityEstimator):
         self._leaf_volumes: np.ndarray | None = None
         self._index: BucketIndex | None = None
         self._weights: np.ndarray | None = None
+        self._design_cache: np.ndarray | None = None
+        self.update_report_ = None
 
     # ------------------------------------------------------------------
     # Bucket design (Algorithms 1 & 2)
     # ------------------------------------------------------------------
+    # partial_fit (incremental refinement: append-only design rows,
+    # split-only column remaps, optional warm-started solve) comes from
+    # IncrementalTreeHistogram.
 
     def _fit(self, training: TrainingSet) -> None:
         domain = self.domain if self.domain is not None else unit_box(training.dim)
@@ -146,46 +151,7 @@ class QuadHist(SelectivityEstimator):
         self._history = training
         self._absorb(training, domain)
 
-    def partial_fit(
-        self, queries: Sequence[Range], selectivities: Sequence[float]
-    ) -> "QuadHist":
-        """Incrementally absorb new query feedback.
-
-        Bucket design is naturally incremental (Algorithm 1 processes
-        queries one at a time, and by Lemma A.4 the final partition does
-        not depend on arrival order), so new feedback only *refines* the
-        existing tree.  Weights are re-estimated over all feedback seen so
-        far — the Eq. (8) solve is the cheap part of training.
-
-        Calling ``partial_fit`` on an unfitted estimator is equivalent to
-        ``fit``.  The result is identical to refitting from scratch on the
-        concatenated feedback (when no ``max_leaves`` cap binds).
-        """
-        new = TrainingSet(queries, selectivities)
-        if not self._fitted:
-            self.fit(queries, selectivities)
-            return self
-        if self._root is None or self._history is None:
-            raise RuntimeError(
-                "partial_fit needs the quadtree and feedback history, which "
-                "persisted artifacts do not carry; refit from scratch instead"
-            )
-        if new.dim != self._history.dim:
-            raise ValueError("partial_fit dimension mismatch with earlier feedback")
-        combined = TrainingSet(
-            list(self._history.queries) + list(new.queries),
-            np.concatenate([self._history.selectivities, new.selectivities]),
-        )
-        self._history = combined
-        self._absorb(new, self._root.box, reestimate_on=combined)
-        return self
-
-    def _absorb(
-        self,
-        training: TrainingSet,
-        domain: Box,
-        reestimate_on: TrainingSet | None = None,
-    ) -> None:
+    def _absorb(self, training: TrainingSet, domain: Box) -> None:
         """Refine the tree with ``training`` and re-estimate the weights."""
         with span("fit/partition") as partition_span:
             for sample in training:
@@ -201,8 +167,7 @@ class QuadHist(SelectivityEstimator):
         self._leaf_highs = np.stack([leaf.box.highs for leaf in leaves])
         self._leaf_volumes = np.prod(self._leaf_highs - self._leaf_lows, axis=1)
         self._index = build_bucket_index(self._leaf_lows, self._leaf_highs)
-        target = reestimate_on if reestimate_on is not None else training
-        self._estimate_weights(target, [leaf.box for leaf in leaves])
+        self._estimate_weights(training)
 
     def _update_quad(self, node: _Node, query: Range, density: float, depth: int) -> None:
         """Algorithm 2, generalised to ``2^d``-way splits."""
@@ -216,23 +181,12 @@ class QuadHist(SelectivityEstimator):
                 return
             node.split()
             self._leaf_count += (1 << node.box.dim) - 1
+            self._note_split(node)
         for child in node.children:
             self._update_quad(child, query, density, depth + 1)
 
-    # ------------------------------------------------------------------
-    # Weight estimation (Eq. 8)
-    # ------------------------------------------------------------------
-
-    def _estimate_weights(self, training: TrainingSet, buckets: Sequence[Box]) -> None:
-        with span("fit/design-matrix", rows=len(training), buckets=len(buckets)):
-            design = sparse_coverage_matrix(
-                training.queries, self._index, self._leaf_volumes
-            )
-        weights, self.solve_report_ = solve_weights(
-            design, training.selectivities, objective=self.objective, solver=self.solver
-        )
-        self._weights = weights
-        self._distribution = HistogramDistribution(list(buckets), weights)
+    # The shared incremental machinery descends via this alias.
+    _descend = _update_quad
 
     def _fraction_row(self, query: Range) -> np.ndarray:
         """Per-bucket coverage fractions ``Vol(B_j ∩ R)/Vol(B_j)``."""
@@ -303,7 +257,9 @@ class QuadHist(SelectivityEstimator):
                 if key.startswith("distribution.")
             }
         )
-        # The tree and feedback history are fit-time structures; a restored
-        # model predicts from the leaf arrays and cannot partial_fit.
+        # The tree, feedback history and design cache are fit-time
+        # structures; a restored model predicts from the leaf arrays and
+        # cannot partial_fit.
         self._root = None
         self._history = None
+        self._design_cache = None

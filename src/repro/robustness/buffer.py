@@ -98,6 +98,19 @@ class FeedbackBuffer:
         labels = np.asarray([s for _, s in items], dtype=float)
         return queries, labels
 
+    def recent(self, n: int) -> tuple[list, np.ndarray] | None:
+        """The newest ``n`` pairs in arrival order, or None when the ring
+        no longer holds all of them (they aged into the downsampled
+        reservoir, so the exact batch cannot be reconstructed)."""
+        if n <= 0:
+            return [], np.zeros(0)
+        if n > len(self._ring):
+            return None
+        items = list(self._ring)[-n:]
+        queries = [q for q, _ in items]
+        labels = np.asarray([s for _, s in items], dtype=float)
+        return queries, labels
+
     def extend(self, pairs: Iterable[tuple]) -> None:
         for query, selectivity in pairs:
             self.append(query, selectivity)

@@ -49,6 +49,10 @@ original unversioned paths still work as thin aliases that answer with a
 * ``POST /v1/feedback``  ``{"query": {...}, "selectivity": 0.37}`` →
   ``{"accepted": true, "pending": 12, "drift": false}``
 * ``POST /v1/retrain``   → ``{"trained_on": 200, "model_size": 800, ...}``
+* ``POST /v1/update``    → ``{"incremental": true, "rows_appended": 25,
+  ...}`` — the incremental fast path: absorb only the pending feedback
+  via ``partial_fit`` (warm-started solve, appended design rows), with a
+  full retrain as automatic fallback (see ``docs/online_learning.md``).
 * ``POST /v1/snapshot``  → ``{"path": ..., "generation": 3, ...}`` —
   persist the serving generation to the snapshot directory now.
 * ``POST /v1/restore``   ``{"path": optional}`` → install a persisted
@@ -79,6 +83,7 @@ request.
 
 from __future__ import annotations
 
+import copy
 import json
 import logging
 import threading
@@ -187,6 +192,28 @@ class _ServiceMetrics:
             "repro_retrain_seconds",
             "Wall time of successful retrains in seconds",
         )
+        self.update = counter(
+            "repro_update_total",
+            "Incremental update attempts by outcome",
+            labels=("outcome",),
+        )
+        self.update_seconds = histogram(
+            "repro_update_seconds",
+            "Wall time of successful incremental updates in seconds",
+        )
+        self.update_rows = counter(
+            "repro_update_rows_appended_total",
+            "Design-matrix rows appended by incremental updates",
+        )
+        self.update_splits = counter(
+            "repro_update_leaves_split_total",
+            "Partition leaves/buckets added by incremental updates",
+        )
+        self.update_fallback = counter(
+            "repro_update_fallback_total",
+            "Incremental updates that fell back to a full retrain, by reason",
+            labels=("reason",),
+        )
         self.generation = gauge(
             "repro_model_generation", "Currently served model generation"
         )
@@ -257,6 +284,18 @@ class EstimatorService:
         Wall-clock budget for one retrain in seconds (None = unlimited);
         exceeding it counts as a retrain failure
         (:class:`TrainingTimeoutError`).
+    incremental_updates:
+        When True, the automatic (re)train triggered by ``retrain_every``
+        prefers the :meth:`update` fast path — absorbing only the
+        pending feedback into a copy of the serving model via
+        ``partial_fit`` instead of refitting on the whole history — with
+        a full retrain as the fallback whenever the model cannot update
+        incrementally.
+    update_residual_budget:
+        Residual ceiling for accepting an incremental update: when the
+        warm solve's residual exceeds it, :meth:`update` falls back to a
+        full retrain (guarding against slow quality drift across many
+        delta refinements).  ``None`` accepts any residual.
     prediction_cache_size:
         Capacity of the generation-keyed LRU cache fronting the batch
         prediction path (0 disables caching).  Entries are keyed by
@@ -296,6 +335,8 @@ class EstimatorService:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
         retrain_timeout: float | None = None,
+        incremental_updates: bool = False,
+        update_residual_budget: float | None = None,
         prediction_cache_size: int = 4096,
         snapshot_dir: str | None = None,
         snapshot_keep: int | None = 5,
@@ -316,6 +357,10 @@ class EstimatorService:
             )
         if retrain_timeout is not None and retrain_timeout <= 0:
             raise ValueError(f"retrain_timeout must be positive, got {retrain_timeout}")
+        if update_residual_budget is not None and update_residual_budget <= 0:
+            raise ValueError(
+                f"update_residual_budget must be positive, got {update_residual_budget}"
+            )
         if prediction_cache_size < 0:
             raise ValueError(
                 f"prediction_cache_size must be >= 0, got {prediction_cache_size}"
@@ -330,6 +375,8 @@ class EstimatorService:
         self.drift_holdout = float(drift_holdout)
         self.sanitize_policy = sanitize_policy
         self.retrain_timeout = retrain_timeout
+        self.incremental_updates = bool(incremental_updates)
+        self.update_residual_budget = update_residual_budget
         self.registry = registry if registry is not None else default_registry()
         self._metrics = _ServiceMetrics(self.registry)
         self._lock = threading.Lock()
@@ -349,6 +396,7 @@ class EstimatorService:
         self._quarantine = SanitizationReport(policy=sanitize_policy)
         self._last_error: str | None = None
         self._last_retrain_seconds: float | None = None
+        self._last_update: dict | None = None
         self._cache_capacity = int(prediction_cache_size)
         self._prediction_cache: OrderedDict[tuple[int, str], float] = OrderedDict()
         self._cache_hits = 0
@@ -623,6 +671,175 @@ class EstimatorService:
         self._persist_generation(model, generation, queries, labels)
         return result
 
+    def update(self) -> dict:
+        """Absorb the pending feedback into the serving model incrementally.
+
+        The fast path next to :meth:`retrain`: instead of refitting a
+        fresh generation on the whole buffered history, the pending
+        feedback batch refines a *copy* of the serving model via its
+        ``partial_fit`` — appending design-matrix rows, splitting only
+        the implicated partition leaves, and warm-starting the solver
+        from the previous weights — and the copy is swapped in atomically
+        as a new generation (the prediction cache invalidates with it).
+
+        Falls back to a full :meth:`retrain` — counted per reason in
+        ``repro_update_fallback_total`` — whenever the incremental path
+        is unavailable or unacceptable: no generation yet, the estimator
+        has no ``partial_fit``, fit-time state is missing (a model
+        restored from a snapshot), the pending batch aged out of the
+        feedback ring, the update itself failed, or the solve residual
+        exceeded ``update_residual_budget``.
+        """
+        metrics = self._metrics
+        metrics.requests.inc(method="update")
+        try:
+            with metrics.request_seconds.time(method="update"):
+                return self._update()
+        except Exception as exc:
+            metrics.errors.inc(method="update", type=type(exc).__name__)
+            raise
+
+    def _fallback_retrain(self, reason: str) -> dict:
+        """Full refit on behalf of a declined/failed incremental update."""
+        self._metrics.update_fallback.inc(reason=reason)
+        self._metrics.update.inc(outcome="fallback")
+        log_event(
+            get_logger("service"),
+            "update_fell_back",
+            reason=reason,
+        )
+        result = self._retrain()
+        result["incremental"] = False
+        result["fallback"] = reason
+        with self._lock:
+            self._last_update = dict(result)
+        return result
+
+    def _update(self) -> dict:
+        metrics = self._metrics
+        with self._lock:
+            if not self._breaker.allow():
+                metrics.breaker_state.set(_BREAKER_CODES[self._breaker.state])
+                raise ModelUnavailableError(
+                    "updating suspended: circuit breaker open after "
+                    f"{self._breaker.consecutive_failures} consecutive failures "
+                    f"(retry in {self._breaker.cooldown_remaining():.1f}s)"
+                )
+            model = self._model
+            pending = self._since_train
+            batch = self._buffer.recent(pending) if pending else ([], np.zeros(0))
+        if model is None:
+            return self._fallback_retrain("no_model")
+        if not hasattr(model, "partial_fit"):
+            return self._fallback_retrain("unsupported")
+        if pending == 0:
+            raise ModelUnavailableError("no pending feedback to absorb")
+        if batch is None:
+            # The batch aged out of the recency ring into the downsampled
+            # reservoir; the exact delta is gone, so refit on the union.
+            return self._fallback_retrain("batch_evicted")
+        new_queries, new_labels = batch
+        fallback_reason: str | None = None
+        with self._retrain_lock:
+            start = time.monotonic()
+            try:
+                with span("service/update", feedback=pending) as update_span:
+                    working = copy.deepcopy(model)
+                    working.partial_fit(new_queries, new_labels, warm_start=True)
+                    report = getattr(working, "update_report_", None)
+                    update_span.annotate(
+                        rows_appended=pending, model_size=working.model_size
+                    )
+            except RuntimeError:
+                # partial_fit without fit-time state (e.g. the serving
+                # model was restored from a snapshot artifact).
+                fallback_reason = "no_fit_state"
+            except Exception as exc:
+                with self._lock:
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                log_event(
+                    get_logger("service"),
+                    "update_failed",
+                    level=logging.WARNING,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                fallback_reason = "error"
+            else:
+                if (
+                    self.update_residual_budget is not None
+                    and report is not None
+                    and report.residual > self.update_residual_budget
+                ):
+                    fallback_reason = "residual_budget"
+            elapsed = time.monotonic() - start
+        if fallback_reason is not None:
+            return self._fallback_retrain(fallback_reason)
+        baseline = (
+            working.predict_many(new_queries) - np.asarray(new_labels, dtype=float)
+        ) ** 2
+        detector = DriftDetector(baseline) if baseline.size >= 2 else None
+        with self._lock:
+            self._breaker.record_success()
+            self._model = working
+            self._prediction_cache.clear()  # old generation's entries are dead
+            self._generation += 1
+            base_generation = self._generation - 1
+            self._trained_on = (
+                report.rows_total if report is not None else self._trained_on + pending
+            )
+            # Feedback that raced in during the update stays pending.
+            self._since_train = max(0, self._since_train - pending)
+            self._drift_flag = False
+            self._detector = detector
+            self._last_error = None
+            queries, labels = self._buffer.snapshot()
+            self._trained_pairs = (queries, labels)
+            generation = self._generation
+            still_pending = self._since_train
+            metrics.breaker_state.set(_BREAKER_CODES[self._breaker.state])
+            result = {
+                "incremental": True,
+                "generation": generation,
+                "base_generation": base_generation,
+                "rows_appended": pending,
+                "trained_on": self._trained_on,
+                "model_size": working.model_size,
+                "seconds": round(elapsed, 4),
+                "update": report.to_dict() if report is not None else None,
+            }
+            self._last_update = dict(result)
+        metrics.update.inc(outcome="success")
+        metrics.update_seconds.observe(elapsed)
+        metrics.update_rows.inc(pending)
+        if report is not None and report.leaves_split > 0:
+            metrics.update_splits.inc(report.leaves_split)
+        metrics.generation.set(generation)
+        metrics.model_size.set(working.model_size)
+        metrics.pending.set(float(still_pending))
+        metrics.drift_alarm.set(0.0)
+        metrics.drift_statistic.set(0.0)
+        log_event(
+            get_logger("service"),
+            "update_succeeded",
+            generation=generation,
+            rows_appended=pending,
+            model_size=working.model_size,
+            seconds=round(elapsed, 4),
+        )
+        self._persist_generation(
+            working,
+            generation,
+            queries,
+            labels,
+            metadata={
+                "incremental": True,
+                "base_generation": base_generation,
+                "rows_appended": pending,
+                "update_seconds": elapsed,
+            },
+        )
+        return result
+
     def snapshot(self) -> dict:
         """Persist the serving generation to the snapshot directory now.
 
@@ -711,6 +928,10 @@ class EstimatorService:
                     "generation": generation,
                     "estimator": manifest.get("estimator"),
                     "model_size": model.model_size,
+                    # True when the artifact was written by the update()
+                    # fast path (a delta snapshot); rolling reloaders use
+                    # this to count delta pickups separately.
+                    "incremental": bool(fit_meta.get("incremental", False)),
                 }
         except Exception as exc:
             metrics.errors.inc(method="restore", type=type(exc).__name__)
@@ -763,12 +984,16 @@ class EstimatorService:
             model_size=model.model_size,
         )
 
-    def _persist_generation(self, model, generation, queries, labels) -> None:
+    def _persist_generation(
+        self, model, generation, queries, labels, metadata: dict | None = None
+    ) -> None:
         """Best-effort snapshot of a freshly trained generation.
 
         A persist failure is counted and logged but never fails the
         retrain that produced the model — serving the new generation
-        matters more than remembering it.
+        matters more than remembering it.  ``metadata`` overrides the
+        default retrain stamp (the incremental-update path uses it to
+        mark delta snapshots).
         """
         if self._snapshots is None:
             return
@@ -777,7 +1002,11 @@ class EstimatorService:
                 model,
                 generation,
                 training=(queries, labels),
-                metadata={"retrain_seconds": self._last_retrain_seconds},
+                metadata=(
+                    metadata
+                    if metadata is not None
+                    else {"retrain_seconds": self._last_retrain_seconds}
+                ),
             )
         except Exception as exc:
             self._metrics.snapshots.inc(outcome="failure")
@@ -903,6 +1132,10 @@ class EstimatorService:
                 "sanitize_policy": self.sanitize_policy,
                 "last_error": self._last_error,
                 "last_retrain_seconds": self._last_retrain_seconds,
+                "incremental_updates": self.incremental_updates,
+                "last_update": (
+                    dict(self._last_update) if self._last_update is not None else None
+                ),
                 "prediction_cache": {
                     "size": len(self._prediction_cache),
                     "capacity": self._cache_capacity,
@@ -996,12 +1229,17 @@ class EstimatorService:
         """Opportunistic retrain from the feedback path: never raises.
 
         Failures are recorded in the breaker / ``last_error`` and the
-        previous generation keeps serving.
+        previous generation keeps serving.  With ``incremental_updates``
+        the fast :meth:`update` path runs instead (it falls back to a
+        full retrain on its own when the model cannot update in place).
         """
         try:
-            self.retrain()
+            if self.incremental_updates:
+                self.update()
+            else:
+                self.retrain()
         except Exception:
-            pass  # recorded by retrain(); feedback ingestion must not fail
+            pass  # recorded by retrain()/update(); feedback ingestion must not fail
 
 
 # ---------------------------------------------------------------------------
@@ -1018,6 +1256,7 @@ _ENDPOINTS = frozenset(
         "/v1/predict",
         "/v1/feedback",
         "/v1/retrain",
+        "/v1/update",
         "/v1/snapshot",
         "/v1/restore",
         "/v1/status",
@@ -1370,6 +1609,8 @@ def _make_handler(
                     self._reply(200, result)
                 elif path == "/v1/retrain":
                     self._reply(200, service.retrain())
+                elif path == "/v1/update":
+                    self._reply(200, service.update())
                 elif path == "/v1/snapshot":
                     self._reply(200, service.snapshot())
                 elif path == "/v1/restore":

@@ -62,6 +62,9 @@ class GenerationReloader(threading.Thread):
         self.interval = float(interval)
         self._stop = threading.Event()
         self.reloads = 0
+        #: Reloads whose artifact was a delta snapshot — written by the
+        #: incremental ``update()`` fast path rather than a full retrain.
+        self.delta_reloads = 0
 
     def stop(self) -> None:
         self._stop.set()
@@ -74,8 +77,10 @@ class GenerationReloader(threading.Thread):
         try:
             latest = store.latest_generation()
             if latest is not None and latest > self.service.store_generation:
-                self.service.restore()
+                result = self.service.restore()
                 self.reloads += 1
+                if result.get("incremental"):
+                    self.delta_reloads += 1
                 return True
         except Exception as exc:  # a broken artifact must not kill serving
             log_event(

@@ -19,8 +19,17 @@ from scipy.optimize import linprog
 __all__ = ["fit_simplex_weights_linf"]
 
 
-def fit_simplex_weights_linf(a: np.ndarray, s: np.ndarray) -> np.ndarray:
-    """Minimise the L∞ training error over the probability simplex."""
+def fit_simplex_weights_linf(
+    a: np.ndarray, s: np.ndarray, warm_start: np.ndarray | None = None
+) -> np.ndarray:
+    """Minimise the L∞ training error over the probability simplex.
+
+    ``warm_start`` cannot speed up the solve itself — scipy's HiGHS
+    interface re-solves from scratch — but a valid previous weight
+    vector replaces the uniform distribution as the failure fallback,
+    which keeps an incremental update close to its predecessor instead
+    of collapsing to uniform when the LP degenerates.
+    """
     a = np.asarray(a, dtype=float)
     s = np.asarray(s, dtype=float)
     if a.ndim != 2:
@@ -32,6 +41,15 @@ def fit_simplex_weights_linf(a: np.ndarray, s: np.ndarray) -> np.ndarray:
         raise ValueError("at least one bucket is required")
     if n == 1:
         return np.ones(1)
+
+    fallback = np.full(n, 1.0 / n)
+    if warm_start is not None:
+        ws = np.asarray(warm_start, dtype=float)
+        if ws.shape == (n,) and np.all(np.isfinite(ws)) and float(ws.sum()) > 0.0:
+            ws = np.maximum(ws, 0.0)
+            total = float(ws.sum())
+            if total > 0.0:
+                fallback = ws / total
 
     # Variables: [w (n), t (1)]; objective: minimise t.
     c = np.zeros(n + 1)
@@ -51,8 +69,8 @@ def fit_simplex_weights_linf(a: np.ndarray, s: np.ndarray) -> np.ndarray:
     result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
     if result.status != 0 or result.x is None:
         # The simplex is non-empty so this should never trigger; fall back
-        # to the uniform vector rather than crash mid-training.
-        return np.full(n, 1.0 / n)
+        # to the warm start (or uniform) rather than crash mid-training.
+        return fallback
     w = np.maximum(result.x[:n], 0.0)
     total = float(w.sum())
-    return w / total if total > 0 else np.full(n, 1.0 / n)
+    return w / total if total > 0 else fallback

@@ -6,6 +6,14 @@ algorithm (Lawson & Hanson 1974) so the library is self-contained, and use
 scipy's as an optional cross-check in the tests.
 
 Solves ``min_x ||A x - b||_2`` subject to ``x >= 0``.
+
+Unlike scipy's compiled solver, this implementation accepts a **warm
+start** (``x0``): the passive set is seeded from the support of ``x0``
+instead of starting empty.  Lawson–Hanson moves one variable per outer
+iteration, so a cold solve needs one iteration per support element; a
+warm solve whose support barely changes terminates after a handful.
+That property is what makes incremental re-fits cheap (see
+``docs/online_learning.md``).
 """
 
 from __future__ import annotations
@@ -15,7 +23,44 @@ import numpy as np
 __all__ = ["nnls"]
 
 
-def nnls(a: np.ndarray, b: np.ndarray, max_iter: int | None = None, tol: float = 1e-11) -> np.ndarray:
+def _solve_passive(
+    a: np.ndarray, b: np.ndarray, x: np.ndarray, passive: np.ndarray, tol: float
+) -> np.ndarray:
+    """Inner Lawson–Hanson loop: least squares restricted to the passive
+    set, backtracking (and shrinking the set) until the solution is
+    feasible.  Mutates ``passive`` in place; returns the new ``x``."""
+    n = x.shape[0]
+    while passive.any():
+        idx = np.nonzero(passive)[0]
+        sub = a[:, idx]
+        z, *_ = np.linalg.lstsq(sub, b, rcond=None)
+        if np.all(z > tol):
+            x = np.zeros(n)
+            x[idx] = z
+            return x
+        # Step toward z only as far as feasibility allows.
+        current = x[idx]
+        negative = z <= tol
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(negative, current / (current - z), np.inf)
+        alpha = float(np.min(ratios))
+        alpha = min(max(alpha, 0.0), 1.0)
+        x_new = np.zeros(n)
+        x_new[idx] = current + alpha * (z - current)
+        x = x_new
+        newly_zero = idx[x[idx] <= tol]
+        passive[newly_zero] = False
+        x[newly_zero] = 0.0
+    return np.zeros(n)
+
+
+def nnls(
+    a: np.ndarray,
+    b: np.ndarray,
+    max_iter: int | None = None,
+    tol: float = 1e-11,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
     """Lawson–Hanson NNLS.
 
     Parameters
@@ -28,6 +73,14 @@ def nnls(a: np.ndarray, b: np.ndarray, max_iter: int | None = None, tol: float =
         Iteration cap (default ``3 * n``).
     tol:
         Dual-feasibility tolerance on the gradient.
+    x0:
+        Optional warm start.  Its support (entries ``> tol``) seeds the
+        passive set and its values seed the backtracking state, so a
+        solve whose active set barely moved resumes in O(changed
+        support) outer iterations.  Must be shape ``(n,)``; negative
+        entries are clipped to zero.  The result is the same NNLS
+        optimum the cold solve finds (active-set methods terminate at
+        an exact KKT point regardless of the starting set).
 
     Returns
     -------
@@ -45,6 +98,17 @@ def nnls(a: np.ndarray, b: np.ndarray, max_iter: int | None = None, tol: float =
 
     x = np.zeros(n)
     passive = np.zeros(n, dtype=bool)  # the "P" set
+    if x0 is not None:
+        x0 = np.asarray(x0, dtype=float)
+        if x0.shape != (n,):
+            raise ValueError(f"x0 must have shape ({n},), got {x0.shape}")
+        if np.all(np.isfinite(x0)):
+            seeded = np.maximum(x0, 0.0)
+            support = seeded > tol
+            if support.any():
+                passive = support
+                x = np.where(support, seeded, 0.0)
+                x = _solve_passive(a, b, x, passive, tol)
     residual = b - a @ x
     gradient = a.T @ residual
 
@@ -58,32 +122,7 @@ def nnls(a: np.ndarray, b: np.ndarray, max_iter: int | None = None, tol: float =
         # Move the most promising variable into the passive set.
         j = int(np.argmax(np.where(candidates, gradient, -np.inf)))
         passive[j] = True
-
-        # Inner loop: least squares on the passive set, backtracking when a
-        # passive variable would go negative.
-        while True:
-            idx = np.nonzero(passive)[0]
-            sub = a[:, idx]
-            z, *_ = np.linalg.lstsq(sub, b, rcond=None)
-            if np.all(z > tol):
-                x = np.zeros(n)
-                x[idx] = z
-                break
-            # Step toward z only as far as feasibility allows.
-            current = x[idx]
-            negative = z <= tol
-            with np.errstate(divide="ignore", invalid="ignore"):
-                ratios = np.where(negative, current / (current - z), np.inf)
-            alpha = float(np.min(ratios))
-            alpha = min(max(alpha, 0.0), 1.0)
-            x_new = np.zeros(n)
-            x_new[idx] = current + alpha * (z - current)
-            x = x_new
-            newly_zero = idx[x[idx] <= tol]
-            passive[newly_zero] = False
-            x[newly_zero] = 0.0
-            if not passive.any():
-                break
+        x = _solve_passive(a, b, x, passive, tol)
         residual = b - a @ x
         gradient = a.T @ residual
     return x

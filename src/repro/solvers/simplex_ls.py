@@ -36,6 +36,15 @@ with per-attempt deadlines, retry-with-backoff for transient numerical
 failures, and a :class:`SolveReport` recording which rung produced the
 answer.  The final rung (the uniform distribution) cannot fail, so the
 robust entry point always returns a valid simplex vector.
+
+Both entry points accept ``warm_start=``, a previous weight vector to
+resume from: ``penalty``/``pgd``/``active-set`` polish it with FISTA
+from its simplex projection (power-iteration Lipschitz estimate, so the
+solve stays matvec-cheap), while ``penalty-own`` resumes the pure-Python
+Lawson–Hanson active set from its support.  For an incremental refit
+whose optimum moved only slightly this replaces a full NNLS solve with a
+handful of iterations — the basis of the cheap `update()` path
+(``docs/online_learning.md``).
 """
 
 from __future__ import annotations
@@ -78,12 +87,24 @@ def project_to_simplex(v: np.ndarray) -> np.ndarray:
     return np.maximum(v - theta, 0.0)
 
 
-def _penalty_solution(a: np.ndarray, s: np.ndarray, penalty: float, use_scipy: bool) -> np.ndarray:
+def _penalty_solution(
+    a: np.ndarray,
+    s: np.ndarray,
+    penalty: float,
+    use_scipy: bool,
+    warm_start: np.ndarray | None = None,
+) -> np.ndarray:
     m, n = a.shape
     root = np.sqrt(penalty)
     a_aug = np.concatenate([a, root * np.ones((1, n))], axis=0)
     s_aug = np.concatenate([s, [root]])
-    if use_scipy:
+    if warm_start is not None and not use_scipy:
+        # Active-set resume: seed Lawson–Hanson's passive set with the
+        # previous solution's support.  Near-unchanged support converges
+        # in a handful of outer iterations instead of one per support
+        # element (scipy's compiled NNLS has no warm-start entry point).
+        w = _own_nnls(a_aug, s_aug, x0=np.maximum(warm_start, 0.0))
+    elif use_scipy:
         from scipy.optimize import nnls as scipy_nnls
 
         try:
@@ -101,12 +122,45 @@ def _penalty_solution(a: np.ndarray, s: np.ndarray, penalty: float, use_scipy: b
     return w / total
 
 
-def _fista(a: np.ndarray, s: np.ndarray, w0: np.ndarray, max_iter: int, tol: float) -> np.ndarray:
+def _spectral_norm_estimate(a: np.ndarray, iters: int = 40) -> float:
+    """Power-iteration upper estimate of ``||a||_2``.
+
+    The exact spectral norm is a full SVD — O(mn·min(m,n)) — which can
+    cost more than the warm solve it serves.  Power iteration needs
+    ``iters`` matvec pairs; the 5% safety margin keeps the FISTA step
+    valid (an *over*-estimate of the Lipschitz constant is safe, an
+    under-estimate diverges).
+    """
+    m, n = a.shape
+    v = np.full(n, 1.0 / np.sqrt(n))
+    sigma = 0.0
+    for _ in range(iters):
+        u = a @ v
+        norm_u = float(np.linalg.norm(u))
+        if norm_u == 0.0:
+            return 0.0
+        v = a.T @ (u / norm_u)
+        sigma = float(np.linalg.norm(v))
+        if sigma == 0.0:
+            return 0.0
+        v = v / sigma
+    return 1.05 * sigma
+
+
+def _fista(
+    a: np.ndarray,
+    s: np.ndarray,
+    w0: np.ndarray,
+    max_iter: int,
+    tol: float,
+    lipschitz: float | None = None,
+) -> np.ndarray:
     # Lipschitz constant of the gradient: 2 * largest eigenvalue of A^T A.
     if min(a.shape) == 0:
         return w0
-    spectral = np.linalg.norm(a, ord=2)
-    lipschitz = 2.0 * spectral**2
+    if lipschitz is None:
+        spectral = np.linalg.norm(a, ord=2)
+        lipschitz = 2.0 * spectral**2
     if lipschitz <= 0.0:
         return w0
     step = 1.0 / lipschitz
@@ -127,6 +181,37 @@ def _fista(a: np.ndarray, s: np.ndarray, w0: np.ndarray, max_iter: int, tol: flo
     return w
 
 
+def _warm_polish(
+    a: np.ndarray, s: np.ndarray, warm: np.ndarray, max_iter: int, tol: float
+) -> np.ndarray:
+    """Resume from ``warm``: FISTA from its simplex projection, with a
+    power-iteration Lipschitz estimate instead of the exact (SVD-cost)
+    spectral norm — the whole point of the warm path is to stay cheap.
+
+    The iteration budget is deliberately small: a warm start near the
+    optimum converges in tens of iterations, and callers that need more
+    accuracy fall back to a cold solve (the service's residual budget
+    enforces exactly that).
+    """
+    start = project_to_simplex(warm)
+    sigma = _spectral_norm_estimate(a, iters=25)
+    iters = max(30, min(max_iter, 100))
+    # A looser stall tolerance than the cold solve's: near the optimum
+    # the objective plateaus long before a 1e-10 relative change, and
+    # the residual budget upstream catches any genuinely stale start.
+    return _fista(a, s, start, iters, max(tol, 1e-7), lipschitz=2.0 * sigma * sigma)
+
+
+def _clean_warm_start(warm_start: np.ndarray | None, n: int) -> np.ndarray | None:
+    """Validate a warm-start vector; returns ``None`` when unusable."""
+    if warm_start is None:
+        return None
+    w = np.asarray(warm_start, dtype=float)
+    if w.shape != (n,) or not np.all(np.isfinite(w)):
+        return None
+    return np.maximum(w, 0.0)
+
+
 def fit_simplex_weights(
     a: np.ndarray,
     s: np.ndarray,
@@ -134,6 +219,7 @@ def fit_simplex_weights(
     penalty: float = 1e4,
     max_iter: int = 2000,
     tol: float = 1e-10,
+    warm_start: np.ndarray | None = None,
 ) -> np.ndarray:
     """Solve Eq. (8): simplex-constrained least squares.
 
@@ -148,6 +234,13 @@ def fit_simplex_weights(
     method:
         One of ``"penalty"`` (default), ``"pgd"``, ``"active-set"``,
         ``"scipy-nnls"`` (penalty formulation solved by scipy's NNLS).
+    warm_start:
+        Optional previous weight vector (shape ``(n_buckets,)``) to
+        resume from.  ``penalty``/``pgd``/``active-set`` polish it with
+        FISTA from its simplex projection; ``penalty-own`` resumes the
+        Lawson–Hanson active set from its support.  Must already be
+        remapped to the *current* column order — a shape mismatch
+        raises :class:`DataValidationError`.
 
     Returns
     -------
@@ -164,17 +257,37 @@ def fit_simplex_weights(
     n = a.shape[1]
     if n == 0:
         raise DataValidationError("at least one bucket is required")
+    if warm_start is not None:
+        ws = np.asarray(warm_start, dtype=float)
+        if ws.shape != (n,):
+            raise DataValidationError(
+                f"warm_start must have shape ({n},), got {ws.shape}; "
+                "remap columns before warm-starting"
+            )
+        warm_start = _clean_warm_start(ws, n)
     if n == 1:
         return np.ones(1)
 
     if method in ("penalty", "scipy-nnls"):
+        if warm_start is not None:
+            # The compiled NNLS cannot resume from a previous solution;
+            # polishing the warm start with the exact projected-gradient
+            # method converges in a handful of cheap matvec iterations
+            # when the optimum moved only slightly — the incremental
+            # fast path.  Cold solves keep the paper's NNLS formulation.
+            return _warm_polish(a, s, warm_start, max_iter, tol)
         return _penalty_solution(a, s, penalty, use_scipy=True)
     if method == "penalty-own":
-        return _penalty_solution(a, s, penalty, use_scipy=False)
+        return _penalty_solution(a, s, penalty, use_scipy=False, warm_start=warm_start)
     if method == "pgd":
-        start = np.full(n, 1.0 / n)
-        return _fista(a, s, start, max_iter, tol)
-    # "active-set": penalty warm start polished by the exact method.
+        if warm_start is not None:
+            return _warm_polish(a, s, warm_start, max_iter, tol)
+        return _fista(a, s, np.full(n, 1.0 / n), max_iter, tol)
+    # "active-set": penalty warm start polished by the exact method; with
+    # an explicit warm start the penalty phase is unnecessary — polish
+    # the previous solution directly.
+    if warm_start is not None:
+        return _warm_polish(a, s, warm_start, max_iter, tol)
     start = _penalty_solution(a, s, penalty, use_scipy=True)
     return _fista(a, s, start, max_iter // 2, tol)
 
@@ -203,6 +316,7 @@ class SolveReport:
     fallback: bool = False
     deadline_exceeded: bool = False
     inputs_cleaned: bool = False
+    warm_started: bool = False
     residual: float = float("nan")
     seconds: float = 0.0
     attempts: list[SolveAttempt] = field(default_factory=list)
@@ -214,6 +328,7 @@ class SolveReport:
             "fallback": self.fallback,
             "deadline_exceeded": self.deadline_exceeded,
             "inputs_cleaned": self.inputs_cleaned,
+            "warm_started": self.warm_started,
             "residual": None if np.isnan(self.residual) else round(self.residual, 6),
             "seconds": round(self.seconds, 4),
             "attempts": [
@@ -245,7 +360,8 @@ _TRANSIENT = (SolverConvergenceError, np.linalg.LinAlgError, FloatingPointError,
 
 
 def _run_rung(rung: str, a: np.ndarray, s: np.ndarray, penalty: float,
-              max_iter: int, tol: float) -> np.ndarray:
+              max_iter: int, tol: float,
+              warm_start: np.ndarray | None = None) -> np.ndarray:
     n = a.shape[1]
     monkey = _active_chaos()
     if rung != "uniform" and monkey is not None and monkey.should_fail_solver(rung):
@@ -256,7 +372,7 @@ def _run_rung(rung: str, a: np.ndarray, s: np.ndarray, penalty: float,
     if rung == "uniform":
         return np.full(n, 1.0 / n)
     return fit_simplex_weights(a, s, method=rung, penalty=penalty,
-                               max_iter=max_iter, tol=tol)
+                               max_iter=max_iter, tol=tol, warm_start=warm_start)
 
 
 def fit_simplex_weights_robust(
@@ -269,6 +385,7 @@ def fit_simplex_weights_robust(
     deadline_seconds: float | None = None,
     retries: int = 1,
     backoff_seconds: float = 0.02,
+    warm_start: np.ndarray | None = None,
 ) -> tuple[np.ndarray, SolveReport]:
     """Solve Eq. (8) with the fallback ladder; never raises on solver
     failure.
@@ -280,6 +397,10 @@ def fit_simplex_weights_robust(
     before the ladder descends.  ``deadline_seconds`` bounds the *total*
     solve: once spent, remaining non-trivial rungs are skipped and the
     uniform rung answers.
+
+    ``warm_start`` is best-effort: an invalid vector (wrong shape,
+    non-finite entries) is silently dropped rather than failing the
+    robust path — the report records whether it was actually used.
 
     Returns
     -------
@@ -303,6 +424,8 @@ def fit_simplex_weights_robust(
         raise DataValidationError("at least one bucket is required")
 
     report = SolveReport(requested=method)
+    warm_start = _clean_warm_start(warm_start, n)
+    report.warm_started = warm_start is not None
     if not (np.all(np.isfinite(a)) and np.all(np.isfinite(s))):
         # Non-finite inputs would poison every least-squares rung; clean
         # them rather than fail (sanitization upstream should normally
@@ -334,7 +457,8 @@ def fit_simplex_weights_robust(
         for attempt_index in range(max_tries):
             t0 = time.monotonic()
             try:
-                candidate = _run_rung(rung, a, s, penalty, max_iter, tol)
+                candidate = _run_rung(rung, a, s, penalty, max_iter, tol,
+                                      warm_start=warm_start)
                 weights = _validate_simplex(candidate, n)
                 report.attempts.append(
                     SolveAttempt(rung=rung, ok=True, seconds=time.monotonic() - t0)

@@ -152,8 +152,57 @@ class TestRollingReload:
         assert reloader.poll_once() is True
         assert service.store_generation == 4
         assert reloader.reloads == 1
+        assert reloader.delta_reloads == 0  # a full-fit snapshot, not a delta
         assert service.health()["status"] == "ok"
         assert reloader.poll_once() is False  # idempotent once caught up
+
+    def test_reloader_picks_up_delta_snapshots(self, tmp_path):
+        """A sibling's incremental update() writes a delta snapshot; the
+        rolling reloader installs it like any generation and counts it."""
+        import numpy as np
+
+        from repro.data import generate_workload, label_queries, power_like
+
+        dataset = power_like(rows=6_000).project([0, 3])
+        gen = np.random.default_rng(21)
+        queries = generate_workload(80, 2, gen, dataset=dataset)
+        labels = label_queries(dataset, queries)
+
+        writer = EstimatorService(
+            lambda: QuadHist(tau=0.02),
+            min_feedback=20,
+            snapshot_dir=tmp_path,
+            registry=MetricsRegistry(),
+        )
+        for query, label in zip(queries[:50], labels[:50]):
+            writer.feedback(query, float(label))
+        writer.retrain()  # gen 1: full fit
+
+        follower = EstimatorService(
+            lambda: QuadHist(tau=0.02),
+            snapshot_dir=tmp_path,
+            registry=MetricsRegistry(),
+        )
+        assert follower.store_generation == 1
+        reloader = GenerationReloader(follower, interval=60.0)
+        assert reloader.poll_once() is False
+
+        for query, label in zip(queries[50:70], labels[50:70]):
+            writer.feedback(query, float(label))
+        result = writer.update()  # gen 2: delta snapshot
+        assert result["incremental"] is True
+
+        assert reloader.poll_once() is True
+        assert follower.store_generation == 2
+        assert reloader.reloads == 1
+        assert reloader.delta_reloads == 1
+
+        for query, label in zip(queries[70:], labels[70:]):
+            writer.feedback(query, float(label))
+        writer.retrain()  # gen 3: full fit again
+        assert reloader.poll_once() is True
+        assert reloader.reloads == 2
+        assert reloader.delta_reloads == 1  # only the delta counted
 
 
 @pytest.mark.slow

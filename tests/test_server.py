@@ -591,3 +591,193 @@ class TestRequestTracing:
         for family in ("repro_request_stage_seconds", "repro_service_queries_total"):
             for _, labels, _, _ in families[family]["samples"]:
                 assert "worker" not in labels
+
+
+class TestIncrementalUpdate:
+    """The update() fast path: absorb pending feedback via partial_fit."""
+
+    def _trained(self, labeled_feedback, n=60, **kwargs):
+        from repro.observability import MetricsRegistry
+
+        feedback, _ = labeled_feedback
+        kwargs.setdefault("registry", MetricsRegistry())
+        service = _service(**kwargs)
+        for query, label in feedback[:n]:
+            service.feedback(query, label)
+        service.retrain()
+        return service, feedback
+
+    def test_update_absorbs_pending_feedback(self, labeled_feedback):
+        service, feedback = self._trained(labeled_feedback)
+        for query, label in feedback[60:80]:
+            service.feedback(query, label)
+        before = service.status()["generation"]
+        result = service.update()
+        assert result["incremental"] is True
+        assert result["rows_appended"] == 20
+        assert result["generation"] == before + 1
+        assert result["update"]["warm_started"] is True
+        status = service.status()
+        assert status["feedback_pending"] == 0
+        assert status["last_update"]["incremental"] is True
+
+    def test_update_without_pending_raises(self, labeled_feedback):
+        service, _ = self._trained(labeled_feedback)
+        with pytest.raises(RuntimeError):
+            service.update()
+
+    def test_update_invalidates_prediction_cache(self, labeled_feedback):
+        """Regression: a stale cached prediction must never be served after
+        an incremental update — the LRU is generation-keyed and cleared."""
+        service, feedback = self._trained(labeled_feedback)
+        _, holdout = labeled_feedback
+        queries = [q for q, _ in holdout[:10]]
+        service.estimate_many(queries)
+        service.estimate_many(queries)  # all hits now
+        cache = service.status()["prediction_cache"]
+        assert cache["hits"] >= len(queries) and cache["size"] >= len(queries)
+        for query, label in feedback[60:90]:
+            service.feedback(query, label)
+        service.update()
+        assert service.status()["prediction_cache"]["size"] == 0
+        hits_before = service.status()["prediction_cache"]["hits"]
+        misses_before = service.status()["prediction_cache"]["misses"]
+        service.estimate_many(queries)
+        cache = service.status()["prediction_cache"]
+        # Every post-update lookup missed: nothing stale was served.
+        assert cache["hits"] == hits_before
+        assert cache["misses"] == misses_before + len(queries)
+
+    def test_update_without_model_falls_back_to_retrain(self, labeled_feedback):
+        from repro.observability import MetricsRegistry
+
+        feedback, _ = labeled_feedback
+        service = _service(min_feedback=20, registry=MetricsRegistry())
+        for query, label in feedback[:30]:
+            service.feedback(query, label)
+        result = service.update()
+        assert result["incremental"] is False
+        assert result["fallback"] == "no_model"
+        assert service.status()["trained"] is True
+
+    def test_update_without_partial_fit_falls_back(self, labeled_feedback):
+        from repro.core import GaussianMixtureHist
+        from repro.observability import MetricsRegistry
+        from repro.server import EstimatorService
+
+        feedback, _ = labeled_feedback
+        service = EstimatorService(
+            lambda: GaussianMixtureHist(components=4),
+            min_feedback=20,
+            registry=MetricsRegistry(),
+        )
+        for query, label in feedback[:30]:
+            service.feedback(query, label)
+        service.retrain()
+        for query, label in feedback[30:40]:
+            service.feedback(query, label)
+        result = service.update()
+        assert result["incremental"] is False
+        assert result["fallback"] == "unsupported"
+
+    def test_residual_budget_falls_back(self, labeled_feedback):
+        service, feedback = self._trained(
+            labeled_feedback, update_residual_budget=1e-12
+        )
+        for query, label in feedback[60:80]:
+            service.feedback(query, label)
+        result = service.update()
+        assert result["incremental"] is False
+        assert result["fallback"] == "residual_budget"
+
+    def test_evicted_batch_falls_back(self, labeled_feedback):
+        """Pending feedback that aged out of the recency ring cannot be
+        replayed exactly — the service refits on the union instead."""
+        service, feedback = self._trained(
+            labeled_feedback, min_feedback=10, feedback_capacity=20
+        )
+        for query, label in feedback[60:75]:  # 15 pending > ring of 10
+            service.feedback(query, label)
+        result = service.update()
+        assert result["incremental"] is False
+        assert result["fallback"] == "batch_evicted"
+
+    def test_auto_update_with_incremental_flag(self, labeled_feedback):
+        from repro.observability import MetricsRegistry
+
+        feedback, _ = labeled_feedback
+        service = _service(
+            retrain_every=25,
+            min_feedback=20,
+            incremental_updates=True,
+            registry=MetricsRegistry(),
+        )
+        for query, label in feedback[:30]:
+            service.feedback(query, label)
+        # First auto-train had no model: update fell back to a full fit.
+        assert service.status()["trained"] is True
+        assert service.status()["last_update"]["fallback"] == "no_model"
+        for query, label in feedback[30:60]:
+            service.feedback(query, label)
+        status = service.status()
+        assert status["last_update"]["incremental"] is True
+        assert status["generation"] == 2
+
+    def test_update_metrics_move(self, labeled_feedback):
+        service, feedback = self._trained(labeled_feedback)
+        for query, label in feedback[60:80]:
+            service.feedback(query, label)
+        service.update()
+        registry = service.registry
+        assert registry.get("repro_update_total").value(outcome="success") == 1
+        assert (
+            registry.get("repro_update_rows_appended_total").value() == 20
+        )
+        assert registry.get("repro_update_seconds").snapshot()["count"] == 1
+
+    def test_http_update_endpoint(self, labeled_feedback):
+        from repro.observability import MetricsRegistry
+
+        feedback, _ = labeled_feedback
+        service = _service(min_feedback=20, registry=MetricsRegistry())
+        server = serve(service, port=0)
+        try:
+            host, port = server.server_address
+            for query, label in feedback[:40]:
+                service.feedback(query, label)
+            service.retrain()
+            for query, label in feedback[40:55]:
+                service.feedback(query, label)
+            request = urllib.request.Request(
+                f"http://{host}:{port}/v1/update",
+                data=b"{}",
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                body = json.loads(response.read())
+        finally:
+            server.shutdown()
+        assert body["incremental"] is True
+        assert body["rows_appended"] == 15
+        assert body["generation"] == 2
+
+    def test_delta_snapshot_carries_incremental_metadata(
+        self, labeled_feedback, tmp_path
+    ):
+        from repro.observability import MetricsRegistry
+        from repro.persistence.artifact import load_manifest
+
+        service, feedback = self._trained(
+            labeled_feedback, snapshot_dir=str(tmp_path)
+        )
+        for query, label in feedback[60:80]:
+            service.feedback(query, label)
+        service.update()
+        store = service.snapshot_store
+        assert store.latest_generation() == 2
+        manifest = load_manifest(store.path_for(2))
+        fit = manifest["fit"]
+        assert fit["incremental"] is True
+        assert fit["base_generation"] == 1
+        assert fit["rows_appended"] == 20
